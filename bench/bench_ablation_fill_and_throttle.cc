@@ -1,0 +1,84 @@
+// Design-choice ablations for the Section 3.3 optimizations the paper
+// adopts without sweeping:
+//   * aggressive filling (tau, Section 3.3.1): how fast does the SSD become
+//     useful with and without it?
+//   * throttle control (mu, Section 3.3.2): does capping the SSD queue
+//     protect throughput under bursty load?
+// Run on TPC-C 2K under DW (the write-through design exercises both paths).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace turbobp {
+namespace {
+
+DriverResult RunWith(double tau, int mu, const TpccConfig& config,
+                     Time duration) {
+  SystemConfig sys =
+      bench::BaseSystem(SsdDesign::kDualWrite, bench::kTpccPages[1], 0.5);
+  sys.ssd_options.aggressive_fill = tau;
+  sys.ssd_options.throttle_queue_limit = mu;
+  DbSystem system(sys);
+  Database db(&system);
+  TpccWorkload::Populate(&db, config);
+  TpccWorkload workload(&db, config);
+  DriverOptions opts;
+  opts.num_clients = bench::kClients;
+  opts.duration = duration;
+  opts.sample_width = duration / 16;
+  Driver driver(&system, &workload, opts);
+  return driver.Run();
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation: aggressive filling (tau) and throttle control (mu)",
+      "Table 2 uses tau=95%, mu=100; this sweeps both on TPC-C 2K / DW");
+
+  const Time duration = bench::ScaledDuration(Seconds(240));
+  const TpccConfig config = bench::TpccForPages(32, bench::kTpccPages[1]);
+
+  std::printf("---- aggressive filling: tau sweep (mu=100) ----\n");
+  TextTable tau_table({"tau", "tpmC steady", "tpmC first-quarter",
+                       "SSD used at end", "seq pages admitted"});
+  for (const double tau : {0.0, 0.5, 0.95}) {
+    const DriverResult r = RunWith(tau, 100, config, duration);
+    const double early =
+        r.throughput.AverageRate(0, duration / 4) * 60.0;
+    tau_table.AddRow(
+        {TextTable::Fmt(tau * 100, 0) + "%",
+         TextTable::Fmt(r.steady_rate * 60, 0), TextTable::Fmt(early, 0),
+         TextTable::Fmt(r.ssd.used_frames),
+         TextTable::Fmt(r.ssd.admissions - r.ssd.hits >= 0
+                            ? r.ssd.admissions
+                            : r.ssd.admissions)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", tau_table.ToString().c_str());
+
+  std::printf("---- throttle control: mu sweep (tau=95%%) ----\n");
+  TextTable mu_table({"mu", "tpmC steady", "SSD ops throttled", "SSD hits"});
+  for (const int mu : {1, 10, 100, 1 << 20}) {
+    const DriverResult r = RunWith(0.95, mu, config, duration);
+    mu_table.AddRow({mu == (1 << 20) ? "unlimited" : TextTable::Fmt(int64_t{mu}),
+                     TextTable::Fmt(r.steady_rate * 60, 0),
+                     TextTable::Fmt(r.ssd.throttled),
+                     TextTable::Fmt(r.ssd.hits)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", mu_table.ToString().c_str());
+  std::printf(
+      "Expected shape: tau=95%% fills the SSD with useful pages much faster\n"
+      "than no-fill (higher early throughput, similar steady state); overly\n"
+      "aggressive throttling (mu=1) starves the cache while mu>=100 changes\n"
+      "little — the paper's settings sit on the flat part of both curves.\n\n");
+}
+
+}  // namespace
+}  // namespace turbobp
+
+int main() {
+  turbobp::Run();
+  return 0;
+}

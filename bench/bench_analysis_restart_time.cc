@@ -1,0 +1,110 @@
+// Analysis bench for the Section 2.3.3 warning: "delaying these writes to
+// disk for too long can make the recovery time unacceptably long" — the
+// flip side of LC's throughput win. Measures crash-recovery work and
+// virtual restart time as a function of lambda and of checkpoint recency,
+// plus the restart extension's variant.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace turbobp {
+namespace {
+
+struct Outcome {
+  RecoveryStats stats;
+  size_t restored = 0;
+};
+
+Outcome RunOne(double lambda, bool take_checkpoint, bool extension,
+               bool churn_after_ckpt = true) {
+  const TpccConfig config = bench::TpccForPages(16, bench::kTpccPages[0]);
+  DbSystem system(
+      bench::BaseSystem(SsdDesign::kLazyCleaning, bench::kTpccPages[0], lambda));
+  Database db(&system);
+  TpccWorkload::Populate(&db, config);
+  if (extension) system.checkpoint().EnableSsdTableCheckpoints();
+  {
+    TpccWorkload workload(&db, config);
+    DriverOptions opts;
+    opts.num_clients = bench::kClients;
+    opts.duration = bench::ScaledDuration(Seconds(120));
+    Driver driver(&system, &workload, opts);
+    driver.Run();
+  }
+  if (take_checkpoint) {
+    IoContext ctx = system.MakeContext();
+    const Time end = system.checkpoint().RunCheckpoint(ctx);
+    system.executor().RunUntil(std::max(end, system.executor().now()));
+    if (churn_after_ckpt) {
+      // A little more work after the checkpoint, then crash. This churn
+      // recycles SSD frames, invalidating part of the snapshot — the
+      // extension's recovery exposure.
+      TpccWorkload workload(&db, config);
+      DriverOptions opts;
+      opts.num_clients = bench::kClients;
+      opts.duration = bench::ScaledDuration(Seconds(20));
+      Driver driver(&system, &workload, opts);
+      driver.Run();
+    }
+  }
+  system.Crash();
+  IoContext rctx = system.MakeContext();
+  Outcome out;
+  if (extension) {
+    auto [stats, restored] = system.RecoverWithSsdTable(rctx);
+    out.stats = stats;
+    out.restored = restored;
+  } else {
+    out.stats = system.Recover(rctx);
+  }
+  return out;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Analysis: crash-recovery time vs lambda / checkpoint recency",
+      "Section 2.3.3: delaying dirty writes too long makes recovery long");
+
+  TextTable table({"variant", "redo records applied", "redo pages written",
+                   "restart time (virtual s)", "SSD frames restored"});
+  struct Row {
+    const char* label;
+    double lambda;
+    bool ckpt;
+    bool ext;
+    bool churn;
+  };
+  const Row rows[] = {
+      {"LC lambda=10%, no checkpoint", 0.10, false, false, true},
+      {"LC lambda=90%, no checkpoint", 0.90, false, false, true},
+      {"LC lambda=90%, recent checkpoint", 0.90, true, false, true},
+      {"LC lambda=90%, ckpt + ext, churn after", 0.90, true, true, true},
+      {"LC lambda=90%, ckpt + ext, crash at ckpt", 0.90, true, true, false},
+  };
+  for (const Row& r : rows) {
+    const Outcome out = RunOne(r.lambda, r.ckpt, r.ext, r.churn);
+    table.AddRow({r.label, TextTable::Fmt(out.stats.records_applied),
+                  TextTable::Fmt(out.stats.pages_written),
+                  TextTable::Fmt(ToSeconds(out.stats.elapsed), 2),
+                  TextTable::Fmt(static_cast<int64_t>(out.restored))});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: without checkpoints, restart time grows with lambda\n"
+      "(more dirty pages living only on the SSD -> longer redo); a recent\n"
+      "sharp checkpoint collapses it. The ssd-table extension is cheapest\n"
+      "when the crash is close to a checkpoint (snapshot frames intact:\n"
+      "records are covered by restored copies); inter-checkpoint churn\n"
+      "recycles frames and re-exposes redo work — the tradeoff a production\n"
+      "design would bound with snapshot-frame pinning or shorter intervals.\n\n");
+}
+
+}  // namespace
+}  // namespace turbobp
+
+int main() {
+  turbobp::Run();
+  return 0;
+}

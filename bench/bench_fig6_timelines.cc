@@ -1,0 +1,93 @@
+// Reproduces Figure 6: full-run throughput-vs-time curves.
+//   (a) TPC-C 2K warehouses   (b) TPC-C 4K warehouses
+//   (c) TPC-E 20K customers   (d) TPC-E 40K customers
+// Each curve is the smoothed bucketed throughput for LC / DW / TAC / noSSD
+// (3-point moving average, as in the paper). Look for: LC's throughput
+// drop when its dirty pages cross lambda (paper: 1:50h at 2K, 2:30h at 4K,
+// scaled /60 here), the long TPC-E ramp-up, and checkpoint dips.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace turbobp {
+namespace {
+
+void PrintCurves(const char* title, const std::vector<DriverResult>& results) {
+  std::printf("---- %s ----\n", title);
+  std::vector<std::vector<double>> curves;
+  size_t buckets = 0;
+  for (const auto& r : results) {
+    curves.push_back(r.throughput.SmoothedRates(3));
+    buckets = std::max(buckets, curves.back().size());
+  }
+  std::vector<std::string> header = {"t (s)"};
+  for (const auto& r : results) header.push_back(r.design);
+  TextTable table(header);
+  for (size_t b = 0; b < buckets; ++b) {
+    std::vector<std::string> row = {
+        TextTable::Fmt(ToSeconds(results[0].throughput.BucketMid(b)), 0)};
+    for (const auto& c : curves) {
+      row.push_back(TextTable::Fmt(b < c.size() ? c[b] : 0.0, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 6: 10-hour test-run curves (throughput/s vs virtual time)",
+      "LC drop when dirty > lambda (2K: ~1:50h, 4K: ~2:30h); long TPC-E "
+      "ramp-up; checkpoint dips");
+
+  const Time duration = bench::ScaledDuration(Seconds(600));  // 10h / 60
+  const SsdDesign designs[] = {SsdDesign::kLazyCleaning, SsdDesign::kDualWrite,
+                               SsdDesign::kTac, SsdDesign::kNoSsd};
+  DriverOptions opts;
+  opts.sample_width = bench::ScaledDuration(Seconds(36));  // 6 min / ~10
+
+  // (a)-(b) TPC-C at 2K and 4K warehouses, checkpoints off, lambda 50%.
+  const int tpcc_scales[2] = {1, 2};
+  const int tpcc_wh[3] = {16, 32, 64};
+  for (int i : tpcc_scales) {
+    const TpccConfig config =
+        bench::TpccForPages(tpcc_wh[i], bench::kTpccPages[i]);
+    std::vector<DriverResult> results;
+    for (SsdDesign d : designs) {
+      results.push_back(bench::RunOltp<TpccWorkload>(
+          d, config, bench::kTpccPages[i], 0.5, duration, 0, opts));
+      std::fflush(stdout);
+    }
+    PrintCurves(
+        (std::string("Figure 6: TPC-C ") + bench::kTpccLabels[i] + ", tpmC/60")
+            .c_str(),
+        results);
+  }
+
+  // (c)-(d) TPC-E at 20K and 40K customers, checkpoints every 40min/60.
+  const int tpce_scales[2] = {1, 2};
+  const int64_t tpce_cust[3] = {1250, 2500, 5000};
+  for (int i : tpce_scales) {
+    const TpceConfig config =
+        bench::TpceForPages(tpce_cust[i], bench::kTpcePages[i]);
+    std::vector<DriverResult> results;
+    for (SsdDesign d : designs) {
+      results.push_back(bench::RunOltp<TpceWorkload>(
+          d, config, bench::kTpcePages[i], 0.01, duration, Seconds(40), opts));
+      std::fflush(stdout);
+    }
+    PrintCurves(
+        (std::string("Figure 6: TPC-E ") + bench::kTpceLabels[i] + ", tpsE")
+            .c_str(),
+        results);
+  }
+}
+
+}  // namespace
+}  // namespace turbobp
+
+int main() {
+  turbobp::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Figure 9: the effect of the checkpoint (recovery) interval on
+// DW and LC over the TPC-E 20K-customer database — 40 minutes vs 5 hours
+// (scaled /60: 40s vs 300s), run for 13 hours scaled (780s).
+//
+// Paper: for DW the long interval wins once the SSD is full (checkpointed
+// pages bump useful SSD pages); for LC the long interval piles up dirty
+// SSD pages, so its first checkpoint causes a deep, long dip (the paper's
+// 5h-interval LC drops dramatically from 5h to ~6.5h). LC runs with
+// lambda=50% under the long interval (the paper raises it from 1%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace turbobp {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 9: checkpoint interval 40min vs 5h (TPC-E 20K customers)",
+      "DW: long interval better post-ramp; LC: deep dip at the first long-"
+      "interval checkpoint");
+
+  const Time duration = bench::ScaledDuration(Seconds(780));  // 13h / 60
+  const TpceConfig config = bench::TpceForPages(2500, bench::kTpcePages[1]);
+  DriverOptions opts;
+  opts.sample_width = bench::ScaledDuration(Seconds(26));
+
+  struct Variant {
+    const char* label;
+    SsdDesign design;
+    Time interval;
+    double lambda;
+  };
+  const Variant variants[] = {
+      {"DW 40min", SsdDesign::kDualWrite, Seconds(40), 0.01},
+      {"DW 5h", SsdDesign::kDualWrite, Seconds(300), 0.01},
+      {"LC 40min", SsdDesign::kLazyCleaning, Seconds(40), 0.01},
+      {"LC 5h", SsdDesign::kLazyCleaning, Seconds(300), 0.50},
+  };
+
+  std::vector<DriverResult> results;
+  TextTable summary({"variant", "tpsE steady", "checkpoints", "max ckpt (s)",
+                     "ssd pages flushed"});
+  for (const Variant& v : variants) {
+    DriverResult r = bench::RunOltp<TpceWorkload>(
+        v.design, config, bench::kTpcePages[1], v.lambda, duration,
+        v.interval, opts);
+    summary.AddRow({v.label, TextTable::Fmt(r.steady_rate, 1),
+                    TextTable::Fmt(r.ckpt.checkpoints_taken),
+                    TextTable::Fmt(ToSeconds(r.ckpt.max_duration), 2),
+                    TextTable::Fmt(r.ckpt.pages_flushed_ssd)});
+    results.push_back(std::move(r));
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", summary.ToString().c_str());
+
+  std::vector<std::vector<double>> curves;
+  size_t buckets = 0;
+  for (const auto& r : results) {
+    curves.push_back(r.throughput.SmoothedRates(3));
+    buckets = std::max(buckets, curves.back().size());
+  }
+  TextTable curve_table({"t (s)", "DW 40min", "DW 5h", "LC 40min", "LC 5h"});
+  for (size_t b = 0; b < buckets; ++b) {
+    std::vector<std::string> row = {
+        TextTable::Fmt(ToSeconds(results[0].throughput.BucketMid(b)), 0)};
+    for (const auto& c : curves) {
+      row.push_back(TextTable::Fmt(b < c.size() ? c[b] : 0.0, 1));
+    }
+    curve_table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", curve_table.ToString().c_str());
+  std::printf(
+      "Expected shape: LC-5h leads early, then collapses during its first\n"
+      "checkpoint (it must drain a huge dirty SSD set) before recovering;\n"
+      "DW-5h overtakes DW-40min once the SSD is full; both 40min variants\n"
+      "show shallow periodic dips.\n\n");
+}
+
+}  // namespace
+}  // namespace turbobp
+
+int main() {
+  turbobp::Run();
+  return 0;
+}

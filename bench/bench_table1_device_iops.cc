@@ -1,0 +1,95 @@
+// Reproduces Table 1: maximum sustainable IOPS for each device with
+// page-sized (8KB) I/Os, queue depth 1, disk write caching off — an
+// Iometer-style closed-loop sweep against the calibrated device models.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "storage/sim_device.h"
+#include "storage/striped_array.h"
+
+namespace turbobp {
+namespace {
+
+double MeasureIops(SimDevice& dev, IoOp op, bool sequential, uint64_t seed) {
+  dev.timeline().Reset();
+  Rng rng(seed);
+  std::vector<uint8_t> buf(dev.page_bytes());
+  Time now = 0;
+  int64_t count = 0;
+  uint64_t seq = 0;
+  while (now < Seconds(20)) {
+    const uint64_t page =
+        sequential ? (seq++ % dev.num_pages()) : rng.Uniform(dev.num_pages());
+    now = op == IoOp::kRead ? dev.Read(page, 1, buf, now)
+                            : dev.Write(page, 1, buf, now);
+    ++count;
+  }
+  return static_cast<double>(count) / 20.0;
+}
+
+double MeasureArrayIops(StripedDiskArray& disks, IoOp op, bool sequential) {
+  double total = 0;
+  for (int s = 0; s < disks.num_spindles(); ++s) {
+    total += MeasureIops(disks.spindle(s), op, sequential,
+                         static_cast<uint64_t>(s) + 1);
+  }
+  return total;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Table 1: maximum sustainable IOPS (8KB I/Os, QD=1)",
+      "8 HDDs: rd 1015/26370, wr 895/9463; SSD: rd 12182/15980, wr "
+      "12374/14965");
+
+  StripedDiskArray::Options disk_opts;  // 8 spindles, paper HDD model
+  StripedDiskArray::Options eight_k = disk_opts;
+  eight_k.hdd.page_bytes = 8192;
+  StripedDiskArray disks(1 << 14, 8192, eight_k);
+  SsdParams ssd_params;
+  ssd_params.page_bytes = 8192;
+  SimDevice ssd(1 << 13, 8192, std::make_unique<SsdModel>(ssd_params));
+
+  TextTable table({"device", "metric", "paper IOPS", "measured IOPS", "ratio"});
+  struct RowSpec {
+    const char* metric;
+    IoOp op;
+    bool seq;
+    double paper_hdd;
+    double paper_ssd;
+  };
+  const RowSpec rows[] = {
+      {"random read", IoOp::kRead, false, 1015, 12182},
+      {"sequential read", IoOp::kRead, true, 26370, 15980},
+      {"random write", IoOp::kWrite, false, 895, 12374},
+      {"sequential write", IoOp::kWrite, true, 9463, 14965},
+  };
+  for (const RowSpec& r : rows) {
+    const double measured = MeasureArrayIops(disks, r.op, r.seq);
+    table.AddRow({"8 HDDs", r.metric, TextTable::Fmt(r.paper_hdd, 0),
+                  TextTable::Fmt(measured, 0),
+                  TextTable::Fmt(measured / r.paper_hdd, 3)});
+  }
+  for (const RowSpec& r : rows) {
+    const double measured = MeasureIops(ssd, r.op, r.seq, 99);
+    table.AddRow({"SSD", r.metric, TextTable::Fmt(r.paper_ssd, 0),
+                  TextTable::Fmt(measured, 0),
+                  TextTable::Fmt(measured / r.paper_ssd, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The SSD-vs-disk random-read gap (%0.1fx) is the quantity every other\n"
+      "experiment inherits; the sequential-read advantage of the striped\n"
+      "disks is why the admission policy only caches random pages.\n\n",
+      12182.0 / 1015.0);
+}
+
+}  // namespace
+}  // namespace turbobp
+
+int main() {
+  turbobp::Run();
+  return 0;
+}

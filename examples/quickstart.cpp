@@ -1,0 +1,86 @@
+// Quickstart: build a database system with an SSD-extended buffer pool,
+// read and write some pages, and watch the SSD cache absorb the working
+// set. This is the five-minute tour of the public API.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+#include <cstring>
+
+#include "engine/database.h"
+
+#include "common/rng.h"
+#include "engine/heap_file.h"
+
+using namespace turbobp;
+
+int main() {
+  // 1. Describe the machine: an 8-spindle disk array holding a 64MB
+  //    database (65536 x 1KB pages), a 4K-frame memory buffer pool, a
+  //    16K-frame SSD cache, and the paper's winning design: lazy cleaning.
+  SystemConfig config;
+  config.page_bytes = 1024;
+  config.db_pages = 65536;
+  config.bp_frames = 4096;
+  config.ssd_frames = 16384;
+  config.design = SsdDesign::kLazyCleaning;
+
+  DbSystem system(config);
+  Database db(&system);
+
+  // 2. Create a table and load a million small rows (loader mode: free).
+  HeapFile table = HeapFile::Create(&db, "events", /*row_bytes=*/64,
+                                    /*capacity_rows=*/200000);
+  {
+    IoContext loader = system.MakeContext(/*charge=*/false);
+    std::vector<uint8_t> row(64);
+    for (uint32_t i = 0; i < 200000; ++i) {
+      std::memcpy(row.data(), &i, sizeof(i));
+      table.Append(row, /*txn_id=*/0, loader);
+    }
+    system.buffer_pool().FlushAllDirty(loader, false);
+    system.buffer_pool().Reset();  // start with a cold cache
+  }
+  std::printf("loaded %llu rows across %llu pages\n",
+              (unsigned long long)table.row_count(),
+              (unsigned long long)table.num_pages());
+
+  // 3. Run a skewed read/update workload and watch where reads get served.
+  IoContext ctx = system.MakeContext();
+  Rng rng(42);
+  std::vector<uint8_t> row(64);
+  uint64_t txn = 1;
+  for (int i = 0; i < 200000; ++i) {
+    // Zipf-skewed row choice: a hot head plus a long cold tail.
+    const uint64_t r =
+        static_cast<uint64_t>(rng.Zipf(static_cast<int64_t>(table.row_count()),
+                                       0.9));
+    if (rng.Bernoulli(0.25)) {
+      table.Read(table.RidOfRow(r), row, AccessKind::kRandom, ctx);
+      row[8]++;
+      table.Update(table.RidOfRow(r), row, txn, ctx);
+      system.log().CommitForce(ctx);  // group commit
+      ++txn;
+    } else {
+      table.Read(table.RidOfRow(r), row, AccessKind::kRandom, ctx);
+    }
+    system.executor().RunUntil(ctx.now);  // let background work interleave
+  }
+
+  // 4. Report: buffer pool hits, SSD cache hits, disk reads.
+  const BufferPoolStats& bp = system.buffer_pool().stats();
+  const SsdManagerStats ssd = system.ssd_manager().stats();
+  std::printf("\nafter %.1f virtual seconds:\n", ToSeconds(ctx.now));
+  std::printf("  buffer pool:  %lld hits, %lld misses (%.1f%% hit rate)\n",
+              (long long)bp.hits, (long long)bp.misses,
+              100.0 * bp.hits / (bp.hits + bp.misses));
+  std::printf("  SSD cache:    %lld hits, %lld frames used, %lld dirty\n",
+              (long long)ssd.hits, (long long)ssd.used_frames,
+              (long long)ssd.dirty_frames);
+  std::printf("  disk:         %lld pages read\n",
+              (long long)bp.disk_page_reads);
+  std::printf(
+      "\nMost misses were served by the SSD at ~82us instead of the disks'\n"
+      "~7.9ms — that is the paper's entire premise in one run.\n");
+  return 0;
+}

@@ -1,0 +1,475 @@
+#include "buffer/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+// ------------------------------------------------------------- PageGuard
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = -1;
+  }
+  return *this;
+}
+
+PageId PageGuard::page_id() const {
+  TURBOBP_DCHECK(valid());
+  return pool_->frames_[frame_].page_id;
+}
+
+PageView PageGuard::view() {
+  TURBOBP_DCHECK(valid());
+  return PageView(pool_->FrameSpan(frame_));
+}
+
+const PageView PageGuard::view() const {
+  TURBOBP_DCHECK(valid());
+  return PageView(pool_->FrameSpan(frame_));
+}
+
+Lsn PageGuard::LogUpdate(uint64_t txn_id, uint32_t offset, uint32_t len) {
+  TURBOBP_DCHECK(valid());
+  return pool_->LogUpdateInternal(frame_, txn_id, offset, len);
+}
+
+void PageGuard::MarkDirtyUnlogged() {
+  TURBOBP_DCHECK(valid());
+  pool_->MarkDirtyInternal(frame_, kInvalidLsn);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+  }
+}
+
+// ------------------------------------------------------------ BufferPool
+
+BufferPool::BufferPool(const Options& options, DiskManager* disk,
+                       LogManager* log, SsdManager* ssd)
+    : options_(options), disk_(disk), log_(log), ssd_(ssd) {
+  TURBOBP_CHECK(disk != nullptr);
+  TURBOBP_CHECK(options.num_frames > 0);
+  TURBOBP_CHECK(options.page_bytes == disk->page_bytes());
+  if (ssd_ == nullptr) ssd_ = &fallback_ssd_;
+  arena_.resize(options.num_frames * static_cast<size_t>(options.page_bytes));
+  frames_.resize(options.num_frames);
+  free_list_.reserve(options.num_frames);
+  for (int64_t i = static_cast<int64_t>(options.num_frames) - 1; i >= 0; --i) {
+    free_list_.push_back(static_cast<int32_t>(i));
+  }
+}
+
+void BufferPool::Touch(Frame& f, Time now) {
+  f.access_history[1] = f.access_history[0];
+  f.access_history[0] = now;
+  ++f.touch_stamp;
+}
+
+void BufferPool::VerifyFrameChecksum(int32_t frame, PageId pid) const {
+  const PageView v(const_cast<uint8_t*>(arena_.data()) +
+                       static_cast<size_t>(frame) * options_.page_bytes,
+                   options_.page_bytes);
+  const PageHeader& h = v.header();
+  if (h.page_id != pid && h.page_id != kInvalidPageId) {
+    Panic(__FILE__, __LINE__, "device returned the wrong page");
+  }
+  if (options_.verify_checksums && h.page_id == pid && !v.VerifyChecksum()) {
+    Panic(__FILE__, __LINE__, "page checksum mismatch: stale or torn copy");
+  }
+}
+
+PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ctx.charge) ctx.now += options_.hit_cpu;
+
+  auto it = page_table_.find(pid);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    // TAC pathology (Section 2.5): a pending SSD admission write holds the
+    // page latch; forward processing waits for it.
+    const Time busy = ssd_->LatchBusyUntil(pid, ctx.now);
+    if (busy > ctx.now && ctx.charge) {
+      stats_.latch_wait_time += busy - ctx.now;
+      ctx.latch_wait += busy - ctx.now;
+      ctx.Wait(busy);
+    }
+    Touch(f, ctx.now);
+    f.kind = kind;
+    ++f.pin_count;
+    ++stats_.hits;
+    ++ctx.bp_hits;
+    return PageGuard(this, it->second);
+  }
+
+  // Miss path, Section 2.2.
+  ++stats_.misses;
+  ++ctx.bp_misses;
+  ssd_->OnBufferPoolMiss(pid, kind, ctx);
+
+  const int32_t frame = AcquireFrame(ctx);
+  if (ssd_->TryReadPage(pid, FrameSpan(frame), ctx)) {
+    ++stats_.ssd_hits;
+    ++ctx.ssd_hits;
+    VerifyFrameChecksum(frame, pid);
+    InstallFrame(frame, pid, kind, ctx);
+    Frame& f = frames_[frame];
+    ++f.pin_count;
+    return PageGuard(this, frame);
+  }
+
+  // Read from disk. While the pool still has free frames SQL Server 2008 R2
+  // expands every single-page read into an aligned multi-page read.
+  const uint32_t expand = options_.expand_read_pages;
+  const bool can_expand = options_.expand_reads_until_warm && !warmed_up_ &&
+                          expand > 1 &&
+                          free_list_.size() >= static_cast<size_t>(expand);
+  if (can_expand) {
+    const PageId block_first = pid - pid % expand;
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<uint64_t>(expand, disk_->num_pages() - block_first));
+    static thread_local std::vector<uint8_t> scratch;
+    scratch.resize(static_cast<size_t>(count) * options_.page_bytes);
+    disk_->ReadPages(block_first, count, scratch, ctx);
+    stats_.disk_page_reads += count;
+    int32_t pinned_frame = -1;
+    for (uint32_t i = 0; i < count; ++i) {
+      const PageId p = block_first + i;
+      if (p != pid && page_table_.contains(p)) continue;
+      // Never install a speculative disk copy that the SSD supersedes (a
+      // restored dirty SSD page after a warm restart): the disk version is
+      // stale; a future fetch must take the SSD path.
+      if (p != pid && ssd_->Probe(p) == SsdProbe::kNewerCopy) continue;
+      int32_t fr;
+      if (p == pid) {
+        fr = frame;
+      } else {
+        if (free_list_.empty()) continue;  // speculative pages only
+        fr = free_list_.back();
+        free_list_.pop_back();
+      }
+      std::memcpy(FrameData(fr),
+                  scratch.data() + static_cast<size_t>(i) * options_.page_bytes,
+                  options_.page_bytes);
+      VerifyFrameChecksum(fr, p);
+      // Speculative neighbours arrive via one big I/O: treat as sequential
+      // so they do not pollute the SSD admission policy.
+      InstallFrame(fr, p, p == pid ? kind : AccessKind::kSequential, ctx);
+      if (p == pid) pinned_frame = fr;
+    }
+    TURBOBP_CHECK(pinned_frame >= 0);
+    ssd_->OnDiskRead(pid, FrameSpan(pinned_frame), kind, ctx);
+    Frame& f = frames_[pinned_frame];
+    ++f.pin_count;
+    return PageGuard(this, pinned_frame);
+  }
+
+  disk_->ReadPage(pid, FrameSpan(frame), ctx);
+  ++stats_.disk_page_reads;
+  VerifyFrameChecksum(frame, pid);
+  InstallFrame(frame, pid, kind, ctx);
+  ssd_->OnDiskRead(pid, FrameSpan(frame), kind, ctx);
+  Frame& f = frames_[frame];
+  ++f.pin_count;
+  return PageGuard(this, frame);
+}
+
+PageGuard BufferPool::NewPage(PageId pid, PageType type, IoContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t frame;
+  auto it = page_table_.find(pid);
+  if (it != page_table_.end()) {
+    // A speculative multi-page read (expansion / read-ahead) may have pulled
+    // this not-yet-allocated page in as a formatted free page; reclaim the
+    // frame in place.
+    frame = it->second;
+    Frame& stale = frames_[frame];
+    TURBOBP_CHECK(stale.pin_count == 0);
+    TURBOBP_CHECK(!stale.dirty);
+    page_table_.erase(it);
+  } else {
+    frame = AcquireFrame(ctx);
+  }
+  PageView v(FrameSpan(frame));
+  v.Format(pid, type);
+  InstallFrame(frame, pid, AccessKind::kRandom, ctx);
+  Frame& f = frames_[frame];
+  // A brand-new page exists nowhere else: it is dirty from birth, and any
+  // stale SSD copy of a recycled page id must go.
+  f.dirty = true;
+  ssd_->OnPageDirtied(pid);
+  ++f.pin_count;
+  return PageGuard(this, frame);
+}
+
+void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == 0) return;
+  TURBOBP_CHECK(first + n <= disk_->num_pages());
+
+  // Which pages do we actually need, and what does the SSD know about them?
+  std::vector<PageId> pages;
+  std::vector<SsdProbe> probes;
+  for (uint32_t i = 0; i < n; ++i) {
+    const PageId p = first + i;
+    if (page_table_.contains(p)) continue;
+    pages.push_back(p);
+    probes.push_back(ssd_->Probe(p));
+  }
+  if (pages.empty()) return;
+
+  auto read_via_ssd = [&](PageId p) -> bool {
+    const int32_t fr = AcquireFrame(ctx);
+    if (ssd_->TryReadPage(p, FrameSpan(fr), ctx)) {
+      ++stats_.ssd_hits;
+      ++ctx.ssd_hits;
+      VerifyFrameChecksum(fr, p);
+      InstallFrame(fr, p, AccessKind::kSequential, ctx);
+      ++stats_.prefetch_pages;
+      return true;
+    }
+    free_list_.push_back(fr);
+    return false;
+  };
+
+  // Trim leading and trailing pages that the SSD can serve (Section 3.3.3):
+  // the disk handles one large I/O better than several small ones, so only
+  // the ends of the request are peeled off.
+  size_t lo = 0;
+  size_t hi = pages.size();
+  while (lo < hi && probes[lo] != SsdProbe::kAbsent && read_via_ssd(pages[lo])) {
+    ++lo;
+  }
+  while (hi > lo && probes[hi - 1] != SsdProbe::kAbsent &&
+         read_via_ssd(pages[hi - 1])) {
+    --hi;
+  }
+  if (lo >= hi) return;
+
+  // One contiguous disk read covering the remaining span (it may include
+  // pages that are already resident or cached on the SSD; those disk copies
+  // are discarded).
+  const PageId disk_first = pages[lo];
+  const uint32_t disk_count = static_cast<uint32_t>(pages[hi - 1] - disk_first + 1);
+  static thread_local std::vector<uint8_t> scratch;
+  scratch.resize(static_cast<size_t>(disk_count) * options_.page_bytes);
+  disk_->ReadPages(disk_first, disk_count, scratch, ctx);
+  stats_.disk_page_reads += disk_count;
+
+  for (size_t i = lo; i < hi; ++i) {
+    const PageId p = pages[i];
+    if (page_table_.contains(p)) continue;
+    if (probes[i] == SsdProbe::kNewerCopy) {
+      // The SSD holds a newer version (LC): the disk copy just read is
+      // stale and must be replaced via an extra SSD read.
+      const bool ok = read_via_ssd(p);
+      TURBOBP_CHECK(ok);  // newer copies must be served for correctness
+      continue;
+    }
+    const int32_t fr = AcquireFrame(ctx);
+    std::memcpy(FrameData(fr),
+                scratch.data() +
+                    static_cast<size_t>(p - disk_first) * options_.page_bytes,
+                options_.page_bytes);
+    VerifyFrameChecksum(fr, p);
+    InstallFrame(fr, p, AccessKind::kSequential, ctx);
+    ssd_->OnDiskRead(p, FrameSpan(fr), AccessKind::kSequential, ctx);
+    ++stats_.prefetch_pages;
+  }
+}
+
+bool BufferPool::Contains(PageId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_table_.contains(pid);
+}
+
+int64_t BufferPool::DirtyFrameCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) ++n;
+  }
+  return n;
+}
+
+int64_t BufferPool::UsedFrameCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(page_table_.size());
+}
+
+int32_t BufferPool::AcquireFrame(IoContext& ctx) {
+  if (!free_list_.empty()) {
+    const int32_t frame = free_list_.back();
+    free_list_.pop_back();
+    return frame;
+  }
+  warmed_up_ = true;
+  // Pop LRU-2 victims until a currently-valid entry surfaces; rebuild the
+  // heap from scratch when it runs dry (stale entries are simply dropped).
+  for (int attempts = 0; attempts < 3; ++attempts) {
+    while (!victim_heap_.empty()) {
+      const VictimEntry e = victim_heap_.top();
+      victim_heap_.pop();
+      const Frame& f = frames_[e.frame];
+      if (f.page_id == kInvalidPageId || f.pin_count > 0 ||
+          f.touch_stamp != e.stamp) {
+        continue;  // stale or unusable entry
+      }
+      EvictFrame(e.frame, ctx);
+      return e.frame;
+    }
+    RebuildVictimHeap();
+  }
+  Panic(__FILE__, __LINE__, "buffer pool exhausted: all frames pinned");
+}
+
+void BufferPool::RebuildVictimHeap() {
+  victim_heap_ = {};
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
+    victim_heap_.push(
+        VictimEntry{VictimKey(f), f.touch_stamp, static_cast<int32_t>(i)});
+  }
+}
+
+void BufferPool::EvictFrame(int32_t frame, IoContext& ctx) {
+  Frame& f = frames_[frame];
+  TURBOBP_DCHECK(f.pin_count == 0);
+  const PageId pid = f.page_id;
+  page_table_.erase(pid);
+
+  // Loader-mode evictions (population) bypass the SSD manager entirely:
+  // every measured run starts from a cold SSD buffer pool, as in the paper
+  // (the DBMS is restarted between runs).
+  if (!f.dirty) {
+    ++stats_.evictions_clean;
+    if (ctx.charge) ssd_->OnEvictClean(pid, FrameSpan(frame), f.kind, ctx);
+  } else {
+    ++stats_.evictions_dirty;
+    PageView v(FrameSpan(frame));
+    v.SealChecksum();
+    const Lsn page_lsn = v.header().lsn;
+    // WAL rule (Section 2.4): the log must be durable through the page's
+    // LSN before the page is written to the SSD or the disk. The page
+    // write's arrival time is therefore the log flush's completion.
+    const Time log_done = log_ != nullptr ? log_->FlushTo(page_lsn, ctx) : ctx.now;
+    IoContext write_ctx = ctx;
+    write_ctx.now = std::max(ctx.now, log_done);
+    EvictionOutcome outcome;  // loader mode: straight to disk
+    if (ctx.charge) {
+      outcome =
+          ssd_->OnEvictDirty(pid, FrameSpan(frame), f.kind, page_lsn, write_ctx);
+    }
+    if (outcome.write_to_disk) {
+      disk_->WritePage(pid, FrameSpan(frame), write_ctx);
+    }
+  }
+  f = Frame{};  // reset metadata; frame data will be overwritten
+}
+
+void BufferPool::InstallFrame(int32_t frame, PageId pid, AccessKind kind,
+                              IoContext& ctx) {
+  Frame& f = frames_[frame];
+  f.page_id = pid;
+  f.dirty = false;
+  f.pin_count = 0;
+  f.kind = kind;
+  f.access_history[0] = f.access_history[1] = 0;
+  Touch(f, ctx.now);
+  page_table_[pid] = frame;
+}
+
+Time BufferPool::WriteFrameToDisk(int32_t frame, IoContext& ctx) {
+  Frame& f = frames_[frame];
+  PageView v(FrameSpan(frame));
+  v.SealChecksum();
+  const Time log_done =
+      log_ != nullptr ? log_->FlushTo(v.header().lsn, ctx) : ctx.now;
+  IoContext write_ctx = ctx;
+  write_ctx.now = std::max(ctx.now, log_done);
+  return disk_->WritePage(f.page_id, FrameSpan(frame), write_ctx);
+}
+
+Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Time last = ctx.now;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId || !f.dirty) continue;
+    const int32_t frame = static_cast<int32_t>(i);
+    const Time done = WriteFrameToDisk(frame, ctx);
+    last = std::max(last, done);
+    if (for_checkpoint) {
+      PageView v(FrameSpan(frame));
+      IoContext ck_ctx = ctx;
+      ssd_->OnCheckpointWrite(f.page_id, FrameSpan(frame), f.kind,
+                              v.header().lsn, ck_ctx);
+      ++stats_.checkpoint_writes;
+    }
+    f.dirty = false;
+  }
+  return last;
+}
+
+void BufferPool::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  page_table_.clear();
+  victim_heap_ = {};
+  free_list_.clear();
+  for (int64_t i = static_cast<int64_t>(frames_.size()) - 1; i >= 0; --i) {
+    frames_[i] = Frame{};
+    free_list_.push_back(static_cast<int32_t>(i));
+  }
+  warmed_up_ = false;
+}
+
+void BufferPool::Unpin(int32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame];
+  TURBOBP_DCHECK(f.pin_count > 0);
+  --f.pin_count;
+}
+
+Lsn BufferPool::LogUpdateInternal(int32_t frame, uint64_t txn_id,
+                                  uint32_t offset, uint32_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TURBOBP_CHECK(log_ != nullptr);
+  Frame& f = frames_[frame];
+  TURBOBP_CHECK(offset + len <= options_.page_bytes);
+  const Lsn lsn = log_->AppendUpdate(
+      txn_id, f.page_id, offset,
+      std::span<const uint8_t>(FrameData(frame) + offset, len));
+  MarkDirtyLocked(frame, lsn);
+  return lsn;
+}
+
+void BufferPool::MarkDirtyInternal(int32_t frame, Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MarkDirtyLocked(frame, lsn);
+}
+
+void BufferPool::MarkDirtyLocked(int32_t frame, Lsn lsn) {
+  Frame& f = frames_[frame];
+  PageView v(FrameSpan(frame));
+  if (!f.dirty) {
+    f.dirty = true;
+    // Clean -> dirty transition: the SSD copy (if any) is now stale and is
+    // invalidated immediately (physically by CW/DW/LC, logically by TAC).
+    ssd_->OnPageDirtied(f.page_id);
+  }
+  v.header().version++;
+  if (lsn != kInvalidLsn) v.header().lsn = lsn;
+}
+
+}  // namespace turbobp

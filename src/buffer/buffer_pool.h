@@ -1,0 +1,210 @@
+#ifndef TURBOBP_BUFFER_BUFFER_POOL_H_
+#define TURBOBP_BUFFER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/ssd_manager.h"
+#include "storage/disk_manager.h"
+#include "storage/io_context.h"
+#include "storage/page.h"
+#include "wal/log_manager.h"
+
+namespace turbobp {
+
+class BufferPool;
+
+// RAII pin on a buffer frame. While a guard is alive the frame cannot be
+// evicted. Mutations must go through BeginWrite()/FinishWrite() so the
+// dirty bit, the SSD invalidation hook, the page LSN and the WAL record are
+// maintained in the right order.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, int32_t frame) : pool_(pool), frame_(frame) {}
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const;
+  PageView view();
+  const PageView view() const;
+
+  // Marks the frame dirty (invalidating any SSD copy on the clean->dirty
+  // transition), logs the byte range [offset, offset+len) of the *new*
+  // content as a physical redo record, and stamps the page LSN.
+  // Call after mutating the page content in place.
+  Lsn LogUpdate(uint64_t txn_id, uint32_t offset, uint32_t len);
+
+  // Marks dirty and stamps an LSN without logging (pages created and fully
+  // rebuilt by recovery-exempt paths, e.g. the loader).
+  void MarkDirtyUnlogged();
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  int32_t frame_ = -1;
+};
+
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t ssd_hits = 0;          // misses served by the SSD manager
+  int64_t disk_page_reads = 0;   // pages read from disk (incl. expansions)
+  int64_t evictions_clean = 0;
+  int64_t evictions_dirty = 0;
+  int64_t prefetch_pages = 0;    // pages brought in via read-ahead
+  int64_t checkpoint_writes = 0;
+  Time latch_wait_time = 0;      // stalls behind SSD admission writes (TAC)
+};
+
+// Main-memory buffer pool with an SSD-manager extension point (Figure 1).
+//
+// Page fetch flow (Section 2.2): probe the pool; on a miss, ask the SSD
+// manager for the page; otherwise read it from disk (and let the SSD
+// manager see the disk read, which is where TAC admits). On eviction, dirty
+// pages first satisfy the WAL rule and are then offered to the SSD manager,
+// whose design (CW / DW / LC / TAC) decides what is written where.
+//
+// Replacement is LRU-2 via a lazily rebuilt victim heap keyed on each
+// frame's penultimate access time.
+class BufferPool {
+ public:
+  struct Options {
+    uint64_t num_frames = 1024;
+    uint32_t page_bytes = 8192;
+    // CPU charge for an in-memory page access.
+    Time hit_cpu = Micros(2);
+    bool verify_checksums = true;
+    // SQL Server 2008 R2 behaviour observed in Figure 8: while the pool has
+    // free frames, every single-page read is expanded to an aligned
+    // `expand_read_pages` read.
+    bool expand_reads_until_warm = true;
+    uint32_t expand_read_pages = 8;
+  };
+
+  BufferPool(const Options& options, DiskManager* disk, LogManager* log,
+             SsdManager* ssd);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  uint32_t page_bytes() const { return options_.page_bytes; }
+  uint64_t num_frames() const { return options_.num_frames; }
+  SsdManager* ssd_manager() { return ssd_; }
+
+  // Swaps the SSD manager (used when simulating a DBMS restart, which
+  // reformats the SSD buffer pool — no design reuses its contents).
+  void set_ssd_manager(SsdManager* ssd) { ssd_ = ssd ? ssd : &fallback_ssd_; }
+
+  // Fetches and pins a page. `kind` records how the caller reached the page
+  // (random lookup vs. sequential read-ahead) — the SSD admission policy
+  // keys off it.
+  PageGuard FetchPage(PageId pid, AccessKind kind, IoContext& ctx);
+
+  // Allocates a frame for a brand-new page (no disk read) and formats it.
+  // The page is born dirty (it exists nowhere else yet).
+  PageGuard NewPage(PageId pid, PageType type, IoContext& ctx);
+
+  // Sequential read-ahead: brings [first, first+n) into the pool as one
+  // trimmed multi-page disk request (Section 3.3.3), unpinned, marked
+  // kSequential. Blocks the client until the data is available.
+  void PrefetchRange(PageId first, uint32_t n, IoContext& ctx);
+
+  bool Contains(PageId pid) const;
+  int64_t DirtyFrameCount() const;
+  int64_t UsedFrameCount() const;
+
+  // Flushes every dirty frame to disk (sharp checkpoint / shutdown).
+  // Returns the completion time of the last write. When `for_checkpoint`,
+  // routes each flushed page through SsdManager::OnCheckpointWrite.
+  Time FlushAllDirty(IoContext& ctx, bool for_checkpoint);
+
+  // Crash simulation: drops all frames, including dirty ones.
+  void Reset();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    bool dirty = false;
+    uint32_t pin_count = 0;
+    AccessKind kind = AccessKind::kRandom;
+    Time access_history[2] = {0, 0};  // [0]=last, [1]=previous (LRU-2)
+    uint64_t touch_stamp = 0;         // bumped per access; victim-heap tag
+  };
+
+  uint8_t* FrameData(int32_t frame) {
+    return arena_.data() + static_cast<size_t>(frame) * options_.page_bytes;
+  }
+  std::span<uint8_t> FrameSpan(int32_t frame) {
+    return {FrameData(frame), options_.page_bytes};
+  }
+
+  void Touch(Frame& f, Time now);
+  // LRU-2 key: penultimate access time (0 while seen only once).
+  Time VictimKey(const Frame& f) const { return f.access_history[1]; }
+
+  // Returns a free frame index, evicting if necessary.
+  int32_t AcquireFrame(IoContext& ctx);
+  void EvictFrame(int32_t frame, IoContext& ctx);
+  void RebuildVictimHeap();
+
+  // Installs freshly-read page bytes into `frame` and registers it.
+  void InstallFrame(int32_t frame, PageId pid, AccessKind kind, IoContext& ctx);
+
+  // Flushes one dirty frame to disk (WAL rule first); returns completion.
+  Time WriteFrameToDisk(int32_t frame, IoContext& ctx);
+
+  void VerifyFrameChecksum(int32_t frame, PageId pid) const;
+
+  void Unpin(int32_t frame);
+  Lsn LogUpdateInternal(int32_t frame, uint64_t txn_id, uint32_t offset,
+                        uint32_t len);
+  void MarkDirtyInternal(int32_t frame, Lsn lsn);
+  void MarkDirtyLocked(int32_t frame, Lsn lsn);
+
+  Options options_;
+  DiskManager* disk_;
+  LogManager* log_;
+  SsdManager* ssd_;
+  NoSsdManager fallback_ssd_;  // used when ssd == nullptr
+
+  std::vector<uint8_t> arena_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int32_t> page_table_;
+  std::vector<int32_t> free_list_;
+
+  struct VictimEntry {
+    Time key;
+    uint64_t stamp;
+    int32_t frame;
+    bool operator>(const VictimEntry& o) const {
+      return key != o.key ? key > o.key : frame > o.frame;
+    }
+  };
+  std::priority_queue<VictimEntry, std::vector<VictimEntry>,
+                      std::greater<VictimEntry>>
+      victim_heap_;
+
+  bool warmed_up_ = false;  // pool has been filled once (stops expansion)
+  BufferPoolStats stats_;
+  mutable std::mutex mu_;  // guards all structures in real-thread mode
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_BUFFER_BUFFER_POOL_H_

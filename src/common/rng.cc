@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace turbobp {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands a single seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+  // NURand's constant C must stay fixed for the lifetime of the generator
+  // (TPC-C clause 2.1.6.1); derive it from the seed.
+  c_load_ = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Lemire's nearly-divisionless bounded generation.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::NuRand(int64_t a, int64_t x, int64_t y) {
+  const int64_t c = static_cast<int64_t>(c_load_ % static_cast<uint64_t>(a + 1));
+  const int64_t r1 = UniformRange(0, a);
+  const int64_t r2 = UniformRange(x, y);
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    double zetan = 0.0;
+    for (int64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(i, theta);
+    double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = zetan;
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) / (1.0 - zeta2 / zetan);
+  }
+  const double u = NextDouble();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
+  return static_cast<int64_t>(
+      n * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+}
+
+}  // namespace turbobp

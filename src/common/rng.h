@@ -1,0 +1,51 @@
+#ifndef TURBOBP_COMMON_RNG_H_
+#define TURBOBP_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace turbobp {
+
+// Deterministic xoshiro256++ generator. Every stochastic component of the
+// library (workload generators, device jitter, property tests) draws from an
+// explicitly seeded Rng so whole benchmark runs replay bit-identically.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // TPC-C NURand(A, x, y): non-uniform random over [x, y], clause 2.1.6.
+  // Produces the skewed access pattern (roughly 75% of accesses to ~20% of
+  // the key space) that the paper cites as the reason LC wins on TPC-C.
+  int64_t NuRand(int64_t a, int64_t x, int64_t y);
+
+  // Zipfian over [0, n) with exponent theta, Gray et al.'s method with a
+  // per-(n, theta) cached zeta. Used by the TPC-E-like generator.
+  int64_t Zipf(int64_t n, double theta);
+
+ private:
+  uint64_t s_[4];
+  uint64_t c_load_ = 0;  // NURand constant C (fixed per generator)
+  // Zipf cache for the last (n, theta) pair.
+  int64_t zipf_n_ = -1;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_COMMON_RNG_H_

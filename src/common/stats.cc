@@ -1,0 +1,128 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+void TimeSeries::Record(Time t, double value) {
+  if (t < 0) return;
+  const size_t idx = static_cast<size_t>(t / width_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += value;
+}
+
+double TimeSeries::AverageRate(Time from, Time to) const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const Time start = static_cast<Time>(i) * width_;
+    if (start >= from && start < to) {
+      sum += buckets_[i];
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  return sum / (static_cast<double>(n) * ToSeconds(width_));
+}
+
+std::vector<double> TimeSeries::SmoothedRates(int window) const {
+  std::vector<double> out(buckets_.size(), 0.0);
+  const int half = window / 2;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double sum = 0.0;
+    int n = 0;
+    for (int j = -half; j <= half; ++j) {
+      const int64_t k = static_cast<int64_t>(i) + j;
+      if (k >= 0 && k < static_cast<int64_t>(buckets_.size())) {
+        sum += BucketRate(static_cast<size_t>(k));
+        ++n;
+      }
+    }
+    out[i] = n ? sum / n : 0.0;
+  }
+  return out;
+}
+
+void Histogram::Record(int64_t value_us) {
+  if (value_us < 0) value_us = 0;
+  const int bucket =
+      value_us == 0 ? 0 : 64 - std::countl_zero(static_cast<uint64_t>(value_us));
+  buckets_[static_cast<size_t>(std::min(bucket, 63))]++;
+  ++count_;
+  sum_ += static_cast<double>(value_us);
+  max_ = std::max(max_, value_us);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const int64_t target =
+      static_cast<int64_t>(static_cast<double>(count_) * p / 100.0);
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i == 0 ? 0 : (int64_t{1} << i) - 1;  // bucket upper bound
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  TURBOBP_CHECK(cells.size() == rows_[0].size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      const std::string& cell = rows_[r][c];
+      out += cell;
+      out.append(widths[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        out.append(widths[c], '-');
+        out.append(2, ' ');
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string TextTable::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace turbobp

@@ -1,0 +1,90 @@
+#ifndef TURBOBP_COMMON_STATS_H_
+#define TURBOBP_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace turbobp {
+
+// Accumulates samples into fixed-width virtual-time buckets. Used for the
+// throughput-vs-time curves of Figures 6/7/9 and the MB/s traffic curves of
+// Figure 8: record an event (e.g. one transaction, or N bytes of I/O) at
+// virtual time t; read back the per-bucket rate afterwards.
+class TimeSeries {
+ public:
+  // bucket_width: virtual time covered by one bucket.
+  explicit TimeSeries(Time bucket_width) : width_(bucket_width) {}
+
+  void Record(Time t, double value = 1.0);
+
+  Time bucket_width() const { return width_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  // Sum of values recorded in bucket i.
+  double BucketSum(size_t i) const {
+    return i < buckets_.size() ? buckets_[i] : 0.0;
+  }
+  // Sum / bucket width in seconds: a per-second rate.
+  double BucketRate(size_t i) const {
+    return BucketSum(i) / ToSeconds(width_);
+  }
+  // Mid-point virtual time of bucket i.
+  Time BucketMid(size_t i) const {
+    return static_cast<Time>(i) * width_ + width_ / 2;
+  }
+
+  // Average rate over buckets whose *start* lies in [from, to).
+  double AverageRate(Time from, Time to) const;
+
+  // Centered moving average of the per-bucket rates (the paper smooths the
+  // Figure 6 curves with a 3-point moving average).
+  std::vector<double> SmoothedRates(int window = 3) const;
+
+ private:
+  Time width_;
+  std::vector<double> buckets_;
+};
+
+// Simple power-of-two-bucketed latency histogram (microseconds).
+class Histogram {
+ public:
+  Histogram() : buckets_(64, 0) {}
+
+  void Record(int64_t value_us);
+  int64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / count_ : 0.0; }
+  int64_t max() const { return max_; }
+  // Approximate percentile (0 < p <= 100) using bucket upper bounds.
+  int64_t Percentile(double p) const;
+
+  void Merge(const Histogram& other);
+
+ private:
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  int64_t max_ = 0;
+};
+
+// Aligned plain-text table printer shared by the bench harnesses so every
+// figure/table reproduction prints in a uniform, diffable format.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(int64_t v);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_COMMON_STATS_H_

@@ -1,0 +1,79 @@
+#ifndef TURBOBP_COMMON_TYPES_H_
+#define TURBOBP_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace turbobp {
+
+// Identifies an 8KB-class database page. Page ids are dense per database:
+// page `p` lives at byte offset `p * page_size` of the (striped) data volume.
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+// Log sequence number. Monotonically increasing byte offset into the WAL.
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+// Virtual time in microseconds since simulation start. All latency models,
+// the discrete-event executor and the workload drivers operate in this unit.
+using Time = int64_t;
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+inline constexpr Time Micros(int64_t us) { return us; }
+inline constexpr Time Millis(int64_t ms) { return ms * 1000; }
+inline constexpr Time Seconds(double s) { return static_cast<Time>(s * 1e6); }
+inline constexpr double ToSeconds(Time t) { return static_cast<double>(t) / 1e6; }
+inline constexpr double ToMillis(Time t) { return static_cast<double>(t) / 1e3; }
+
+// How the caller reached a page, per Section 2.2 of the paper. Pages fetched
+// through the read-ahead mechanism (sequential scans) are marked kSequential;
+// everything else (index lookups, RID fetches) is kRandom. Only kRandom pages
+// are admitted to the SSD once the aggressive-fill threshold is reached.
+enum class AccessKind : uint8_t {
+  kRandom = 0,
+  kSequential = 1,
+};
+
+inline const char* ToString(AccessKind k) {
+  return k == AccessKind::kRandom ? "random" : "sequential";
+}
+
+enum class IoOp : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+// The four SSD designs evaluated in the paper plus the no-SSD baseline.
+enum class SsdDesign : uint8_t {
+  kNoSsd = 0,        // stock buffer manager, disks only
+  kCleanWrite = 1,   // CW: dirty evictions never cached on SSD
+  kDualWrite = 2,    // DW: dirty evictions written to SSD and disk
+  kLazyCleaning = 3, // LC: dirty evictions written to SSD, cleaned lazily
+  kTac = 4,          // Temperature-Aware Caching (Canim et al., VLDB'10)
+};
+
+inline const char* ToString(SsdDesign d) {
+  switch (d) {
+    case SsdDesign::kNoSsd: return "noSSD";
+    case SsdDesign::kCleanWrite: return "CW";
+    case SsdDesign::kDualWrite: return "DW";
+    case SsdDesign::kLazyCleaning: return "LC";
+    case SsdDesign::kTac: return "TAC";
+  }
+  return "?";
+}
+
+// Record id: locates a tuple inside a heap file.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_COMMON_TYPES_H_

@@ -1,0 +1,5 @@
+#include "core/clean_write.h"
+
+// CleanWriteCache is header-only behaviour layered on SsdCacheBase; this
+// translation unit anchors the vtable.
+namespace turbobp {}  // namespace turbobp

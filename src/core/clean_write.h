@@ -1,0 +1,30 @@
+#ifndef TURBOBP_CORE_CLEAN_WRITE_H_
+#define TURBOBP_CORE_CLEAN_WRITE_H_
+
+#include "core/ssd_cache_base.h"
+
+namespace turbobp {
+
+// The clean-write (CW) design of Section 2.3.1: only clean pages are ever
+// cached on the SSD. A dirty page evicted from the memory buffer pool goes
+// to disk alone, so the SSD copy of every page is always identical to the
+// disk copy and no checkpoint or recovery changes are needed. CW mainly
+// helps read-mostly working sets; in every experiment of the paper it loses
+// to DW and LC.
+class CleanWriteCache : public SsdCacheBase {
+ public:
+  using SsdCacheBase::SsdCacheBase;
+
+  SsdDesign design() const override { return SsdDesign::kCleanWrite; }
+
+  EvictionOutcome OnEvictDirty(PageId pid, std::span<const uint8_t> data,
+                               AccessKind kind, Lsn page_lsn,
+                               IoContext& ctx) override {
+    // Never cached: the page only goes to the database on disk.
+    return EvictionOutcome{/*write_to_disk=*/true, /*cached_on_ssd=*/false};
+  }
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_CORE_CLEAN_WRITE_H_

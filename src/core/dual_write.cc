@@ -1,0 +1,39 @@
+#include "core/dual_write.h"
+
+namespace turbobp {
+
+EvictionOutcome DualWriteCache::OnEvictDirty(PageId pid,
+                                             std::span<const uint8_t> data,
+                                             AccessKind kind, Lsn page_lsn,
+                                             IoContext& ctx) {
+  EvictionOutcome outcome;
+  outcome.write_to_disk = true;  // always: write-through
+  if (AdmissionAllows(kind) && !ThrottleBlocks(ctx.now)) {
+    // The disk write happens "simultaneously" (the buffer pool issues it on
+    // return); since both copies are written, the SSD entry is *clean* —
+    // identical to the disk version.
+    outcome.cached_on_ssd =
+        AdmitPage(pid, data, kind, /*dirty=*/false, page_lsn, ctx);
+  } else {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    if (!AdmissionAllows(kind)) {
+      ++stats_counters_.rejected_sequential;
+    } else {
+      ++stats_counters_.throttled;
+    }
+  }
+  return outcome;
+}
+
+void DualWriteCache::OnCheckpointWrite(PageId pid,
+                                       std::span<const uint8_t> data,
+                                       AccessKind kind, Lsn page_lsn,
+                                       IoContext& ctx) {
+  // Section 3.2: checkpointed dirty pages marked "random" are written to
+  // the SSD as well as the disk, extending the eviction-only policy.
+  if (kind != AccessKind::kRandom) return;
+  if (ThrottleBlocks(ctx.now)) return;
+  AdmitPage(pid, data, kind, /*dirty=*/false, page_lsn, ctx);
+}
+
+}  // namespace turbobp

@@ -1,0 +1,34 @@
+#ifndef TURBOBP_CORE_DUAL_WRITE_H_
+#define TURBOBP_CORE_DUAL_WRITE_H_
+
+#include "core/ssd_cache_base.h"
+
+namespace turbobp {
+
+// The dual-write (DW) design of Section 2.3.2: a dirty page evicted from
+// the memory buffer pool is written both to the SSD and to the database on
+// disk — a write-through cache for dirty pages. The SSD copy therefore
+// stays identical to the disk copy (barring a crash between the two writes)
+// and checkpoint/recovery logic is unchanged.
+//
+// During a checkpoint DW additionally writes flushed dirty pages that are
+// marked "random" to the SSD (Section 3.2), which fills the SSD with useful
+// data faster.
+class DualWriteCache : public SsdCacheBase {
+ public:
+  using SsdCacheBase::SsdCacheBase;
+
+  SsdDesign design() const override { return SsdDesign::kDualWrite; }
+
+  EvictionOutcome OnEvictDirty(PageId pid, std::span<const uint8_t> data,
+                               AccessKind kind, Lsn page_lsn,
+                               IoContext& ctx) override;
+
+  void OnCheckpointWrite(PageId pid, std::span<const uint8_t> data,
+                         AccessKind kind, Lsn page_lsn,
+                         IoContext& ctx) override;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_CORE_DUAL_WRITE_H_

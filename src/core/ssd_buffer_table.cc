@@ -1,0 +1,88 @@
+#include "core/ssd_buffer_table.h"
+
+#include <bit>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+SsdBufferTable::SsdBufferTable(int32_t capacity) {
+  TURBOBP_CHECK(capacity > 0);
+  records_.resize(static_cast<size_t>(capacity));
+  // 2x records, rounded to a power of two, keeps chains short.
+  const uint64_t nbuckets =
+      std::bit_ceil(static_cast<uint64_t>(capacity) * 2);
+  buckets_.assign(nbuckets, -1);
+  bucket_mask_ = nbuckets - 1;
+  // Thread the initial free list through the records.
+  for (int32_t i = 0; i < capacity; ++i) {
+    records_[static_cast<size_t>(i)].free_next = i + 1 < capacity ? i + 1 : -1;
+  }
+  free_head_ = 0;
+}
+
+size_t SsdBufferTable::BucketOf(PageId pid) const {
+  // Fibonacci hashing spreads dense page ids.
+  return static_cast<size_t>((pid * 0x9E3779B97F4A7C15ull) >> 13 &
+                             bucket_mask_);
+}
+
+int32_t SsdBufferTable::Lookup(PageId pid) const {
+  int32_t i = buckets_[BucketOf(pid)];
+  while (i != -1) {
+    const SsdFrameRecord& r = records_[static_cast<size_t>(i)];
+    if (r.page_id == pid) return i;
+    i = r.hash_next;
+  }
+  return -1;
+}
+
+void SsdBufferTable::InsertHash(int32_t rec) {
+  SsdFrameRecord& r = records_[static_cast<size_t>(rec)];
+  TURBOBP_DCHECK(r.page_id != kInvalidPageId);
+  const size_t b = BucketOf(r.page_id);
+  r.hash_next = buckets_[b];
+  buckets_[b] = rec;
+}
+
+void SsdBufferTable::RemoveHash(int32_t rec) {
+  SsdFrameRecord& r = records_[static_cast<size_t>(rec)];
+  const size_t b = BucketOf(r.page_id);
+  int32_t i = buckets_[b];
+  if (i == rec) {
+    buckets_[b] = r.hash_next;
+    r.hash_next = -1;
+    return;
+  }
+  while (i != -1) {
+    SsdFrameRecord& prev = records_[static_cast<size_t>(i)];
+    if (prev.hash_next == rec) {
+      prev.hash_next = r.hash_next;
+      r.hash_next = -1;
+      return;
+    }
+    i = prev.hash_next;
+  }
+  Panic(__FILE__, __LINE__, "record not found in SSD hash chain");
+}
+
+int32_t SsdBufferTable::PopFree() {
+  if (free_head_ == -1) return -1;
+  const int32_t rec = free_head_;
+  SsdFrameRecord& r = records_[static_cast<size_t>(rec)];
+  free_head_ = r.free_next;
+  r.free_next = -1;
+  ++used_;
+  return rec;
+}
+
+void SsdBufferTable::PushFree(int32_t rec) {
+  SsdFrameRecord& r = records_[static_cast<size_t>(rec)];
+  TURBOBP_DCHECK(r.heap_pos == -1);
+  r = SsdFrameRecord{};
+  r.free_next = free_head_;
+  free_head_ = rec;
+  --used_;
+}
+
+}  // namespace turbobp

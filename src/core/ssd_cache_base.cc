@@ -1,0 +1,369 @@
+#include "core/ssd_cache_base.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace turbobp {
+
+SsdCacheBase::SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
+                           const SsdCacheOptions& options,
+                           SimExecutor* executor)
+    : options_(options),
+      ssd_device_(ssd_device),
+      disk_(disk),
+      executor_(executor) {
+  TURBOBP_CHECK(ssd_device != nullptr);
+  TURBOBP_CHECK(options.num_frames > 0);
+  TURBOBP_CHECK(options.num_partitions > 0);
+  TURBOBP_CHECK(ssd_device->num_pages() >=
+                static_cast<uint64_t>(options.num_frames));
+  const int n = options.num_partitions;
+  const int64_t per_part = (options.num_frames + n - 1) / n;
+  int64_t base = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t cap = std::min<int64_t>(per_part, options.num_frames - base);
+    if (cap <= 0) break;
+    // The heap's key function closes over the partition, which does not
+    // exist until construction finishes; construct with a placeholder key
+    // and install the real one immediately after.
+    auto part =
+        std::make_unique<Partition>(static_cast<int32_t>(cap), SsdSplitHeap::KeyFn{});
+    Partition* p = part.get();
+    p->heap = SsdSplitHeap(
+        &p->table, [this, p](int32_t rec) { return HeapKey(*p, rec); });
+    p->frame_base = base;
+    base += cap;
+    partitions_.push_back(std::move(part));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_counters_.capacity_frames = options.num_frames;
+  }
+}
+
+double SsdCacheBase::HeapKey(const Partition& part, int32_t rec) const {
+  return static_cast<double>(part.table.record(rec).Lru2Key());
+}
+
+SsdProbe SsdCacheBase::Probe(PageId pid) const {
+  const Partition& part = PartitionFor(pid);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const int32_t rec = part.table.Lookup(pid);
+  if (rec == -1) return SsdProbe::kAbsent;
+  switch (part.table.record(rec).state) {
+    case SsdFrameState::kClean:
+      return SsdProbe::kCleanCopy;
+    case SsdFrameState::kDirty:
+      return SsdProbe::kNewerCopy;
+    default:
+      return SsdProbe::kAbsent;
+  }
+}
+
+bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
+                               IoContext& ctx) {
+  Partition& part = PartitionFor(pid);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const int32_t rec = part.table.Lookup(pid);
+  if (rec == -1) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_counters_.probe_misses;
+    return false;
+  }
+  SsdFrameRecord& r = part.table.record(rec);
+  if (r.state != SsdFrameState::kClean && r.state != SsdFrameState::kDirty) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_counters_.probe_misses;
+    return false;
+  }
+  const bool must_read = r.state == SsdFrameState::kDirty;
+  // Throttle control (Section 3.3.2): when the SSD queue is saturated, read
+  // from disk instead — unless the SSD copy is newer (correctness).
+  if (!must_read && ThrottleBlocks(ctx.now)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_counters_.throttled;
+    return false;
+  }
+  if (r.ready_at > ctx.now) {
+    // The admission write that created this copy has not completed.
+    if (!must_read) return false;  // clean copy also lives on disk
+    ctx.Wait(r.ready_at);          // dirty copy exists only here
+  }
+  ReadFrame(part, rec, out, ctx);
+  r.Touch(ctx.now);
+  part.heap.UpdateKey(rec);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_counters_.hits;
+    // The paper attributes LC's TPC-C win to re-referenced dirty SSD pages
+    // ("about 83% of the total SSD references are to dirty SSD pages").
+    if (must_read) ++stats_counters_.hits_dirty;
+  }
+  return true;
+}
+
+void SsdCacheBase::OnPageDirtied(PageId pid) { Invalidate(pid); }
+
+void SsdCacheBase::Invalidate(PageId pid) {
+  Partition& part = PartitionFor(pid);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const int32_t rec = part.table.Lookup(pid);
+  if (rec == -1) return;
+  SsdFrameRecord& r = part.table.record(rec);
+  if (r.state == SsdFrameState::kDirty) dirty_frames_.fetch_sub(1);
+  DetachRecord(part, rec);
+  part.table.PushFree(rec);
+  used_frames_.fetch_sub(1);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_counters_.invalidations;
+}
+
+void SsdCacheBase::OnEvictClean(PageId pid, std::span<const uint8_t> data,
+                                AccessKind kind, IoContext& ctx) {
+  if (!AdmissionAllows(kind)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_counters_.rejected_sequential;
+    return;
+  }
+  if (ThrottleBlocks(ctx.now)) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_counters_.throttled;
+    return;
+  }
+  AdmitPage(pid, data, kind, /*dirty=*/false, kInvalidLsn, ctx);
+}
+
+bool SsdCacheBase::AdmissionAllows(AccessKind kind) {
+  // Aggressive filling (Section 3.3.1): cache everything until the SSD is
+  // tau full; afterwards only randomly-accessed pages qualify, because only
+  // those are faster to re-read from the SSD than from the striped disks.
+  const int64_t used = used_frames_.load();
+  if (static_cast<double>(used) <
+      options_.aggressive_fill * static_cast<double>(options_.num_frames)) {
+    return true;
+  }
+  return kind == AccessKind::kRandom;
+}
+
+bool SsdCacheBase::ThrottleBlocks(Time now) {
+  return ssd_device_->QueueLength(now) > options_.throttle_queue_limit;
+}
+
+int32_t SsdCacheBase::PickVictim(Partition& part) {
+  return part.heap.CleanRoot();
+}
+
+void SsdCacheBase::DetachRecord(Partition& part, int32_t rec) {
+  part.heap.Remove(rec);
+  part.table.RemoveHash(rec);
+}
+
+bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
+                             AccessKind kind, bool dirty, Lsn page_lsn,
+                             IoContext& ctx) {
+  Partition& part = PartitionFor(pid);
+  std::lock_guard<std::mutex> lock(part.mu);
+  int32_t rec = part.table.Lookup(pid);
+  if (rec != -1) {
+    // Already cached. A clean re-admission is content-identical: refresh
+    // usage only. A dirty admission over an existing entry supersedes it.
+    SsdFrameRecord& r = part.table.record(rec);
+    if (r.state == SsdFrameState::kInvalid) return false;  // TAC handles
+    r.Touch(ctx.now);
+    if (dirty) {
+      if (r.state != SsdFrameState::kDirty) {
+        r.state = SsdFrameState::kDirty;
+        dirty_frames_.fetch_add(1);
+        if (part.heap.Contains(rec) && !part.heap.IsDirtySide(rec)) {
+          part.heap.Remove(rec);
+          part.heap.InsertDirty(rec);
+        }
+      }
+      r.page_lsn = page_lsn;
+      r.ready_at = WriteFrame(part, rec, data, ctx);
+    } else {
+      part.heap.UpdateKey(rec);
+    }
+    return true;
+  }
+
+  rec = part.table.PopFree();
+  if (rec == -1) {
+    const int32_t victim = PickVictim(part);
+    if (victim == -1) return false;  // nothing replaceable (all dirty)
+    SsdFrameRecord& v = part.table.record(victim);
+    if (v.state == SsdFrameState::kDirty) dirty_frames_.fetch_sub(1);
+    DetachRecord(part, victim);
+    part.table.PushFree(victim);
+    used_frames_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_counters_.evictions;
+    }
+    rec = part.table.PopFree();
+    TURBOBP_CHECK(rec != -1);
+  }
+  used_frames_.fetch_add(1);
+
+  SsdFrameRecord& r = part.table.record(rec);
+  r.page_id = pid;
+  r.kind = kind;
+  // Record the page's LSN even for clean admissions (read from the page
+  // header): the restart extension needs it to prove a restored copy is
+  // still the newest version of the page.
+  r.page_lsn = page_lsn != kInvalidLsn
+                   ? page_lsn
+                   : PageView(const_cast<uint8_t*>(data.data()),
+                              static_cast<uint32_t>(data.size()))
+                         .header()
+                         .lsn;
+  r.state = dirty ? SsdFrameState::kDirty : SsdFrameState::kClean;
+  r.access[0] = r.access[1] = 0;
+  r.Touch(ctx.now);
+  part.table.InsertHash(rec);
+  if (dirty) {
+    dirty_frames_.fetch_add(1);
+    part.heap.InsertDirty(rec);
+  } else {
+    part.heap.InsertClean(rec);
+  }
+  r.ready_at = WriteFrame(part, rec, data, ctx);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_counters_.admissions;
+  }
+  return true;
+}
+
+Time SsdCacheBase::WriteFrame(Partition& part, int32_t rec,
+                              std::span<const uint8_t> data, IoContext& ctx) {
+  return ssd_device_->Write(FrameOf(part, rec), 1, data, ctx.now, ctx.charge);
+}
+
+Time SsdCacheBase::ReadFrame(Partition& part, int32_t rec,
+                             std::span<uint8_t> out, IoContext& ctx) {
+  const Time done =
+      ssd_device_->Read(FrameOf(part, rec), 1, out, ctx.now, ctx.charge);
+  ctx.Wait(done);
+  return done;
+}
+
+std::vector<SsdManager::CheckpointEntry> SsdCacheBase::SnapshotForCheckpoint()
+    const {
+  std::vector<CheckpointEntry> entries;
+  for (const auto& part : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (int32_t rec = 0; rec < part->table.capacity(); ++rec) {
+      const SsdFrameRecord& r = part->table.record(rec);
+      if (r.state != SsdFrameState::kClean && r.state != SsdFrameState::kDirty) {
+        continue;
+      }
+      CheckpointEntry e;
+      e.page_id = r.page_id;
+      e.frame = FrameOf(*part, rec);
+      e.dirty = r.state == SsdFrameState::kDirty;
+      e.page_lsn = r.page_lsn;
+      entries.push_back(e);
+    }
+  }
+  return entries;
+}
+
+size_t SsdCacheBase::RestoreFromCheckpoint(
+    const std::vector<CheckpointEntry>& entries, IoContext& ctx,
+    const std::unordered_map<PageId, Lsn>* max_update_lsn,
+    std::unordered_map<PageId, Lsn>* covered_lsn) {
+  size_t restored = 0;
+  std::vector<uint8_t> buf(ssd_device_->page_bytes());
+  for (const CheckpointEntry& e : entries) {
+    Partition& part = PartitionFor(e.page_id);
+    const int64_t rec64 = static_cast<int64_t>(e.frame) - part.frame_base;
+    if (rec64 < 0 || rec64 >= part.table.capacity()) continue;
+    const int32_t rec = static_cast<int32_t>(rec64);
+    // Trust but verify: the frame may have been recycled after the
+    // snapshot was taken. Read it back and check the page header. Reads
+    // are charged (restart-time work).
+    const Time done = ssd_device_->Read(e.frame, 1, buf, ctx.now, ctx.charge);
+    ctx.Wait(done);
+    PageView v(buf.data(), ssd_device_->page_bytes());
+    if (v.header().page_id != e.page_id || !v.VerifyChecksum() ||
+        v.header().lsn != e.page_lsn) {
+      continue;  // the frame was recycled after the snapshot
+    }
+    bool superseded = false;
+    if (max_update_lsn != nullptr) {
+      const auto it = max_update_lsn->find(e.page_id);
+      superseded = it != max_update_lsn->end() && it->second > e.page_lsn;
+    }
+    if (superseded) {
+      // The copy is stale for serving reads, but it is still a valid page
+      // image at its LSN: seed the disk with it (dirty copies may predate
+      // the disk by a long stretch of skipped redo), and let redo roll the
+      // page forward from there.
+      if (e.dirty) {
+        const Time wdone = disk_->WritePage(e.page_id, buf, ctx);
+        ctx.Wait(wdone);
+      }
+      if (covered_lsn != nullptr) {
+        Lsn& cl = (*covered_lsn)[e.page_id];
+        cl = std::max(cl, e.page_lsn);
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(part.mu);
+    if (part.table.Lookup(e.page_id) != -1) continue;  // duplicate entry
+    // The exact record index must be free for the frame mapping to hold.
+    // After a restart all records are free, so PopFree until we find it
+    // would be wasteful; instead thread through the free list directly by
+    // popping until the target surfaces, re-pushing the others.
+    std::vector<int32_t> popped;
+    int32_t got = -1;
+    while ((got = part.table.PopFree()) != -1 && got != rec) {
+      popped.push_back(got);
+    }
+    for (int32_t other : popped) part.table.PushFree(other);
+    if (got != rec) continue;  // record occupied: stale entry
+    SsdFrameRecord& r = part.table.record(rec);
+    r.page_id = e.page_id;
+    r.kind = AccessKind::kRandom;
+    r.page_lsn = e.page_lsn;
+    // The caller has already filtered out entries superseded by later
+    // durable updates, so each surviving copy is the newest version of its
+    // page. Dirty entries stay dirty: the SSD still holds the only current
+    // copy, the redo pass skips the records it covers, and the cleaner
+    // carries on copying it to disk as before the crash.
+    r.state = e.dirty ? SsdFrameState::kDirty : SsdFrameState::kClean;
+    r.Touch(ctx.now);
+    part.table.InsertHash(rec);
+    if (e.dirty) {
+      dirty_frames_.fetch_add(1);
+      part.heap.InsertDirty(rec);
+    } else {
+      part.heap.InsertClean(rec);
+    }
+    used_frames_.fetch_add(1);
+    if (covered_lsn != nullptr) {
+      Lsn& cl = (*covered_lsn)[e.page_id];
+      cl = std::max(cl, e.page_lsn);
+    }
+    ++restored;
+  }
+  return restored;
+}
+
+SsdManagerStats SsdCacheBase::stats() const {
+  SsdManagerStats s;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    s = stats_counters_;
+  }
+  s.used_frames = used_frames_.load();
+  s.dirty_frames = dirty_frames_.load();
+  s.invalid_frames = invalid_frames_.load();
+  s.capacity_frames = options_.num_frames;
+  return s;
+}
+
+}  // namespace turbobp

@@ -1,0 +1,137 @@
+#ifndef TURBOBP_CORE_SSD_CACHE_BASE_H_
+#define TURBOBP_CORE_SSD_CACHE_BASE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/ssd_buffer_table.h"
+#include "core/ssd_heap.h"
+#include "core/ssd_manager.h"
+#include "storage/disk_manager.h"
+#include "storage/storage_device.h"
+
+namespace turbobp {
+
+class SimExecutor;
+
+// Tuning parameters of Table 2.
+struct SsdCacheOptions {
+  int64_t num_frames = 18350080;     // S: SSD buffer pool size in frames
+  int num_partitions = 16;           // N: one per hardware context (3.3.4)
+  double aggressive_fill = 0.95;     // tau: admit everything below this fill
+  int throttle_queue_limit = 100;    // mu: skip SSD I/O beyond this queue
+  double lc_dirty_fraction = 0.5;    // lambda: LC cleaner high watermark
+  int lc_group_pages = 32;           // alpha: max pages per cleaner write
+  double lc_watermark_gap = 0.0001;  // clean to ~0.01% of S below lambda
+};
+
+// Common machinery shared by the CW/DW/LC designs and TAC: the partitioned
+// buffer table / hash table / free list / split heap of Section 3.1, the
+// admission policy of Section 2.2 (random-only plus aggressive filling,
+// Section 3.3.1), throttle control (Section 3.3.2) and the SSD read/write
+// paths. Concrete designs supply the eviction-time behaviour.
+class SsdCacheBase : public SsdManager {
+ public:
+  SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
+               const SsdCacheOptions& options, SimExecutor* executor);
+
+  // --- SsdManager parts common to all designs -------------------------------
+
+  SsdProbe Probe(PageId pid) const override;
+  bool TryReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx) override;
+  void OnPageDirtied(PageId pid) override;
+  void OnEvictClean(PageId pid, std::span<const uint8_t> data, AccessKind kind,
+                    IoContext& ctx) override;
+  SsdManagerStats stats() const override;
+
+  // Restart extension (Section 6 future work): the SSD buffer table can be
+  // snapshotted into a checkpoint record and re-attached after a restart.
+  std::vector<CheckpointEntry> SnapshotForCheckpoint() const override;
+  size_t RestoreFromCheckpoint(
+      const std::vector<CheckpointEntry>& entries, IoContext& ctx,
+      const std::unordered_map<PageId, Lsn>* max_update_lsn = nullptr,
+      std::unordered_map<PageId, Lsn>* covered_lsn = nullptr) override;
+
+  const SsdCacheOptions& options() const { return options_; }
+  int64_t used_frames() const { return used_frames_.load(); }
+  int64_t dirty_frames() const { return dirty_frames_.load(); }
+
+ protected:
+  struct Partition {
+    Partition(int32_t capacity, SsdSplitHeap::KeyFn key)
+        : table(capacity), heap(&table, std::move(key)) {}
+    SsdBufferTable table;
+    SsdSplitHeap heap;
+    int64_t frame_base = 0;  // device page of this partition's frame 0
+    mutable std::mutex mu;
+  };
+
+  Partition& PartitionFor(PageId pid) {
+    return *partitions_[static_cast<size_t>(
+        (pid * 0xD1B54A32D192ED03ull) >> 32 & 0xFFFFFFFFull) %
+                        partitions_.size()];
+  }
+  const Partition& PartitionFor(PageId pid) const {
+    return const_cast<SsdCacheBase*>(this)->PartitionFor(pid);
+  }
+
+  // The per-partition heap key; LRU-2 by default, overridden by TAC.
+  virtual double HeapKey(const Partition& part, int32_t rec) const;
+
+  // Admission policy of Section 2.2: below the aggressive-fill threshold
+  // everything is admitted; afterwards only pages whose (random) re-access
+  // would be faster from the SSD than from the disk — i.e. kRandom pages.
+  bool AdmissionAllows(AccessKind kind);
+
+  // Throttle control: true when the SSD queue exceeds mu.
+  bool ThrottleBlocks(Time now);
+
+  // Inserts (or refreshes) `pid` in the cache, evicting a replacement
+  // victim if needed. Returns false when no frame could be obtained (all
+  // valid pages dirty, partition exhausted). Performs the asynchronous SSD
+  // write when new content must land on the device.
+  bool AdmitPage(PageId pid, std::span<const uint8_t> data, AccessKind kind,
+                 bool dirty, Lsn page_lsn, IoContext& ctx);
+
+  // Picks a replacement victim in `part` (clean-heap root by default;
+  // TAC overrides with coldest-valid-temperature). Returns -1 if none.
+  virtual int32_t PickVictim(Partition& part);
+
+  // Unlinks `rec` from hash and heap (it stays allocated for reuse).
+  void DetachRecord(Partition& part, int32_t rec);
+
+  // Device page holding `rec` of `part`.
+  uint64_t FrameOf(const Partition& part, int32_t rec) const {
+    return static_cast<uint64_t>(part.frame_base + rec);
+  }
+
+  // Asynchronous single-frame SSD write; returns completion time.
+  Time WriteFrame(Partition& part, int32_t rec, std::span<const uint8_t> data,
+                  IoContext& ctx);
+  // Blocking single-frame SSD read into out; advances ctx.now.
+  Time ReadFrame(Partition& part, int32_t rec, std::span<uint8_t> out,
+                 IoContext& ctx);
+
+  // Drops every cached page (used between benchmark runs and by tests).
+  void Invalidate(PageId pid);
+
+  SsdCacheOptions options_;
+  StorageDevice* ssd_device_;
+  DiskManager* disk_;
+  SimExecutor* executor_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+
+  std::atomic<int64_t> used_frames_{0};
+  std::atomic<int64_t> dirty_frames_{0};
+  std::atomic<int64_t> invalid_frames_{0};
+
+  // Stats (mutated under partition locks; read racily for reporting).
+  mutable std::mutex stats_mu_;
+  SsdManagerStats stats_counters_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_CORE_SSD_CACHE_BASE_H_

@@ -1,0 +1,114 @@
+#include "core/ssd_heap.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+SsdSplitHeap::SsdSplitHeap(SsdBufferTable* table, KeyFn key)
+    : table_(table), key_(std::move(key)) {
+  TURBOBP_CHECK(table != nullptr);
+  slots_.assign(static_cast<size_t>(table->capacity()), -1);
+  side_.assign(static_cast<size_t>(table->capacity()), kNone);
+}
+
+void SsdSplitHeap::Place(int side, int32_t i, int32_t rec) {
+  slots_[Phys(side, i)] = rec;
+  table_->record(rec).heap_pos = i;
+}
+
+void SsdSplitHeap::Insert(Side side, int32_t rec) {
+  TURBOBP_DCHECK(side_[rec] == kNone);
+  TURBOBP_CHECK(size_[kClean] + size_[kDirty] <
+                static_cast<int32_t>(slots_.size()));
+  side_[rec] = static_cast<int8_t>(side);
+  const int32_t i = size_[side]++;
+  Place(side, i, rec);
+  SiftUp(side, i);
+}
+
+void SsdSplitHeap::Remove(int32_t rec) {
+  const int8_t s = side_[rec];
+  if (s == kNone) return;
+  EraseAt(static_cast<Side>(s), table_->record(rec).heap_pos);
+}
+
+void SsdSplitHeap::EraseAt(Side side, int32_t i) {
+  const int32_t victim = SlotAt(side, i);
+  const int32_t last = --size_[side];
+  side_[victim] = kNone;
+  table_->record(victim).heap_pos = -1;
+  if (i != last) {
+    const int32_t moved = SlotAt(side, last);
+    Place(side, i, moved);
+    SiftUp(side, i);
+    SiftDown(side, i);
+  }
+  slots_[Phys(side, last)] = -1;
+}
+
+void SsdSplitHeap::UpdateKey(int32_t rec) {
+  const int8_t s = side_[rec];
+  if (s == kNone) return;
+  const int32_t i = table_->record(rec).heap_pos;
+  SiftUp(s, i);
+  SiftDown(s, table_->record(rec).heap_pos);
+}
+
+void SsdSplitHeap::DirtyToClean(int32_t rec) {
+  TURBOBP_DCHECK(side_[rec] == kDirty);
+  EraseAt(kDirty, table_->record(rec).heap_pos);
+  Insert(kClean, rec);
+}
+
+void SsdSplitHeap::SiftUp(int side, int32_t i) {
+  const int32_t rec = SlotAt(side, i);
+  const double k = key_(rec);
+  while (i > 0) {
+    const int32_t parent = (i - 1) / 2;
+    const int32_t prec = SlotAt(side, parent);
+    if (key_(prec) <= k) break;
+    Place(side, i, prec);
+    i = parent;
+  }
+  Place(side, i, rec);
+}
+
+void SsdSplitHeap::SiftDown(int side, int32_t i) {
+  const int32_t n = size_[side];
+  const int32_t rec = SlotAt(side, i);
+  const double k = key_(rec);
+  while (true) {
+    int32_t child = 2 * i + 1;
+    if (child >= n) break;
+    double ck = key_(SlotAt(side, child));
+    if (child + 1 < n) {
+      const double rk = key_(SlotAt(side, child + 1));
+      if (rk < ck) {
+        ck = rk;
+        ++child;
+      }
+    }
+    if (ck >= k) break;
+    Place(side, i, SlotAt(side, child));
+    i = child;
+  }
+  Place(side, i, rec);
+}
+
+bool SsdSplitHeap::CheckInvariants() const {
+  for (int side = kClean; side <= kDirty; ++side) {
+    for (int32_t i = 0; i < size_[side]; ++i) {
+      const int32_t rec = SlotAt(side, i);
+      if (rec < 0) return false;
+      if (side_[rec] != side) return false;
+      if (table_->record(rec).heap_pos != i) return false;
+      if (i > 0 && key_(SlotAt(side, (i - 1) / 2)) > key_(rec)) return false;
+    }
+  }
+  // The two heaps must not overlap.
+  return size_[kClean] + size_[kDirty] <= static_cast<int32_t>(slots_.size());
+}
+
+}  // namespace turbobp

@@ -1,0 +1,77 @@
+#ifndef TURBOBP_CORE_SSD_HEAP_H_
+#define TURBOBP_CORE_SSD_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/ssd_buffer_table.h"
+
+namespace turbobp {
+
+// The SSD heap array of Figure 4: a single array of `capacity` slots hosting
+// two indexed binary min-heaps that grow toward each other. The *clean*
+// heap keeps its root (the replacement victim) at slot 0 and grows right;
+// the *dirty* heap keeps its root (the page the LC cleaner handles next) at
+// the last slot and grows left. Each slot holds a record index; each record
+// stores its logical heap position so key updates and removals are
+// O(log n). Keys are supplied by a callable so the LRU-2 designs (key =
+// penultimate access time) and TAC (key = extent temperature) share the
+// structure.
+class SsdSplitHeap {
+ public:
+  using KeyFn = std::function<double(int32_t rec)>;
+
+  SsdSplitHeap(SsdBufferTable* table, KeyFn key);
+
+  void InsertClean(int32_t rec) { Insert(kClean, rec); }
+  void InsertDirty(int32_t rec) { Insert(kDirty, rec); }
+
+  // Removes `rec` from whichever heap contains it. No-op if absent.
+  void Remove(int32_t rec);
+
+  // Re-establishes heap order after `rec`'s key changed.
+  void UpdateKey(int32_t rec);
+
+  // Moves `rec` from the dirty heap to the clean heap (after cleaning).
+  void DirtyToClean(int32_t rec);
+
+  // Root (minimum key) of each heap; -1 when empty.
+  int32_t CleanRoot() const { return size_[kClean] ? SlotAt(kClean, 0) : -1; }
+  int32_t DirtyRoot() const { return size_[kDirty] ? SlotAt(kDirty, 0) : -1; }
+
+  int32_t clean_size() const { return size_[kClean]; }
+  int32_t dirty_size() const { return size_[kDirty]; }
+  bool Contains(int32_t rec) const { return side_[rec] != kNone; }
+  bool IsDirtySide(int32_t rec) const { return side_[rec] == kDirty; }
+
+  // Validates both heap-order and position invariants (tests).
+  bool CheckInvariants() const;
+
+ private:
+  enum Side : int8_t { kNone = -1, kClean = 0, kDirty = 1 };
+
+  // Physical slot of logical index i on a side: the clean heap is stored
+  // left-to-right, the dirty heap mirrored right-to-left.
+  size_t Phys(int side, int32_t i) const {
+    return side == kClean ? static_cast<size_t>(i)
+                          : slots_.size() - 1 - static_cast<size_t>(i);
+  }
+  int32_t SlotAt(int side, int32_t i) const { return slots_[Phys(side, i)]; }
+  void Place(int side, int32_t i, int32_t rec);
+
+  void Insert(Side side, int32_t rec);
+  void SiftUp(int side, int32_t i);
+  void SiftDown(int side, int32_t i);
+  void EraseAt(Side side, int32_t i);
+
+  SsdBufferTable* table_;
+  KeyFn key_;
+  std::vector<int32_t> slots_;
+  std::vector<int8_t> side_;  // per-record side membership
+  int32_t size_[2] = {0, 0};
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_CORE_SSD_HEAP_H_

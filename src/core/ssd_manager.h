@@ -1,0 +1,185 @@
+#ifndef TURBOBP_CORE_SSD_MANAGER_H_
+#define TURBOBP_CORE_SSD_MANAGER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/io_context.h"
+
+namespace turbobp {
+
+// What the SSD manager has (or knows) about a page, for the multi-page I/O
+// trimming optimization (Section 3.3.3) and the read path.
+enum class SsdProbe : uint8_t {
+  kAbsent = 0,     // no usable copy on the SSD
+  kCleanCopy = 1,  // SSD copy identical to the disk copy
+  kNewerCopy = 2,  // SSD copy newer than the disk copy (LC only)
+};
+
+// What the buffer pool must still do with an evicted dirty page after the
+// SSD manager has taken its share of the work.
+struct EvictionOutcome {
+  bool write_to_disk = true;    // false only when LC absorbed the page
+  bool cached_on_ssd = false;   // page was admitted to the SSD
+};
+
+struct SsdManagerStats {
+  int64_t hits = 0;             // pages served from the SSD
+  int64_t hits_dirty = 0;       // ... of which were dirty SSD pages (LC)
+  int64_t probe_misses = 0;     // lookups that found nothing usable
+  int64_t admissions = 0;       // pages written into the SSD cache
+  int64_t evictions = 0;        // pages replaced
+  int64_t throttled = 0;        // operations skipped by throttle control
+  int64_t rejected_sequential = 0;  // admissions denied by the policy
+  int64_t cleaner_disk_writes = 0;  // LC: pages copied SSD -> disk
+  int64_t cleaner_io_requests = 0;  // LC: disk write requests issued
+  int64_t invalidations = 0;
+  int64_t used_frames = 0;
+  int64_t dirty_frames = 0;
+  int64_t invalid_frames = 0;   // TAC: logically invalidated, space wasted
+  int64_t capacity_frames = 0;
+};
+
+// The SSD manager of Figure 1: the component this paper contributes.
+//
+// It sits between the buffer manager and the disk manager and decides, page
+// by page and at run time, which pages evicted from (or read into) the
+// main-memory buffer pool are worth caching on the SSD. Concrete
+// subclasses implement the clean-write (CW), dual-write (DW), lazy-cleaning
+// (LC) designs of Section 2.3 and the TAC baseline of Canim et al.; a
+// NoSsdManager stub gives the unmodified-DBMS baseline.
+class SsdManager {
+ public:
+  virtual ~SsdManager() = default;
+
+  virtual SsdDesign design() const = 0;
+  std::string name() const { return ToString(design()); }
+
+  // --- read path -----------------------------------------------------------
+
+  // Non-destructive probe: is `pid` on the SSD, and is the copy newer than
+  // the disk version? Must not charge any I/O time.
+  virtual SsdProbe Probe(PageId pid) const = 0;
+
+  // Attempts to serve `pid` from the SSD. On success fills `out`, charges
+  // the SSD read to ctx (blocking), updates replacement state and returns
+  // true. Honors throttle control: may refuse when the SSD queue is long,
+  // unless the SSD copy is newer than disk (then it must serve the read for
+  // correctness, Section 3.3.2).
+  virtual bool TryReadPage(PageId pid, std::span<uint8_t> out,
+                           IoContext& ctx) = 0;
+
+  // --- notifications from the buffer manager --------------------------------
+
+  // A buffer-pool lookup missed (before the SSD/disk is consulted). TAC
+  // accrues extent temperature here.
+  virtual void OnBufferPoolMiss(PageId pid, AccessKind kind, IoContext& ctx) {}
+
+  // A page was just read from *disk* into the buffer pool. TAC admits here
+  // (write-through immediately after the disk read); the paper's designs
+  // only admit on eviction.
+  virtual void OnDiskRead(PageId pid, std::span<const uint8_t> data,
+                          AccessKind kind, IoContext& ctx) {}
+
+  // A clean page in the buffer pool is about to be modified; any SSD copy
+  // must be invalidated (physically for CW/DW/LC, logically for TAC).
+  virtual void OnPageDirtied(PageId pid) = 0;
+
+  // A *clean* page is being evicted from the buffer pool.
+  virtual void OnEvictClean(PageId pid, std::span<const uint8_t> data,
+                            AccessKind kind, IoContext& ctx) = 0;
+
+  // A *dirty* page is being evicted. The WAL rule has already been enforced
+  // by the buffer pool (log flushed through `page_lsn`). Returns what the
+  // buffer pool must still do.
+  virtual EvictionOutcome OnEvictDirty(PageId pid,
+                                       std::span<const uint8_t> data,
+                                       AccessKind kind, Lsn page_lsn,
+                                       IoContext& ctx) = 0;
+
+  // --- checkpoint integration (Section 3.2) ---------------------------------
+
+  virtual void OnCheckpointBegin() {}
+  virtual void OnCheckpointEnd() {}
+
+  // A dirty page is being flushed by a checkpoint (not evicted). DW also
+  // writes checkpointed random pages to the SSD to fill it with useful data.
+  virtual void OnCheckpointWrite(PageId pid, std::span<const uint8_t> data,
+                                 AccessKind kind, Lsn page_lsn,
+                                 IoContext& ctx) {}
+
+  // Flushes every dirty SSD page to disk (LC; no-op elsewhere). Returns the
+  // completion time of the last disk write.
+  virtual Time FlushAllDirty(IoContext& ctx) { return ctx.now; }
+
+  // --- restart extension (the paper's Section 6 future work) ----------------
+
+  // Snapshot of the SSD buffer table for inclusion in a checkpoint record:
+  // with it, a checkpoint need not drain the SSD's dirty pages, and a
+  // restart can re-attach the (persistent) SSD contents instead of warming
+  // a cold cache. Entries are verified against the device at restore time,
+  // so frames recycled after the snapshot are simply dropped.
+  struct CheckpointEntry {
+    PageId page_id = kInvalidPageId;
+    uint64_t frame = 0;  // device frame holding the copy
+    bool dirty = false;
+    Lsn page_lsn = kInvalidLsn;
+  };
+  virtual std::vector<CheckpointEntry> SnapshotForCheckpoint() const {
+    return {};
+  }
+  // Re-attaches snapshot entries whose device frames still hold the claimed
+  // page (header id + checksum + LSN verified) — "using the contents of
+  // the SSD during the recovery task" (Section 4.1.2). Returns entries
+  // restored into the cache.
+  //
+  // `max_update_lsn` (per-page highest durable update LSN) splits verified
+  // entries three ways:
+  //   * not superseded            -> restored into the cache (dirty stays
+  //     dirty; the cleaner resumes), covered through its LSN;
+  //   * superseded + dirty        -> its content is copied to the disk once
+  //     (seeding the redo base), covered through its LSN, not cached;
+  //   * superseded + clean        -> the disk already has it; covered only.
+  // `covered_lsn` receives, per page, the LSN up to which redo may skip
+  // update records entirely.
+  virtual size_t RestoreFromCheckpoint(
+      const std::vector<CheckpointEntry>& entries, IoContext& ctx,
+      const std::unordered_map<PageId, Lsn>* max_update_lsn = nullptr,
+      std::unordered_map<PageId, Lsn>* covered_lsn = nullptr) {
+    return 0;
+  }
+
+  // --- misc ------------------------------------------------------------------
+
+  // If the page's frame latch is held by a pending SSD admission write (the
+  // TAC latch-contention pathology, Section 2.5), returns the virtual time
+  // the latch frees; otherwise returns 0.
+  virtual Time LatchBusyUntil(PageId pid, Time now) { return 0; }
+
+  virtual SsdManagerStats stats() const { return {}; }
+};
+
+// Baseline: the stock buffer manager with no SSD.
+class NoSsdManager : public SsdManager {
+ public:
+  SsdDesign design() const override { return SsdDesign::kNoSsd; }
+  SsdProbe Probe(PageId pid) const override { return SsdProbe::kAbsent; }
+  bool TryReadPage(PageId, std::span<uint8_t>, IoContext&) override {
+    return false;
+  }
+  void OnPageDirtied(PageId) override {}
+  void OnEvictClean(PageId, std::span<const uint8_t>, AccessKind,
+                    IoContext&) override {}
+  EvictionOutcome OnEvictDirty(PageId, std::span<const uint8_t>, AccessKind,
+                               Lsn, IoContext&) override {
+    return EvictionOutcome{/*write_to_disk=*/true, /*cached_on_ssd=*/false};
+  }
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_CORE_SSD_MANAGER_H_

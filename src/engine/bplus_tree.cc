@@ -1,0 +1,435 @@
+#include "engine/bplus_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+namespace {
+
+// Typed accessors over a node page's payload. Entries start 8 bytes in.
+struct Node {
+  explicit Node(PageView v) : view(v) {}
+
+  PageView view;
+
+  bool is_leaf() const { return view.header().type == PageType::kBTreeLeaf; }
+  uint16_t count() const { return view.header().slot_count; }
+  void set_count(uint16_t n) { view.header().slot_count = n; }
+
+  PageId next() const {
+    PageId p;
+    std::memcpy(&p, view.payload(), 8);
+    return p;
+  }
+  void set_next(PageId p) { std::memcpy(view.payload(), &p, 8); }
+
+  uint8_t* entry_ptr(int i) { return view.payload() + 8 + i * 16; }
+  const uint8_t* entry_ptr(int i) const { return view.payload() + 8 + i * 16; }
+
+  uint64_t key_at(int i) const {
+    uint64_t k;
+    std::memcpy(&k, entry_ptr(i), 8);
+    return k;
+  }
+  uint64_t value_at(int i) const {
+    uint64_t v;
+    std::memcpy(&v, entry_ptr(i) + 8, 8);
+    return v;
+  }
+  void set_entry(int i, uint64_t key, uint64_t value) {
+    std::memcpy(entry_ptr(i), &key, 8);
+    std::memcpy(entry_ptr(i) + 8, &value, 8);
+  }
+
+  // First index with key > k, over [0, count).
+  int UpperBound(uint64_t k) const {
+    int lo = 0, hi = count();
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (key_at(mid) <= k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // First index with key >= k, over [0, count).
+  int LowerBound(uint64_t k) const {
+    int lo = 0, hi = count();
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (key_at(mid) < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Inner routing: child entry index for key k (entry 0 is -inf). The
+  // rightmost child that may contain k — the insertion route.
+  int ChildIndexFor(uint64_t k) const { return std::max(0, UpperBound(k) - 1); }
+
+  // Leftmost child that may contain k: duplicates of k can span several
+  // nodes, and lookups/deletes must start at the first of them.
+  int LeftChildIndexFor(uint64_t k) const {
+    return std::max(0, LowerBound(k) - 1);
+  }
+
+  // Shifts entries [i, count) right by one and writes the new entry.
+  void InsertAt(int i, uint64_t key, uint64_t value) {
+    std::memmove(entry_ptr(i + 1), entry_ptr(i),
+                 static_cast<size_t>(count() - i) * 16);
+    set_entry(i, key, value);
+    set_count(static_cast<uint16_t>(count() + 1));
+  }
+
+  void RemoveAt(int i) {
+    std::memmove(entry_ptr(i), entry_ptr(i + 1),
+                 static_cast<size_t>(count() - i - 1) * 16);
+    set_count(static_cast<uint16_t>(count() - 1));
+  }
+
+  // Byte offset (within the page) of entry i — for targeted WAL records.
+  uint32_t EntryOffset(int i) const {
+    return kPageHeaderSize + 8 + static_cast<uint32_t>(i) * 16;
+  }
+};
+
+// Logs the page header plus the entry region [from_entry, count) of `node`
+// as two physical redo records (the header carries slot_count).
+void LogNodeSuffix(PageGuard& guard, Node& node, int from_entry,
+                   uint64_t txn_id, IoContext& ctx) {
+  if (!ctx.charge) {
+    guard.MarkDirtyUnlogged();
+    return;
+  }
+  guard.LogUpdate(txn_id, 0, kPageHeaderSize + 8);
+  const uint32_t from = node.EntryOffset(from_entry);
+  const uint32_t to = node.EntryOffset(node.count());
+  if (to > from) guard.LogUpdate(txn_id, from, to - from);
+}
+
+void LogWholeNode(PageGuard& guard, Node& node, uint64_t txn_id,
+                  IoContext& ctx) {
+  if (!ctx.charge) {
+    guard.MarkDirtyUnlogged();
+    return;
+  }
+  guard.LogUpdate(txn_id, 0, node.EntryOffset(node.count()));
+}
+
+}  // namespace
+
+BPlusTree BPlusTree::Create(Database* db, const std::string& name,
+                            IoContext& ctx) {
+  TURBOBP_CHECK(db != nullptr);
+  TURBOBP_CHECK(!db->catalog().btrees.contains(name));
+  BTreeInfo info;
+  info.name = name;
+  info.root = db->AllocatePages(1);
+  info.height = 1;
+  db->catalog().btrees[name] = info;
+  PageGuard guard = db->pool().NewPage(info.root, PageType::kBTreeLeaf, ctx);
+  Node node(guard.view());
+  node.set_next(kInvalidPageId);
+  node.set_count(0);
+  LogWholeNode(guard, node, 0, ctx);
+  return BPlusTree(db, name);
+}
+
+BPlusTree BPlusTree::Attach(Database* db, const std::string& name) {
+  TURBOBP_CHECK(db != nullptr);
+  TURBOBP_CHECK(db->catalog().btrees.contains(name));
+  return BPlusTree(db, name);
+}
+
+PageId BPlusTree::DescendToLeaf(uint64_t key,
+                                std::vector<std::pair<PageId, int>>* path,
+                                IoContext& ctx) {
+  PageId pid = info().root;
+  while (true) {
+    PageGuard guard = db_->pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    Node node(guard.view());
+    if (node.is_leaf()) return pid;
+    const int child = node.ChildIndexFor(key);
+    if (path != nullptr) path->emplace_back(pid, child);
+    pid = node.value_at(child);
+  }
+}
+
+PageId BPlusTree::DescendToLeafLeftmost(uint64_t key, IoContext& ctx) {
+  PageId pid = info().root;
+  while (true) {
+    PageGuard guard = db_->pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    Node node(guard.view());
+    if (node.is_leaf()) return pid;
+    pid = node.value_at(node.LeftChildIndexFor(key));
+  }
+}
+
+bool BPlusTree::Search(uint64_t key, uint64_t* value, IoContext& ctx) {
+  // Duplicates of one key can span leaves; start at the leftmost candidate
+  // and walk the chain until the key range is passed.
+  PageId pid = DescendToLeafLeftmost(key, ctx);
+  while (pid != kInvalidPageId) {
+    PageGuard guard = db_->pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    Node node(guard.view());
+    const int pos = node.LowerBound(key);
+    if (pos < node.count() && node.key_at(pos) == key) {
+      if (value != nullptr) *value = node.value_at(pos);
+      return true;
+    }
+    if (pos < node.count()) return false;  // first key > target: passed it
+    pid = node.next();
+  }
+  return false;
+}
+
+std::pair<PageId, uint64_t> BPlusTree::SplitNode(PageGuard& guard,
+                                                 uint64_t txn_id,
+                                                 IoContext& ctx) {
+  Node node(guard.view());
+  const PageId right_pid = db_->AllocatePages(1);
+  // The right sibling is a page created on the fly — dirty from birth and
+  // never read from disk (the TAC-uncacheable case).
+  PageGuard right_guard =
+      db_->pool().NewPage(right_pid, guard.view().header().type, ctx);
+  Node right(right_guard.view());
+
+  const int n = node.count();
+  const int keep = n / 2;
+  const int moved = n - keep;
+  std::memcpy(right.entry_ptr(0), node.entry_ptr(keep),
+              static_cast<size_t>(moved) * 16);
+  right.set_count(static_cast<uint16_t>(moved));
+  node.set_count(static_cast<uint16_t>(keep));
+  if (node.is_leaf()) {
+    right.set_next(node.next());
+    node.set_next(right_pid);
+  } else {
+    right.set_next(kInvalidPageId);
+  }
+  const uint64_t split_key = right.key_at(0);
+  LogWholeNode(guard, node, txn_id, ctx);
+  LogWholeNode(right_guard, right, txn_id, ctx);
+  return {right_pid, split_key};
+}
+
+void BPlusTree::InsertIntoParent(std::vector<std::pair<PageId, int>>& path,
+                                 PageId left, uint64_t split_key, PageId right,
+                                 uint64_t txn_id, IoContext& ctx) {
+  if (path.empty()) {
+    // Split reached the root: grow the tree by one level.
+    BTreeInfo& inf = mutable_info();
+    const PageId new_root = db_->AllocatePages(1);
+    PageGuard guard = db_->pool().NewPage(new_root, PageType::kBTreeInner, ctx);
+    Node node(guard.view());
+    node.set_next(kInvalidPageId);
+    node.set_count(0);
+    node.InsertAt(0, 0, left);  // -inf router
+    node.InsertAt(1, split_key, right);
+    LogWholeNode(guard, node, txn_id, ctx);
+    inf.root = new_root;
+    ++inf.height;
+    return;
+  }
+  const auto [parent_pid, child_idx] = path.back();
+  path.pop_back();
+  PageGuard guard = db_->pool().FetchPage(parent_pid, AccessKind::kRandom, ctx);
+  Node node(guard.view());
+  if (node.count() < MaxEntries()) {
+    node.InsertAt(child_idx + 1, split_key, right);
+    LogNodeSuffix(guard, node, child_idx + 1, txn_id, ctx);
+    return;
+  }
+  // Parent full: split it first, then route the new entry.
+  const auto [new_pid, new_key] = SplitNode(guard, txn_id, ctx);
+  PageId target = parent_pid;
+  if (split_key >= new_key) target = new_pid;
+  {
+    PageGuard tguard = db_->pool().FetchPage(target, AccessKind::kRandom, ctx);
+    Node tnode(tguard.view());
+    const int pos = tnode.UpperBound(split_key);
+    tnode.InsertAt(pos, split_key, right);
+    LogNodeSuffix(tguard, tnode, pos, txn_id, ctx);
+  }
+  guard.Release();
+  InsertIntoParent(path, parent_pid, new_key, new_pid, txn_id, ctx);
+}
+
+void BPlusTree::Insert(uint64_t key, uint64_t value, uint64_t txn_id,
+                       IoContext& ctx) {
+  std::vector<std::pair<PageId, int>> path;
+  const PageId leaf_pid = DescendToLeaf(key, &path, ctx);
+  PageGuard guard = db_->pool().FetchPage(leaf_pid, AccessKind::kRandom, ctx);
+  Node node(guard.view());
+  if (node.count() < MaxEntries()) {
+    const int pos = node.UpperBound(key);
+    node.InsertAt(pos, key, value);
+    LogNodeSuffix(guard, node, pos, txn_id, ctx);
+    ++mutable_info().num_entries;
+    return;
+  }
+  const auto [right_pid, split_key] = SplitNode(guard, txn_id, ctx);
+  const PageId target = key >= split_key ? right_pid : leaf_pid;
+  {
+    PageGuard tguard = db_->pool().FetchPage(target, AccessKind::kRandom, ctx);
+    Node tnode(tguard.view());
+    const int pos = tnode.UpperBound(key);
+    tnode.InsertAt(pos, key, value);
+    LogNodeSuffix(tguard, tnode, pos, txn_id, ctx);
+  }
+  guard.Release();
+  InsertIntoParent(path, leaf_pid, split_key, right_pid, txn_id, ctx);
+  ++mutable_info().num_entries;
+}
+
+bool BPlusTree::Delete(uint64_t key, uint64_t txn_id, IoContext& ctx) {
+  PageId pid = DescendToLeafLeftmost(key, ctx);
+  while (pid != kInvalidPageId) {
+    PageGuard guard = db_->pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    Node node(guard.view());
+    const int pos = node.LowerBound(key);
+    if (pos < node.count() && node.key_at(pos) == key) {
+      node.RemoveAt(pos);
+      LogNodeSuffix(guard, node, std::max(0, pos - 1), txn_id, ctx);
+      --mutable_info().num_entries;
+      return true;
+    }
+    if (pos < node.count()) return false;  // passed the key range
+    pid = node.next();
+  }
+  return false;
+}
+
+void BPlusTree::ScanRange(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, uint64_t)>& fn, IoContext& ctx) {
+  PageId pid = DescendToLeafLeftmost(lo, ctx);
+  while (pid != kInvalidPageId) {
+    PageGuard guard = db_->pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    Node node(guard.view());
+    for (int i = 0; i < node.count(); ++i) {
+      const uint64_t k = node.key_at(i);
+      if (k < lo) continue;
+      if (k > hi) return;
+      if (!fn(k, node.value_at(i))) return;
+    }
+    pid = node.next();
+  }
+}
+
+void BPlusTree::BulkLoad(
+    const std::vector<std::pair<uint64_t, uint64_t>>& sorted, IoContext& ctx,
+    double fill_factor) {
+  TURBOBP_CHECK(info().num_entries == 0);
+  TURBOBP_CHECK(std::is_sorted(
+      sorted.begin(), sorted.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  if (sorted.empty()) return;
+
+  const uint32_t per_node = std::max<uint32_t>(
+      2, static_cast<uint32_t>(MaxEntries() * fill_factor));
+
+  // Build one level from the (key, page) routers of the previous level.
+  // Level 0 consumes the data entries and threads the leaf chain.
+  std::vector<std::pair<uint64_t, uint64_t>> level = sorted;
+  bool leaves = true;
+  PageId first_node = kInvalidPageId;
+  while (true) {
+    std::vector<std::pair<uint64_t, uint64_t>> routers;
+    PageId prev = kInvalidPageId;
+    size_t i = 0;
+    while (i < level.size()) {
+      const size_t take = std::min<size_t>(per_node, level.size() - i);
+      PageId pid;
+      if (leaves && i == 0 && info().height == 1 && routers.empty()) {
+        pid = info().root;  // reuse the empty root leaf
+      } else {
+        pid = db_->AllocatePages(1);
+      }
+      PageGuard guard =
+          db_->pool().Contains(pid)
+              ? db_->pool().FetchPage(pid, AccessKind::kRandom, ctx)
+              : db_->pool().NewPage(
+                    pid, leaves ? PageType::kBTreeLeaf : PageType::kBTreeInner,
+                    ctx);
+      guard.view().header().type =
+          leaves ? PageType::kBTreeLeaf : PageType::kBTreeInner;
+      Node node(guard.view());
+      node.set_next(kInvalidPageId);
+      node.set_count(0);
+      for (size_t j = 0; j < take; ++j) {
+        node.set_entry(static_cast<int>(j), level[i + j].first,
+                       level[i + j].second);
+      }
+      node.set_count(static_cast<uint16_t>(take));
+      if (leaves && prev != kInvalidPageId) {
+        PageGuard pguard = db_->pool().FetchPage(prev, AccessKind::kRandom, ctx);
+        Node pnode(pguard.view());
+        pnode.set_next(pid);
+        pguard.MarkDirtyUnlogged();
+      }
+      guard.MarkDirtyUnlogged();
+      routers.emplace_back(level[i].first, pid);
+      prev = pid;
+      if (first_node == kInvalidPageId) first_node = pid;
+      i += take;
+    }
+    if (routers.size() == 1) {
+      BTreeInfo& inf = mutable_info();
+      inf.root = static_cast<PageId>(routers[0].second);
+      inf.num_entries = sorted.size();
+      return;
+    }
+    // Entry 0 of every inner node routes -inf.
+    routers[0].first = 0;
+    level = std::move(routers);
+    if (leaves) {
+      leaves = false;
+    }
+    ++mutable_info().height;
+  }
+}
+
+uint64_t BPlusTree::CheckInvariants(IoContext& ctx) {
+  // Walk the leaf chain from the leftmost leaf and verify global key order.
+  PageId pid = info().root;
+  uint64_t depth = 1;
+  while (true) {
+    PageGuard guard = db_->pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    Node node(guard.view());
+    if (node.is_leaf()) break;
+    TURBOBP_CHECK(node.count() >= 1);
+    pid = node.value_at(0);
+    ++depth;
+  }
+  TURBOBP_CHECK(depth == info().height);
+  uint64_t count = 0;
+  uint64_t prev_key = 0;
+  bool first = true;
+  while (pid != kInvalidPageId) {
+    PageGuard guard = db_->pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    Node node(guard.view());
+    TURBOBP_CHECK(node.is_leaf());
+    for (int i = 0; i < node.count(); ++i) {
+      const uint64_t k = node.key_at(i);
+      TURBOBP_CHECK(first || k >= prev_key);
+      prev_key = k;
+      first = false;
+      ++count;
+    }
+    pid = node.next();
+  }
+  TURBOBP_CHECK(count == info().num_entries);
+  return count;
+}
+
+}  // namespace turbobp

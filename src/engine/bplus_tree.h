@@ -1,0 +1,99 @@
+#ifndef TURBOBP_ENGINE_BPLUS_TREE_H_
+#define TURBOBP_ENGINE_BPLUS_TREE_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace turbobp {
+
+// Disk-resident B+-tree with 8-byte keys and values, persisted in buffer
+// pool pages.
+//
+// Index lookups are the workloads' dominant source of *random* I/O (the
+// access class the SSD admission policy caches), and page splits create
+// dirty pages "on the fly" that were never read from disk — the case TAC
+// cannot cache (Section 4.2).
+//
+// Node layout (identical for leaves and inner nodes): the first 8 payload
+// bytes hold the next-leaf pointer (leaves) or are reserved (inner); then
+// header.slot_count entries of (key, value) pairs sorted by key. In inner
+// nodes the value is a child page id and each key is the smallest key in
+// that child's subtree ("low-key router"); entry 0's key is logically -inf.
+// Deletes are lazy (no rebalancing), as is common in production engines.
+class BPlusTree {
+ public:
+  BPlusTree() = default;
+
+  // Creates an empty tree and registers it in the catalog.
+  static BPlusTree Create(Database* db, const std::string& name,
+                          IoContext& ctx);
+  static BPlusTree Attach(Database* db, const std::string& name);
+
+  const BTreeInfo& info() const { return db_->catalog().btrees.at(name_); }
+  uint64_t num_entries() const { return info().num_entries; }
+  uint64_t height() const { return info().height; }
+
+  // Point lookup; returns false if absent.
+  bool Search(uint64_t key, uint64_t* value, IoContext& ctx);
+
+  // Inserts (duplicate keys allowed; they cluster together).
+  void Insert(uint64_t key, uint64_t value, uint64_t txn_id, IoContext& ctx);
+
+  // Removes one entry with exactly this key (lazy delete). Returns false if
+  // not found.
+  bool Delete(uint64_t key, uint64_t txn_id, IoContext& ctx);
+
+  // Visits entries with lo <= key <= hi in key order; stop early by
+  // returning false from fn.
+  void ScanRange(uint64_t lo, uint64_t hi,
+                 const std::function<bool(uint64_t key, uint64_t value)>& fn,
+                 IoContext& ctx);
+
+  // Bottom-up bulk load from entries sorted by key (strictly required).
+  // Used by the population loaders; runs unlogged.
+  void BulkLoad(const std::vector<std::pair<uint64_t, uint64_t>>& sorted,
+                IoContext& ctx, double fill_factor = 0.9);
+
+  // Structural invariant check (tests): key order within and across nodes,
+  // child routers consistent, leaf chain complete. Returns entry count.
+  uint64_t CheckInvariants(IoContext& ctx);
+
+ private:
+  BPlusTree(Database* db, std::string name) : db_(db), name_(std::move(name)) {}
+
+  BTreeInfo& mutable_info() { return db_->catalog().btrees.at(name_); }
+
+  uint32_t MaxEntries() const {
+    return (db_->page_bytes() - kPageHeaderSize - 8) / 16;
+  }
+
+  // Descends to the leaf that should contain `key`; fills `path` with
+  // (page, child-entry-index) per inner level if non-null.
+  PageId DescendToLeaf(uint64_t key,
+                       std::vector<std::pair<PageId, int>>* path,
+                       IoContext& ctx);
+
+  // Leftmost leaf that may contain `key` (duplicates can span leaves, so
+  // lookups, deletes and range scans start here and follow the chain).
+  PageId DescendToLeafLeftmost(uint64_t key, IoContext& ctx);
+
+  // Splits the node in `guard` (already full), returning the new right
+  // sibling's id and its low key.
+  std::pair<PageId, uint64_t> SplitNode(PageGuard& guard, uint64_t txn_id,
+                                        IoContext& ctx);
+
+  void InsertIntoParent(std::vector<std::pair<PageId, int>>& path,
+                        PageId left, uint64_t split_key, PageId right,
+                        uint64_t txn_id, IoContext& ctx);
+
+  Database* db_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_ENGINE_BPLUS_TREE_H_

@@ -1,0 +1,152 @@
+#include "engine/database.h"
+
+#include <utility>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace turbobp {
+
+namespace {
+
+std::unique_ptr<SsdManager> BuildSsdManager(const SystemConfig& config,
+                                            SimDevice* ssd_device,
+                                            DiskManager* disk,
+                                            SimExecutor* executor) {
+  if (config.design == SsdDesign::kNoSsd || ssd_device == nullptr) {
+    return std::make_unique<NoSsdManager>();
+  }
+  SsdCacheOptions opts = config.ssd_options;
+  opts.num_frames = config.ssd_frames;
+  switch (config.design) {
+    case SsdDesign::kCleanWrite:
+      return std::make_unique<CleanWriteCache>(ssd_device, disk, opts,
+                                               executor);
+    case SsdDesign::kDualWrite:
+      return std::make_unique<DualWriteCache>(ssd_device, disk, opts,
+                                              executor);
+    case SsdDesign::kLazyCleaning:
+      return std::make_unique<LazyCleaningCache>(ssd_device, disk, opts,
+                                                 executor);
+    case SsdDesign::kTac:
+      return std::make_unique<TacCache>(ssd_device, disk, opts, executor,
+                                        config.db_pages,
+                                        config.tac_extent_pages);
+    default:
+      return std::make_unique<NoSsdManager>();
+  }
+}
+
+}  // namespace
+
+DbSystem::DbSystem(const SystemConfig& config)
+    : config_([&config] {
+        SystemConfig c = config;
+        c.disk.hdd.page_bytes = c.page_bytes;
+        c.log_params.page_bytes = c.page_bytes;
+        c.ssd_params.page_bytes = c.page_bytes;
+        c.bp_options.page_bytes = c.page_bytes;
+        c.bp_options.num_frames = c.bp_frames;
+        return c;
+      }()),
+      disk_array_(std::make_unique<StripedDiskArray>(
+          config_.db_pages, config_.page_bytes, config_.disk)),
+      ssd_device_(config_.design == SsdDesign::kNoSsd
+                      ? nullptr
+                      : std::make_unique<SimDevice>(
+                            static_cast<uint64_t>(config_.ssd_frames),
+                            config_.page_bytes,
+                            std::make_unique<SsdModel>(config_.ssd_params))),
+      log_device_(std::make_unique<SimDevice>(
+          config_.log_device_pages, config_.page_bytes,
+          std::make_unique<HddModel>(config_.log_params))),
+      disk_manager_(disk_array_.get()),
+      log_(log_device_.get()),
+      ssd_manager_(BuildSsdManager(config_, ssd_device_.get(), &disk_manager_,
+                                   &executor_)),
+      buffer_pool_(std::make_unique<BufferPool>(config_.bp_options,
+                                                &disk_manager_, &log_,
+                                                ssd_manager_.get())),
+      checkpoint_(std::make_unique<CheckpointManager>(
+          buffer_pool_.get(), ssd_manager_.get(), &log_, &executor_)) {}
+
+void DbSystem::Crash() {
+  buffer_pool_->Reset();
+  log_.DropUnflushed();
+  // A restart reformats the SSD buffer pool: no design to date reuses its
+  // contents across restarts (paper, Section 6).
+  ssd_manager_ =
+      BuildSsdManager(config_, ssd_device_.get(), &disk_manager_, &executor_);
+  buffer_pool_->set_ssd_manager(ssd_manager_.get());
+  checkpoint_->set_ssd_manager(ssd_manager_.get());
+}
+
+RecoveryStats DbSystem::Recover(IoContext& ctx) {
+  RecoveryManager recovery(&disk_manager_, &log_);
+  return recovery.Recover(ctx);
+}
+
+std::pair<RecoveryStats, size_t> DbSystem::RecoverWithSsdTable(IoContext& ctx) {
+  RecoveryManager recovery(&disk_manager_, &log_);
+  const SsdTableSnapshot* snapshot = checkpoint_->latest_snapshot();
+  if (snapshot == nullptr) {
+    return {recovery.Recover(ctx), 0};
+  }
+  // Phase 1 — restore the SSD first. Filter snapshot entries against the
+  // durable log (an in-memory scan, no I/O): an entry survives only if no
+  // durable update postdates its snapshot-time page LSN, i.e. it is still
+  // the newest version of its page.
+  std::unordered_map<PageId, Lsn> max_update_lsn;
+  for (const LogRecord& rec : log_.records()) {
+    if (!log_.IsDurable(rec.lsn)) break;
+    if (rec.type != LogRecordType::kUpdate) continue;
+    Lsn& maxl = max_update_lsn[rec.page_id];
+    maxl = std::max(maxl, rec.lsn);
+  }
+  std::unordered_map<PageId, Lsn> covered;
+  const size_t restored = ssd_manager_->RestoreFromCheckpoint(
+      snapshot->entries, ctx, &max_update_lsn, &covered);
+  // Phase 2 — redo. Records covered by a restored SSD copy are skipped (the
+  // SSD already holds them; the cleaner will move them to disk), so the
+  // extended redo horizon (back to the oldest dirty SSD page) costs a log
+  // scan, not disk I/O.
+  const RecoveryStats stats =
+      recovery.Recover(ctx, snapshot->min_dirty_lsn, nullptr, &covered);
+  return {stats, restored};
+}
+
+Database::Database(DbSystem* system) : system_(system) {
+  TURBOBP_CHECK(system != nullptr);
+  InstallSynthesizer();
+}
+
+PageId Database::AllocatePages(uint64_t n) {
+  TURBOBP_CHECK(n > 0);
+  TURBOBP_CHECK(catalog_.next_free_page + n <=
+                system_->config().db_pages);
+  const PageId first = catalog_.next_free_page;
+  catalog_.next_free_page += n;
+  return first;
+}
+
+void Database::InstallSynthesizer() {
+  const uint32_t page_bytes = system_->config().page_bytes;
+  // Never-written pages materialize as properly formatted empty pages: heap
+  // pages inside a table extent, raw free pages elsewhere. Checksums are
+  // sealed so the buffer pool's read verification passes.
+  system_->disk_array().SetSynthesizer(
+      [this, page_bytes](uint64_t page, std::span<uint8_t> out) {
+        PageView v(out.data(), page_bytes);
+        PageType type = PageType::kFree;
+        for (const auto& [name, t] : catalog_.tables) {
+          if (page >= t.first_page && page < t.first_page + t.num_pages) {
+            type = PageType::kHeap;
+            break;
+          }
+        }
+        v.Format(static_cast<PageId>(page), type);
+        v.SealChecksum();
+      });
+}
+
+}  // namespace turbobp

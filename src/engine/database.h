@@ -1,0 +1,157 @@
+#ifndef TURBOBP_ENGINE_DATABASE_H_
+#define TURBOBP_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "core/clean_write.h"
+#include "core/dual_write.h"
+#include "core/lazy_cleaning.h"
+#include "core/ssd_manager.h"
+#include "core/tac.h"
+#include "sim/sim_executor.h"
+#include "storage/disk_manager.h"
+#include "storage/sim_device.h"
+#include "storage/striped_array.h"
+#include "wal/checkpoint.h"
+#include "wal/log_manager.h"
+#include "wal/recovery.h"
+
+namespace turbobp {
+
+// ---------------------------------------------------------------- Catalog
+
+struct TableInfo {
+  std::string name;
+  PageId first_page = kInvalidPageId;
+  uint64_t num_pages = 0;      // preallocated contiguous extent
+  uint32_t row_bytes = 0;
+  uint64_t rows_per_page = 0;
+  uint64_t row_count = 0;      // rows appended so far
+};
+
+struct BTreeInfo {
+  std::string name;
+  PageId root = kInvalidPageId;
+  uint64_t height = 0;
+  uint64_t num_entries = 0;
+};
+
+// All metadata that a real DBMS would keep in system pages. Kept as a plain
+// value type so benchmark fixtures can snapshot it alongside the device
+// contents and re-attach it for each design run.
+struct Catalog {
+  uint64_t next_free_page = 1;  // page 0 reserved
+  std::map<std::string, TableInfo> tables;
+  std::map<std::string, BTreeInfo> btrees;
+};
+
+// ----------------------------------------------------------------- System
+
+// Everything below the catalog: devices, log, buffer pool, SSD manager of
+// the requested design, checkpointing and recovery — wired the way the
+// paper's Figure 1 shows. This is the type examples and benches construct.
+struct SystemConfig {
+  uint32_t page_bytes = 8192;
+  uint64_t db_pages = 1 << 16;     // data volume size (pages)
+  uint64_t bp_frames = 1 << 12;    // main-memory buffer pool
+  int64_t ssd_frames = 1 << 14;    // SSD buffer pool (S); ignored for noSSD
+  SsdDesign design = SsdDesign::kNoSsd;
+  StripedDiskArray::Options disk;  // 8 spindles by default
+  SsdParams ssd_params;
+  HddParams log_params;            // dedicated log disk
+  uint64_t log_device_pages = 1 << 20;
+  SsdCacheOptions ssd_options;     // tau/mu/N/alpha/lambda (Table 2)
+  BufferPool::Options bp_options;  // page_bytes/num_frames overwritten
+  int tac_extent_pages = 32;
+};
+
+class DbSystem {
+ public:
+  explicit DbSystem(const SystemConfig& config);
+  DbSystem(const DbSystem&) = delete;
+  DbSystem& operator=(const DbSystem&) = delete;
+
+  const SystemConfig& config() const { return config_; }
+  SimExecutor& executor() { return executor_; }
+  StripedDiskArray& disk_array() { return *disk_array_; }
+  SimDevice* ssd_device() { return ssd_device_.get(); }  // null for noSSD
+  DiskManager& disk_manager() { return disk_manager_; }
+  LogManager& log() { return log_; }
+  SsdManager& ssd_manager() { return *ssd_manager_; }
+  BufferPool& buffer_pool() { return *buffer_pool_; }
+  CheckpointManager& checkpoint() { return *checkpoint_; }
+
+  // Makes an IoContext bound to this system's executor at the current
+  // virtual time.
+  IoContext MakeContext(bool charge = true) {
+    IoContext ctx;
+    ctx.now = executor_.now();
+    ctx.executor = &executor_;
+    ctx.charge = charge;
+    return ctx;
+  }
+
+  // Crash simulation: drops the buffer pool (losing un-flushed dirty pages)
+  // and truncates the log to its durable prefix. Device contents survive.
+  void Crash();
+
+  // Redo-only restart recovery; returns its stats.
+  RecoveryStats Recover(IoContext& ctx);
+
+  // Restart recovery with the Section-6 extension: redo covers the oldest
+  // dirty SSD page of the last SSD-table checkpoint, then snapshot entries
+  // that are provably still the newest version of their page are
+  // re-attached to the (fresh) SSD manager — a warm cache at restart
+  // instead of hours of ramp-up. Returns (recovery stats, frames restored).
+  std::pair<RecoveryStats, size_t> RecoverWithSsdTable(IoContext& ctx);
+
+ private:
+  SystemConfig config_;
+  SimExecutor executor_;
+  std::unique_ptr<StripedDiskArray> disk_array_;
+  std::unique_ptr<SimDevice> ssd_device_;
+  std::unique_ptr<SimDevice> log_device_;
+  DiskManager disk_manager_;
+  LogManager log_;
+  std::unique_ptr<SsdManager> ssd_manager_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::unique_ptr<CheckpointManager> checkpoint_;
+};
+
+// --------------------------------------------------------------- Database
+
+// Catalog operations and page allocation over a DbSystem. Installs a
+// device synthesizer that materializes never-written pages as
+// properly-formatted empty pages, so table extents do not need to be
+// physically initialized at creation time.
+class Database {
+ public:
+  explicit Database(DbSystem* system);
+
+  DbSystem& system() { return *system_; }
+  BufferPool& pool() { return system_->buffer_pool(); }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  uint32_t page_bytes() const { return system_->config().page_bytes; }
+
+  // Allocates `n` contiguous pages; returns the first id.
+  PageId AllocatePages(uint64_t n);
+
+  // Benchmark fixtures snapshot the catalog after population and re-attach
+  // it to a fresh DbSystem over restored device contents.
+  void RestoreCatalog(const Catalog& catalog) { catalog_ = catalog; }
+
+ private:
+  void InstallSynthesizer();
+
+  DbSystem* system_;
+  Catalog catalog_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_ENGINE_DATABASE_H_

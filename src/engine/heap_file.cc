@@ -1,0 +1,135 @@
+#include "engine/heap_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+HeapFile HeapFile::Create(Database* db, const std::string& name,
+                          uint32_t row_bytes, uint64_t capacity_rows) {
+  TURBOBP_CHECK(db != nullptr);
+  TURBOBP_CHECK(row_bytes > 0);
+  TURBOBP_CHECK(!db->catalog().tables.contains(name));
+  const uint32_t payload = db->page_bytes() - kPageHeaderSize;
+  TURBOBP_CHECK(row_bytes <= payload);
+  TableInfo info;
+  info.name = name;
+  info.row_bytes = row_bytes;
+  info.rows_per_page = payload / row_bytes;
+  info.num_pages = std::max<uint64_t>(
+      1, (capacity_rows + info.rows_per_page - 1) / info.rows_per_page);
+  info.first_page = db->AllocatePages(info.num_pages);
+  db->catalog().tables[name] = info;
+  return HeapFile(db, name);
+}
+
+HeapFile HeapFile::Attach(Database* db, const std::string& name) {
+  TURBOBP_CHECK(db != nullptr);
+  TURBOBP_CHECK(db->catalog().tables.contains(name));
+  return HeapFile(db, name);
+}
+
+Rid HeapFile::RidOfRow(uint64_t row_index) const {
+  const TableInfo& t = info();
+  TURBOBP_DCHECK(row_index < t.num_pages * t.rows_per_page);
+  return Rid{t.first_page + row_index / t.rows_per_page,
+             static_cast<uint16_t>(row_index % t.rows_per_page)};
+}
+
+Rid HeapFile::Append(std::span<const uint8_t> row, uint64_t txn_id,
+                     IoContext& ctx) {
+  TableInfo& t = mutable_info();
+  TURBOBP_CHECK(row.size() == t.row_bytes);
+  TURBOBP_CHECK(t.row_count < t.num_pages * t.rows_per_page);
+  const Rid rid = RidOfRow(t.row_count);
+  PageGuard guard = db_->pool().FetchPage(rid.page_id, AccessKind::kRandom, ctx);
+  PageView v = guard.view();
+  const uint32_t offset =
+      kPageHeaderSize + static_cast<uint32_t>(rid.slot) * t.row_bytes;
+  std::memcpy(v.data() + offset, row.data(), t.row_bytes);
+  v.header().slot_count = static_cast<uint16_t>(rid.slot + 1);
+  if (ctx.charge) {
+    guard.LogUpdate(txn_id, offset, t.row_bytes);
+  } else {
+    guard.MarkDirtyUnlogged();
+  }
+  ++t.row_count;
+  return rid;
+}
+
+void HeapFile::Read(Rid rid, std::span<uint8_t> out, AccessKind kind,
+                    IoContext& ctx) {
+  const TableInfo& t = info();
+  TURBOBP_CHECK(out.size() >= t.row_bytes);
+  PageGuard guard = db_->pool().FetchPage(rid.page_id, kind, ctx);
+  const uint32_t offset =
+      kPageHeaderSize + static_cast<uint32_t>(rid.slot) * t.row_bytes;
+  std::memcpy(out.data(), guard.view().data() + offset, t.row_bytes);
+}
+
+void HeapFile::Update(Rid rid, std::span<const uint8_t> row, uint64_t txn_id,
+                      IoContext& ctx) {
+  const TableInfo& t = info();
+  TURBOBP_CHECK(row.size() == t.row_bytes);
+  PageGuard guard = db_->pool().FetchPage(rid.page_id, AccessKind::kRandom, ctx);
+  const uint32_t offset =
+      kPageHeaderSize + static_cast<uint32_t>(rid.slot) * t.row_bytes;
+  std::memcpy(guard.view().data() + offset, row.data(), t.row_bytes);
+  if (ctx.charge) {
+    guard.LogUpdate(txn_id, offset, t.row_bytes);
+  } else {
+    guard.MarkDirtyUnlogged();
+  }
+}
+
+void HeapFile::ScanAll(
+    IoContext& ctx,
+    const std::function<void(Rid, std::span<const uint8_t>)>& fn) {
+  ScanRange(0, info().num_pages, ctx, fn);
+}
+
+void HeapFile::ScanRange(
+    uint64_t from_page_index, uint64_t page_count, IoContext& ctx,
+    const std::function<void(Rid, std::span<const uint8_t>)>& fn) {
+  const TableInfo t = info();
+  const uint64_t end_index = std::min(from_page_index + page_count, t.num_pages);
+  ReadAheadTracker tracker;
+  BufferPool& pool = db_->pool();
+  uint64_t i = from_page_index;
+  while (i < end_index) {
+    const PageId pid = t.first_page + i;
+    const bool ra_active = tracker.OnRequest(pid);
+    uint32_t batch = 1;
+    if (ra_active) {
+      // Read-ahead took over: stage a window of pages with one (trimmed)
+      // multi-page request, then consume them as buffer hits.
+      batch = static_cast<uint32_t>(
+          std::min<uint64_t>(tracker.window_pages(), end_index - i));
+      pool.PrefetchRange(pid, batch, ctx);
+    }
+    for (uint32_t j = 0; j < batch; ++j) {
+      const PageId p = pid + j;
+      // Keep the tracker fed with every page consumed so the sequential
+      // run survives across batches.
+      if (j > 0) tracker.OnRequest(p);
+      PageGuard guard = pool.FetchPage(
+          p, ra_active ? AccessKind::kSequential : AccessKind::kRandom, ctx);
+      if (fn) {
+        const PageView v = guard.view();
+        const uint16_t rows = v.header().slot_count;
+        for (uint16_t s = 0; s < rows; ++s) {
+          fn(Rid{p, s},
+             std::span<const uint8_t>(
+                 v.data() + kPageHeaderSize +
+                     static_cast<uint32_t>(s) * t.row_bytes,
+                 t.row_bytes));
+        }
+      }
+    }
+    i += batch;
+  }
+}
+
+}  // namespace turbobp

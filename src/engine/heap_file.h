@@ -1,0 +1,76 @@
+#ifndef TURBOBP_ENGINE_HEAP_FILE_H_
+#define TURBOBP_ENGINE_HEAP_FILE_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "engine/database.h"
+#include "storage/read_ahead.h"
+
+namespace turbobp {
+
+// Fixed-length-record heap file over a contiguous page extent.
+//
+// Rows live in slotted pages at computable positions, so tables with static
+// cardinality (warehouse, district, customer, stock, item, ...) support
+// direct RID addressing — the I/O pattern of a clustered-index lookup whose
+// inner nodes are cached. Growing tables (orders, order lines) append.
+// Sequential scans drive the read-ahead mechanism: the first few pages are
+// fetched individually (arriving marked kRandom — the warm-up that keeps
+// read-ahead classification below 100%), after which multi-page read-ahead
+// batches marked kSequential take over.
+class HeapFile {
+ public:
+  HeapFile() = default;
+
+  // Creates a new table sized for `capacity_rows` and registers it.
+  static HeapFile Create(Database* db, const std::string& name,
+                         uint32_t row_bytes, uint64_t capacity_rows);
+
+  // Attaches to an existing table by name.
+  static HeapFile Attach(Database* db, const std::string& name);
+
+  const TableInfo& info() const { return db_->catalog().tables.at(name_); }
+  uint64_t row_count() const { return info().row_count; }
+  uint64_t capacity_rows() const {
+    return info().num_pages * info().rows_per_page;
+  }
+  PageId first_page() const { return info().first_page; }
+  uint64_t num_pages() const { return info().num_pages; }
+
+  // Direct RID of the i-th row (valid for i < capacity; rows are laid out
+  // densely in append order).
+  Rid RidOfRow(uint64_t row_index) const;
+
+  // Appends a row; in charging mode the update is WAL-logged under txn_id.
+  Rid Append(std::span<const uint8_t> row, uint64_t txn_id, IoContext& ctx);
+
+  // Reads the row at `rid` into `out` (row_bytes bytes).
+  void Read(Rid rid, std::span<uint8_t> out, AccessKind kind, IoContext& ctx);
+
+  // Overwrites the row at `rid`; WAL-logged in charging mode.
+  void Update(Rid rid, std::span<const uint8_t> row, uint64_t txn_id,
+              IoContext& ctx);
+
+  // Full sequential scan through the read-ahead mechanism. `fn` may be
+  // empty when only the I/O pattern matters (DSS page-touch queries).
+  void ScanAll(IoContext& ctx,
+               const std::function<void(Rid, std::span<const uint8_t>)>& fn);
+
+  // Scans pages [first_row_page, last] of the extent only.
+  void ScanRange(uint64_t from_page_index, uint64_t page_count, IoContext& ctx,
+                 const std::function<void(Rid, std::span<const uint8_t>)>& fn);
+
+ private:
+  HeapFile(Database* db, std::string name) : db_(db), name_(std::move(name)) {}
+
+  TableInfo& mutable_info() { return db_->catalog().tables.at(name_); }
+
+  Database* db_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_ENGINE_HEAP_FILE_H_

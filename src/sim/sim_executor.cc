@@ -1,0 +1,40 @@
+#include "sim/sim_executor.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+void SimExecutor::ScheduleAt(Time t, std::function<void()> fn) {
+  TURBOBP_CHECK(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool SimExecutor::RunOne() {
+  if (queue_.empty()) return false;
+  // std::priority_queue::top() returns const&; the event must be copied out
+  // before pop. Move the function via const_cast, which is safe because the
+  // element is removed immediately afterwards.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  TURBOBP_CHECK(ev.time >= now_);
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void SimExecutor::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunOne();
+  }
+  if (t > now_) now_ = t;
+}
+
+void SimExecutor::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace turbobp

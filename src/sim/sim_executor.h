@@ -1,0 +1,70 @@
+#ifndef TURBOBP_SIM_SIM_EXECUTOR_H_
+#define TURBOBP_SIM_SIM_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace turbobp {
+
+// Discrete-event executor driving all virtual time in the system.
+//
+// Benchmarks model N concurrent database clients as actors: each actor runs
+// one step (a bounded burst of page accesses), consults the device timelines
+// for the completion time of any I/O it had to wait on, and reschedules its
+// next step at that completion time. Background activity (asynchronous
+// eviction writes, the lazy-cleaning thread, periodic checkpoints) is
+// likewise scheduled as events. Events fire in (time, insertion-sequence)
+// order, so runs are fully deterministic.
+class SimExecutor {
+ public:
+  SimExecutor() = default;
+  SimExecutor(const SimExecutor&) = delete;
+  SimExecutor& operator=(const SimExecutor&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules fn at absolute virtual time t (>= now).
+  void ScheduleAt(Time t, std::function<void()> fn);
+  void ScheduleAfter(Time delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs the earliest pending event, advancing now() to its time.
+  // Returns false if no events remain.
+  bool RunOne();
+
+  // Runs all events with time <= t, then sets now() = t.
+  void RunUntil(Time t);
+
+  // Runs until no events remain.
+  void RunUntilIdle();
+
+  size_t num_pending() const { return queue_.size(); }
+  uint64_t num_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_SIM_SIM_EXECUTOR_H_

@@ -1,0 +1,41 @@
+#include "storage/disk_manager.h"
+
+#include "common/status.h"
+
+namespace turbobp {
+
+DiskManager::DiskManager(StorageDevice* data) : data_(data) {
+  TURBOBP_CHECK(data != nullptr);
+}
+
+void DiskManager::ReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx) {
+  ReadPages(pid, 1, out, ctx);
+}
+
+void DiskManager::ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
+                            IoContext& ctx) {
+  const Time completion = data_->Read(first, n, out, ctx.now, ctx.charge);
+  if (ctx.charge) {
+    ++reads_;
+    pages_read_ += n;
+    ctx.disk_reads += n;
+  }
+  ctx.Wait(completion);
+}
+
+Time DiskManager::WritePage(PageId pid, std::span<const uint8_t> data,
+                            IoContext& ctx) {
+  return WritePages(pid, 1, data, ctx);
+}
+
+Time DiskManager::WritePages(PageId first, uint32_t n,
+                             std::span<const uint8_t> data, IoContext& ctx) {
+  const Time completion = data_->Write(first, n, data, ctx.now, ctx.charge);
+  if (ctx.charge) {
+    ++writes_;
+    pages_written_ += n;
+  }
+  return completion;
+}
+
+}  // namespace turbobp

@@ -1,0 +1,59 @@
+#ifndef TURBOBP_STORAGE_DISK_MANAGER_H_
+#define TURBOBP_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "storage/io_context.h"
+#include "storage/storage_device.h"
+
+namespace turbobp {
+
+// The disk manager of Figure 1: mediates all page I/O between the buffer
+// manager and the database volume (typically a StripedDiskArray), issuing
+// one device request per call — including multi-page vectored reads, which
+// the read-ahead path relies on ("the disk can handle a single large I/O
+// request more efficiently than multiple small I/O requests", Section 3.3.3).
+class DiskManager {
+ public:
+  explicit DiskManager(StorageDevice* data);
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  uint32_t page_bytes() const { return data_->page_bytes(); }
+  uint64_t num_pages() const { return data_->num_pages(); }
+  StorageDevice* device() { return data_; }
+
+  // Blocking single-page read; advances ctx.now to completion.
+  void ReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx);
+
+  // Blocking contiguous multi-page read as one device request.
+  void ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
+                 IoContext& ctx);
+
+  // Asynchronous writes: consume device time, return the completion time,
+  // leave ctx.now unchanged.
+  Time WritePage(PageId pid, std::span<const uint8_t> data, IoContext& ctx);
+  Time WritePages(PageId first, uint32_t n, std::span<const uint8_t> data,
+                  IoContext& ctx);
+
+  Time EstimateReadTime(AccessKind kind) const {
+    return data_->EstimateReadTime(kind);
+  }
+
+  int64_t reads_issued() const { return reads_; }
+  int64_t writes_issued() const { return writes_; }
+  int64_t pages_read() const { return pages_read_; }
+  int64_t pages_written() const { return pages_written_; }
+
+ private:
+  StorageDevice* data_;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+  int64_t pages_read_ = 0;
+  int64_t pages_written_ = 0;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_STORAGE_DISK_MANAGER_H_

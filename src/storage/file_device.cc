@@ -1,0 +1,86 @@
+#include "storage/file_device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace turbobp {
+
+FileDevice::~FileDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDevice::Create(const std::string& path, uint64_t num_pages,
+                          uint32_t page_bytes,
+                          std::unique_ptr<FileDevice>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(num_pages * page_bytes)) != 0) {
+    ::close(fd);
+    return Status::IoError("ftruncate " + path + ": " + std::strerror(errno));
+  }
+  out->reset(new FileDevice(fd, num_pages, page_bytes));
+  return Status::Ok();
+}
+
+Status FileDevice::Open(const std::string& path, uint32_t page_bytes,
+                        std::unique_ptr<FileDevice>* out) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  out->reset(new FileDevice(fd, static_cast<uint64_t>(st.st_size) / page_bytes,
+                            page_bytes));
+  return Status::Ok();
+}
+
+Time FileDevice::Read(uint64_t first_page, uint32_t num_pages,
+                      std::span<uint8_t> out, Time now, bool charge) {
+  const size_t nbytes = static_cast<size_t>(num_pages) * page_bytes_;
+  size_t done = 0;
+  while (done < nbytes) {
+    const ssize_t n = ::pread(fd_, out.data() + done, nbytes - done,
+                              static_cast<off_t>(first_page * page_bytes_ + done));
+    if (n <= 0) {
+      // Reading past materialized extents of a sparse file yields zeros via
+      // ftruncate; a short read here means hard I/O failure.
+      std::memset(out.data() + done, 0, nbytes - done);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return now;
+}
+
+Time FileDevice::Write(uint64_t first_page, uint32_t num_pages,
+                       std::span<const uint8_t> data, Time now, bool charge) {
+  const size_t nbytes = static_cast<size_t>(num_pages) * page_bytes_;
+  size_t done = 0;
+  while (done < nbytes) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, nbytes - done,
+                               static_cast<off_t>(first_page * page_bytes_ + done));
+    if (n <= 0) break;
+    done += static_cast<size_t>(n);
+  }
+  return now;
+}
+
+Status FileDevice::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace turbobp

@@ -1,0 +1,50 @@
+#ifndef TURBOBP_STORAGE_FILE_DEVICE_H_
+#define TURBOBP_STORAGE_FILE_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/storage_device.h"
+
+namespace turbobp {
+
+// Real-file backend (pread/pwrite). Used by the runnable examples so the
+// library also works as an ordinary buffer manager over actual storage;
+// virtual time is passed through unchanged (wall-clock latency is real).
+class FileDevice : public StorageDevice {
+ public:
+  FileDevice(const FileDevice&) = delete;
+  FileDevice& operator=(const FileDevice&) = delete;
+  ~FileDevice() override;
+
+  // Creates (or truncates) a file sized num_pages * page_bytes.
+  static Status Create(const std::string& path, uint64_t num_pages,
+                       uint32_t page_bytes, std::unique_ptr<FileDevice>* out);
+  // Opens an existing file; num_pages derived from the file size.
+  static Status Open(const std::string& path, uint32_t page_bytes,
+                     std::unique_ptr<FileDevice>* out);
+
+  uint64_t num_pages() const override { return num_pages_; }
+  uint32_t page_bytes() const override { return page_bytes_; }
+
+  Time Read(uint64_t first_page, uint32_t num_pages, std::span<uint8_t> out,
+            Time now, bool charge = true) override;
+  Time Write(uint64_t first_page, uint32_t num_pages,
+             std::span<const uint8_t> data, Time now,
+             bool charge = true) override;
+
+  Status Sync();
+
+ private:
+  FileDevice(int fd, uint64_t num_pages, uint32_t page_bytes)
+      : fd_(fd), num_pages_(num_pages), page_bytes_(page_bytes) {}
+
+  int fd_;
+  uint64_t num_pages_;
+  uint32_t page_bytes_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_STORAGE_FILE_DEVICE_H_

@@ -1,0 +1,42 @@
+#ifndef TURBOBP_STORAGE_IO_CONTEXT_H_
+#define TURBOBP_STORAGE_IO_CONTEXT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace turbobp {
+
+class SimExecutor;
+
+// Per-client execution context threaded through every storage operation.
+//
+// `now` is the client's virtual clock: blocking operations (buffer-pool miss
+// reads, commit log forces) advance it to the operation's completion time;
+// asynchronous operations (eviction write-back, lazy cleaning) consume
+// device time but leave the client clock alone.
+//
+// `charge == false` puts the context in loader mode: data moves, but no
+// device time is consumed and the clock never advances. The workload
+// populators use this to build multi-gigabyte databases instantly.
+struct IoContext {
+  Time now = 0;
+  bool charge = true;
+  SimExecutor* executor = nullptr;  // for scheduling async completions
+
+  // Per-context I/O accounting (reset by the driver per measurement window).
+  int64_t bp_hits = 0;
+  int64_t bp_misses = 0;
+  int64_t ssd_hits = 0;
+  int64_t disk_reads = 0;
+  Time latch_wait = 0;  // time spent waiting on page latches (TAC ablation)
+
+  // Blocks the client until `completion`.
+  void Wait(Time completion) {
+    if (charge && completion > now) now = completion;
+  }
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_STORAGE_IO_CONTEXT_H_

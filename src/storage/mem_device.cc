@@ -1,0 +1,65 @@
+#include "storage/mem_device.h"
+
+#include <cstring>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+MemDevice::MemDevice(uint64_t num_pages, uint32_t page_bytes)
+    : num_pages_(num_pages), page_bytes_(page_bytes) {
+  TURBOBP_CHECK(page_bytes > 0);
+}
+
+void MemDevice::ReadOne(uint64_t page, std::span<uint8_t> out) {
+  auto it = pages_.find(page);
+  if (it != pages_.end()) {
+    std::memcpy(out.data(), it->second.data(), page_bytes_);
+  } else if (synthesizer_) {
+    synthesizer_(page, out);
+  } else {
+    std::memset(out.data(), 0, page_bytes_);
+  }
+}
+
+Time MemDevice::Read(uint64_t first_page, uint32_t num_pages,
+                     std::span<uint8_t> out, Time now, bool charge) {
+  TURBOBP_CHECK(first_page + num_pages <= num_pages_);
+  TURBOBP_CHECK(out.size() >= static_cast<size_t>(num_pages) * page_bytes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    ReadOne(first_page + i,
+            out.subspan(static_cast<size_t>(i) * page_bytes_, page_bytes_));
+  }
+  return now;
+}
+
+Time MemDevice::Write(uint64_t first_page, uint32_t num_pages,
+                      std::span<const uint8_t> data, Time now, bool charge) {
+  TURBOBP_CHECK(first_page + num_pages <= num_pages_);
+  TURBOBP_CHECK(data.size() >= static_cast<size_t>(num_pages) * page_bytes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    auto& stored = pages_[first_page + i];
+    stored.assign(data.begin() + static_cast<size_t>(i) * page_bytes_,
+                  data.begin() + static_cast<size_t>(i + 1) * page_bytes_);
+  }
+  return now;
+}
+
+bool MemDevice::IsMaterialized(uint64_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.contains(page);
+}
+
+size_t MemDevice::materialized_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+void MemDevice::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+}
+
+}  // namespace turbobp

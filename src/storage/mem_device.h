@@ -1,0 +1,57 @@
+#ifndef TURBOBP_STORAGE_MEM_DEVICE_H_
+#define TURBOBP_STORAGE_MEM_DEVICE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/storage_device.h"
+
+namespace turbobp {
+
+// In-memory page store with zero service time. Serves three roles:
+//   * the correctness substrate for unit tests,
+//   * the backing store of SimDevice (which adds a latency model),
+//   * a lazily-materialized store: pages never written are synthesized on
+//     first read by a caller-provided function, so a "400GB" logical
+//     database costs only its written working set in RAM.
+class MemDevice : public StorageDevice {
+ public:
+  // Fills `out` with the initial (never-written) content of `page`.
+  using Synthesizer = std::function<void(uint64_t page, std::span<uint8_t> out)>;
+
+  MemDevice(uint64_t num_pages, uint32_t page_bytes);
+
+  void SetSynthesizer(Synthesizer s) { synthesizer_ = std::move(s); }
+
+  uint64_t num_pages() const override { return num_pages_; }
+  uint32_t page_bytes() const override { return page_bytes_; }
+
+  Time Read(uint64_t first_page, uint32_t num_pages, std::span<uint8_t> out,
+            Time now, bool charge = true) override;
+  Time Write(uint64_t first_page, uint32_t num_pages,
+             std::span<const uint8_t> data, Time now,
+             bool charge = true) override;
+
+  // Whether the page has ever been written (vs. synthesized-on-read).
+  bool IsMaterialized(uint64_t page) const;
+  size_t materialized_pages() const;
+
+  // Drops all written content (simulates reformatting the device).
+  void Clear();
+
+ private:
+  void ReadOne(uint64_t page, std::span<uint8_t> out);
+
+  const uint64_t num_pages_;
+  const uint32_t page_bytes_;
+  Synthesizer synthesizer_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_STORAGE_MEM_DEVICE_H_

@@ -1,0 +1,81 @@
+#ifndef TURBOBP_STORAGE_READ_AHEAD_H_
+#define TURBOBP_STORAGE_READ_AHEAD_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace turbobp {
+
+// Read-ahead–based access classification (Section 2.2).
+//
+// The paper's admission policy caches only pages fetched via *random* I/O.
+// It identifies sequential pages by piggybacking on the DBMS read-ahead
+// mechanism: a scan operator fetches its first few pages individually (the
+// read-ahead has not triggered yet, so those arrive marked kRandom), and
+// once `trigger_pages` consecutive pages have been seen, it switches to
+// multi-page read-ahead batches marked kSequential. That warm-up is why the
+// classifier is ~82% accurate on a pure sequential scan rather than 100%.
+class ReadAheadTracker {
+ public:
+  explicit ReadAheadTracker(uint32_t trigger_pages = 4,
+                            uint32_t window_pages = 64)
+      : trigger_(trigger_pages), window_(window_pages) {}
+
+  // Records a page request from this scan stream; returns true once the
+  // stream has proven sequential and read-ahead should take over.
+  bool OnRequest(PageId pid) {
+    if (pid == last_ + 1) {
+      ++run_;
+    } else {
+      run_ = 1;
+    }
+    last_ = pid;
+    return run_ >= trigger_;
+  }
+
+  uint32_t window_pages() const { return window_; }
+  void Reset() {
+    last_ = kInvalidPageId;
+    run_ = 0;
+  }
+
+ private:
+  uint32_t trigger_;
+  uint32_t window_;
+  PageId last_ = kInvalidPageId;
+  uint32_t run_ = 0;
+};
+
+// The alternative classifier of Narayanan et al. [29] that the paper
+// compares against (and measures at only ~51% accuracy under concurrency):
+// a request is "sequential" if it lies within `window` pages of the
+// preceding request on the device, over the *global* interleaved stream.
+class ProximityClassifier {
+ public:
+  explicit ProximityClassifier(int64_t window_pages = 64)
+      : window_(window_pages) {}
+
+  AccessKind Classify(PageId pid) {
+    AccessKind kind = AccessKind::kRandom;
+    if (last_ != kInvalidPageId) {
+      const int64_t delta =
+          static_cast<int64_t>(pid) - static_cast<int64_t>(last_);
+      if (delta >= -window_ && delta <= window_) {
+        kind = AccessKind::kSequential;
+      }
+    }
+    last_ = pid;
+    return kind;
+  }
+
+  void Reset() { last_ = kInvalidPageId; }
+
+ private:
+  int64_t window_;
+  PageId last_ = kInvalidPageId;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_STORAGE_READ_AHEAD_H_

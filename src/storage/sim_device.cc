@@ -1,0 +1,28 @@
+#include "storage/sim_device.h"
+
+#include <utility>
+
+namespace turbobp {
+
+SimDevice::SimDevice(uint64_t num_pages, uint32_t page_bytes,
+                     std::unique_ptr<DeviceModel> model)
+    : store_(num_pages, page_bytes),
+      model_(std::move(model)),
+      timeline_(model_.get(), page_bytes) {}
+
+Time SimDevice::Read(uint64_t first_page, uint32_t num_pages,
+                     std::span<uint8_t> out, Time now, bool charge) {
+  store_.Read(first_page, num_pages, out, now, charge);
+  if (!charge) return now;
+  return timeline_.Schedule(IoRequest{IoOp::kRead, first_page, num_pages}, now);
+}
+
+Time SimDevice::Write(uint64_t first_page, uint32_t num_pages,
+                      std::span<const uint8_t> data, Time now, bool charge) {
+  store_.Write(first_page, num_pages, data, now, charge);
+  if (!charge) return now;
+  return timeline_.Schedule(IoRequest{IoOp::kWrite, first_page, num_pages},
+                            now);
+}
+
+}  // namespace turbobp

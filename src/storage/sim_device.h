@@ -1,0 +1,45 @@
+#ifndef TURBOBP_STORAGE_SIM_DEVICE_H_
+#define TURBOBP_STORAGE_SIM_DEVICE_H_
+
+#include <memory>
+
+#include "sim/device_model.h"
+#include "storage/mem_device.h"
+#include "storage/storage_device.h"
+
+namespace turbobp {
+
+// A storage device with simulated service times: an in-memory page store
+// (lazily materialized) combined with a calibrated DeviceModel and a FIFO
+// DeviceTimeline. One SimDevice models one spindle or one SSD.
+class SimDevice : public StorageDevice {
+ public:
+  SimDevice(uint64_t num_pages, uint32_t page_bytes,
+            std::unique_ptr<DeviceModel> model);
+
+  uint64_t num_pages() const override { return store_.num_pages(); }
+  uint32_t page_bytes() const override { return store_.page_bytes(); }
+
+  Time Read(uint64_t first_page, uint32_t num_pages, std::span<uint8_t> out,
+            Time now, bool charge = true) override;
+  Time Write(uint64_t first_page, uint32_t num_pages,
+             std::span<const uint8_t> data, Time now,
+             bool charge = true) override;
+
+  int QueueLength(Time now) override { return timeline_.QueueLength(now); }
+  Time EstimateReadTime(AccessKind kind) const override {
+    return model_->EstimateReadTime(kind);
+  }
+
+  MemDevice& store() { return store_; }
+  DeviceTimeline& timeline() { return timeline_; }
+
+ private:
+  MemDevice store_;
+  std::unique_ptr<DeviceModel> model_;
+  DeviceTimeline timeline_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_STORAGE_SIM_DEVICE_H_

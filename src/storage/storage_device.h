@@ -1,0 +1,52 @@
+#ifndef TURBOBP_STORAGE_STORAGE_DEVICE_H_
+#define TURBOBP_STORAGE_STORAGE_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace turbobp {
+
+// A page-addressed block device in virtual time.
+//
+// The contract separates data movement from timing: data transfers take
+// effect immediately in call order (so content is sequentially consistent
+// with the discrete-event schedule), while the returned completion time
+// models when the request would finish on the physical device, given that
+// it arrived at `now` and queued behind earlier requests. Callers that must
+// wait for the data (buffer-pool miss reads) advance their client clock to
+// the returned time; fire-and-forget callers (eviction write-back) schedule
+// a completion event instead.
+//
+// `charge == false` performs the data movement without consuming device
+// time; the loader uses it to populate multi-gigabyte databases for free.
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  virtual uint64_t num_pages() const = 0;
+  virtual uint32_t page_bytes() const = 0;
+
+  // Reads `num_pages` pages starting at `first_page` into `out`
+  // (num_pages * page_bytes() bytes) as one device request.
+  virtual Time Read(uint64_t first_page, uint32_t num_pages,
+                    std::span<uint8_t> out, Time now, bool charge = true) = 0;
+
+  // Writes `num_pages` pages starting at `first_page` as one device request.
+  virtual Time Write(uint64_t first_page, uint32_t num_pages,
+                     std::span<const uint8_t> data, Time now,
+                     bool charge = true) = 0;
+
+  // Number of requests pending (issued but not completed) at `now`. The SSD
+  // throttle-control optimization (Section 3.3.2) keys off this.
+  virtual int QueueLength(Time now) { return 0; }
+
+  // Estimated single-page read service time for the given access kind.
+  // Drives TAC's temperature increments and the generalized admission test.
+  virtual Time EstimateReadTime(AccessKind kind) const { return 0; }
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_STORAGE_STORAGE_DEVICE_H_

@@ -1,0 +1,82 @@
+#include "wal/checkpoint.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+CheckpointManager::CheckpointManager(BufferPool* pool, SsdManager* ssd,
+                                     LogManager* log, SimExecutor* executor)
+    : pool_(pool), ssd_(ssd), log_(log), executor_(executor) {
+  TURBOBP_CHECK(pool != nullptr);
+  TURBOBP_CHECK(log != nullptr);
+}
+
+Time CheckpointManager::RunCheckpoint(IoContext& ctx) {
+  const Time start = ctx.now;
+  const Lsn begin_lsn = log_->AppendBeginCheckpoint();
+  if (ssd_ != nullptr) ssd_->OnCheckpointBegin();
+
+  const int64_t dirty_before = pool_->DirtyFrameCount();
+  // Flush all dirty memory pages (sharp checkpoint); DW also pushes
+  // checkpointed random pages into the SSD via OnCheckpointWrite.
+  Time end = pool_->FlushAllDirty(ctx, /*for_checkpoint=*/true);
+  stats_.pages_flushed_memory += dirty_before;
+
+  if (ssd_ != nullptr && ssd_table_mode_) {
+    // Restart extension: instead of draining the SSD's dirty pages, persist
+    // the SSD buffer table in the checkpoint record. Redo must then start
+    // no later than the oldest dirty SSD page's LSN.
+    snapshot_.checkpoint_lsn = begin_lsn;
+    snapshot_.entries = ssd_->SnapshotForCheckpoint();
+    snapshot_.min_dirty_lsn = kInvalidLsn;
+    for (const auto& e : snapshot_.entries) {
+      if (e.dirty && e.page_lsn != kInvalidLsn &&
+          (snapshot_.min_dirty_lsn == kInvalidLsn ||
+           e.page_lsn < snapshot_.min_dirty_lsn)) {
+        snapshot_.min_dirty_lsn = e.page_lsn;
+      }
+    }
+  } else if (ssd_ != nullptr) {
+    // LC: the SSD may hold the newest copy of pages; they must reach disk.
+    const int64_t ssd_dirty_before = ssd_->stats().dirty_frames;
+    const Time ssd_end = ssd_->FlushAllDirty(ctx);
+    end = std::max(end, ssd_end);
+    stats_.pages_flushed_ssd += ssd_dirty_before;
+  }
+
+  log_->AppendEndCheckpoint();
+  // The end-checkpoint record must be durable for the checkpoint to count.
+  end = std::max(end, log_->FlushTo(log_->current_lsn(), ctx));
+
+  if (ssd_ != nullptr) ssd_->OnCheckpointEnd();
+  ++stats_.checkpoints_taken;
+  const Time duration = end - start;
+  stats_.total_duration += duration;
+  stats_.max_duration = std::max(stats_.max_duration, duration);
+  stats_.last_checkpoint_lsn = begin_lsn;
+  completed_.push_back(begin_lsn);
+  return end;
+}
+
+void CheckpointManager::SchedulePeriodic(Time interval) {
+  TURBOBP_CHECK(executor_ != nullptr);
+  TURBOBP_CHECK(interval > 0);
+  periodic_ = true;
+  executor_->ScheduleAfter(interval, [this, interval] { PeriodicTick(interval); });
+}
+
+void CheckpointManager::PeriodicTick(Time interval) {
+  if (!periodic_) return;
+  IoContext ctx;
+  ctx.now = executor_->now();
+  ctx.executor = executor_;
+  const Time end = RunCheckpoint(ctx);
+  // Next checkpoint fires one interval after this one *finishes* (a
+  // checkpoint that overruns the interval does not stack).
+  executor_->ScheduleAt(std::max(end, executor_->now()) + interval,
+                        [this, interval] { PeriodicTick(interval); });
+}
+
+}  // namespace turbobp

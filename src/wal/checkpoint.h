@@ -1,0 +1,89 @@
+#ifndef TURBOBP_WAL_CHECKPOINT_H_
+#define TURBOBP_WAL_CHECKPOINT_H_
+
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/types.h"
+#include "core/ssd_manager.h"
+#include "sim/sim_executor.h"
+#include "wal/log_manager.h"
+
+namespace turbobp {
+
+struct CheckpointStats {
+  int64_t checkpoints_taken = 0;
+  Time total_duration = 0;
+  Time max_duration = 0;
+  int64_t pages_flushed_memory = 0;
+  int64_t pages_flushed_ssd = 0;  // LC: dirty SSD pages drained
+  Lsn last_checkpoint_lsn = kInvalidLsn;
+};
+
+// The restart extension's durable payload: the SSD buffer table as of a
+// checkpoint, conceptually part of the checkpoint record (Section 4.1.2 of
+// the paper sketches exactly this: "adding the SSD buffer table data
+// structure ... to the checkpoint record").
+struct SsdTableSnapshot {
+  Lsn checkpoint_lsn = kInvalidLsn;
+  Lsn min_dirty_lsn = kInvalidLsn;  // redo must start no later than this
+  std::vector<SsdManager::CheckpointEntry> entries;
+};
+
+// Sharp checkpointing, as in SQL Server 2008 R2 (Section 3.2): every dirty
+// page in the main-memory buffer pool is flushed to disk — and, under the
+// LC design, every dirty page in the SSD buffer pool as well, which is why
+// checkpoint dips are deepest for LC (Figures 6 and 9). Recovery then only
+// needs to redo the log tail after the last completed checkpoint.
+class CheckpointManager {
+ public:
+  CheckpointManager(BufferPool* pool, SsdManager* ssd, LogManager* log,
+                    SimExecutor* executor);
+
+  // Runs one sharp checkpoint at ctx.now. Returns the completion time of
+  // the last flush write (the checkpoint's end).
+  Time RunCheckpoint(IoContext& ctx);
+
+  // Schedules periodic checkpoints every `interval` of virtual time,
+  // starting one interval from now ("recovery interval" in the paper:
+  // 40 minutes for TPC-E/H, effectively off for TPC-C).
+  void SchedulePeriodic(Time interval);
+  void StopPeriodic() { periodic_ = false; }
+
+  const CheckpointStats& stats() const { return stats_; }
+
+  // Begin-LSNs of completed checkpoints (recovery starts at the latest one
+  // whose end record is durable).
+  const std::vector<Lsn>& completed() const { return completed_; }
+
+  // --- restart extension (Section 6 future work) ----------------------------
+
+  // When enabled, checkpoints stop draining the SSD's dirty pages; instead
+  // the SSD buffer table is snapshotted into the checkpoint record, and
+  // DbSystem::RecoverWithSsdTable() re-attaches the SSD after a restart.
+  void EnableSsdTableCheckpoints() { ssd_table_mode_ = true; }
+  // A restart replaces the SSD manager instance; re-point at the new one
+  // (the durable snapshot_ is unaffected).
+  void set_ssd_manager(SsdManager* ssd) { ssd_ = ssd; }
+  bool ssd_table_mode() const { return ssd_table_mode_; }
+  const SsdTableSnapshot* latest_snapshot() const {
+    return snapshot_.checkpoint_lsn == kInvalidLsn ? nullptr : &snapshot_;
+  }
+
+ private:
+  void PeriodicTick(Time interval);
+
+  BufferPool* pool_;
+  SsdManager* ssd_;
+  LogManager* log_;
+  SimExecutor* executor_;
+  bool periodic_ = false;
+  bool ssd_table_mode_ = false;
+  SsdTableSnapshot snapshot_;
+  CheckpointStats stats_;
+  std::vector<Lsn> completed_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_WAL_CHECKPOINT_H_

@@ -1,0 +1,94 @@
+#include "wal/log_manager.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+LogManager::LogManager(StorageDevice* log_device) : device_(log_device) {
+  TURBOBP_CHECK(log_device != nullptr);
+}
+
+Lsn LogManager::Append(LogRecord rec) {
+  rec.lsn = next_lsn_;
+  next_lsn_ += rec.SizeOnDisk();
+  records_.push_back(std::move(rec));
+  return records_.back().lsn;
+}
+
+Lsn LogManager::AppendUpdate(uint64_t txn_id, PageId pid, uint32_t offset,
+                             std::span<const uint8_t> bytes) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn_id;
+  rec.page_id = pid;
+  rec.offset = offset;
+  rec.bytes.assign(bytes.begin(), bytes.end());
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::AppendCommit(uint64_t txn_id) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = txn_id;
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::AppendBeginCheckpoint() {
+  LogRecord rec;
+  rec.type = LogRecordType::kBeginCheckpoint;
+  return Append(std::move(rec));
+}
+
+Lsn LogManager::AppendEndCheckpoint() {
+  LogRecord rec;
+  rec.type = LogRecordType::kEndCheckpoint;
+  return Append(std::move(rec));
+}
+
+Time LogManager::FlushTo(Lsn lsn, IoContext& ctx) {
+  // Durability is tracked by record-start LSN: flushing "to lsn" makes the
+  // record beginning at lsn durable. Clamp to the last appended record.
+  lsn = std::min(lsn, records_.empty() ? Lsn{0} : records_.back().lsn);
+  if (lsn <= durable_lsn_) return ctx.now;
+  const uint64_t pending_bytes = lsn - durable_lsn_;
+  const uint32_t page_bytes = device_->page_bytes();
+  const uint32_t npages = static_cast<uint32_t>(
+      std::max<uint64_t>(1, (pending_bytes + page_bytes - 1) / page_bytes));
+  // The log is written sequentially; wrap around the device (log truncation
+  // of the physical file is outside this model's scope).
+  uint64_t first = device_offset_pages_;
+  uint32_t n = npages;
+  if (first + n > device_->num_pages()) {
+    first = 0;
+  }
+  // Log pages carry no recoverable content in this model (records_ is the
+  // oracle); write zeros of the right size to charge the device.
+  static thread_local std::vector<uint8_t> zeros;
+  const size_t need = static_cast<size_t>(n) * page_bytes;
+  if (zeros.size() < need) zeros.assign(need, 0);
+  const Time completion =
+      device_->Write(first, n, std::span<const uint8_t>(zeros.data(), need),
+                     ctx.now, ctx.charge);
+  device_offset_pages_ = (first + n) % std::max<uint64_t>(1, device_->num_pages());
+  durable_lsn_ = lsn;
+  if (ctx.charge) ++flushes_;
+  return completion;
+}
+
+void LogManager::CommitForce(IoContext& ctx) {
+  const Time completion = FlushTo(next_lsn_, ctx);
+  ctx.Wait(completion);
+}
+
+size_t LogManager::DropUnflushed() {
+  size_t dropped = 0;
+  while (!records_.empty() && records_.back().lsn > durable_lsn_) {
+    records_.pop_back();
+    ++dropped;
+  }
+  return dropped;
+}
+
+}  // namespace turbobp

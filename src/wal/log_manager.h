@@ -1,0 +1,89 @@
+#ifndef TURBOBP_WAL_LOG_MANAGER_H_
+#define TURBOBP_WAL_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/io_context.h"
+#include "storage/storage_device.h"
+
+namespace turbobp {
+
+enum class LogRecordType : uint8_t {
+  kUpdate = 0,      // physical redo: bytes at (page_id, offset)
+  kCommit = 1,
+  kBeginCheckpoint = 2,
+  kEndCheckpoint = 3,
+};
+
+// Physiological redo record. Updates carry the after-image bytes of the
+// modified byte range (page splits log whole-page images), which is all a
+// redo-only recovery pass needs; the workloads in this repo never roll back,
+// so no undo information is kept (documented in DESIGN.md).
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  LogRecordType type = LogRecordType::kUpdate;
+  uint64_t txn_id = 0;
+  PageId page_id = kInvalidPageId;
+  uint32_t offset = 0;
+  std::vector<uint8_t> bytes;
+
+  size_t SizeOnDisk() const { return 32 + bytes.size(); }
+};
+
+// Write-ahead log over a dedicated log device (the paper's setup uses one
+// HDD exclusively for the DBMS log). Appends are buffered; FlushTo() forces
+// the log through a given LSN with sequential page-sized writes, which is
+// the WAL obligation the buffer pool and the LC cleaner discharge before
+// writing any dirty page to the SSD or the disk (Section 2.4).
+class LogManager {
+ public:
+  LogManager(StorageDevice* log_device);
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  Lsn AppendUpdate(uint64_t txn_id, PageId pid, uint32_t offset,
+                   std::span<const uint8_t> bytes);
+  Lsn AppendCommit(uint64_t txn_id);
+  Lsn AppendBeginCheckpoint();
+  Lsn AppendEndCheckpoint();
+
+  // Forces the log through `lsn`. Asynchronous in virtual time: consumes
+  // log-device time, returns the completion time, leaves ctx.now alone.
+  // Idempotent for already-durable LSNs.
+  Time FlushTo(Lsn lsn, IoContext& ctx);
+
+  // Group commit: forces the whole log and blocks the client until durable.
+  void CommitForce(IoContext& ctx);
+
+  Lsn current_lsn() const { return next_lsn_; }
+  Lsn durable_lsn() const { return durable_lsn_; }
+  bool IsDurable(Lsn lsn) const { return lsn <= durable_lsn_; }
+
+  // Total records appended / flush requests issued (stats).
+  int64_t num_records() const { return static_cast<int64_t>(records_.size()); }
+  int64_t flushes_issued() const { return flushes_; }
+  int64_t bytes_appended() const { return static_cast<int64_t>(next_lsn_); }
+
+  // Recovery interface: all records, and the subset durable at crash time.
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  // Simulates a crash: discards records that were never forced to the log
+  // device. Returns the number of records lost.
+  size_t DropUnflushed();
+
+ private:
+  Lsn Append(LogRecord rec);
+
+  StorageDevice* device_;
+  std::vector<LogRecord> records_;
+  Lsn next_lsn_ = 1;        // byte-offset LSN; 0 is kInvalidLsn
+  Lsn durable_lsn_ = 0;
+  uint64_t device_offset_pages_ = 0;  // wraps around the log device
+  int64_t flushes_ = 0;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_WAL_LOG_MANAGER_H_

@@ -1,0 +1,61 @@
+#ifndef TURBOBP_WAL_RECOVERY_H_
+#define TURBOBP_WAL_RECOVERY_H_
+
+#include <unordered_map>
+
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "wal/log_manager.h"
+
+namespace turbobp {
+
+struct RecoveryStats {
+  Lsn redo_start_lsn = kInvalidLsn;
+  int64_t records_scanned = 0;
+  int64_t records_applied = 0;
+  int64_t records_skipped_lsn = 0;  // page already newer (redo test failed)
+  int64_t records_skipped_ssd = 0;  // covered by a restored SSD copy
+  int64_t pages_read = 0;
+  int64_t pages_written = 0;
+  Time elapsed = 0;
+};
+
+// Redo-only restart recovery (ARIES redo pass over physiological records).
+//
+// After a crash the buffer pool and the SSD cache contents are discarded —
+// as the paper notes (Section 6), no design to date leverages the SSD
+// during restart. The sharp checkpoint guarantees the disk is current as of
+// the last completed checkpoint; this pass replays the durable log tail,
+// applying each update record whose LSN is newer than the on-disk page LSN.
+class RecoveryManager {
+ public:
+  RecoveryManager(DiskManager* disk, LogManager* log);
+
+  // Replays the durable log from the latest completed checkpoint (or from
+  // the beginning if none). Reads and writes pages directly through the
+  // disk manager. Returns stats; ctx carries timing.
+  //
+  // `redo_start_override` forces an earlier redo start (the restart
+  // extension must cover dirty SSD pages whose updates predate the last
+  // checkpoint). `max_update_lsn`, if given, receives the highest durable
+  // update LSN seen per page — the restart extension uses it to prove a
+  // snapshot entry is still the newest version of its page.
+  // `covered_by_ssd` maps pages to the LSN up to which a restored SSD copy
+  // already contains all updates: redo skips those records entirely (no
+  // disk I/O), which is what makes the restart extension's recovery fast.
+  RecoveryStats Recover(
+      IoContext& ctx, Lsn redo_start_override = kInvalidLsn,
+      std::unordered_map<PageId, Lsn>* max_update_lsn = nullptr,
+      const std::unordered_map<PageId, Lsn>* covered_by_ssd = nullptr);
+
+ private:
+  // Latest begin-checkpoint LSN whose matching end record is durable.
+  Lsn FindRedoStart() const;
+
+  DiskManager* disk_;
+  LogManager* log_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_WAL_RECOVERY_H_

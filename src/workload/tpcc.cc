@@ -1,0 +1,528 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+namespace {
+
+constexpr int kDistrictsPerWh = 10;
+constexpr uint64_t kOidBits = 24;  // index key = (d_key or c_key) << 24 | o_id
+
+template <typename Row>
+std::span<const uint8_t> AsBytes(const Row& row) {
+  return {reinterpret_cast<const uint8_t*>(&row), sizeof(Row)};
+}
+template <typename Row>
+std::span<uint8_t> AsMutableBytes(Row& row) {
+  return {reinterpret_cast<uint8_t*>(&row), sizeof(Row)};
+}
+
+// NURand constant chosen to preserve the spec's skew ratio (A/range ~ 1/3
+// for customers, ~1/12 for items) at any scaled cardinality.
+int64_t NuRandA(int64_t range, int shift) {
+  const int64_t a =
+      static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(range))) >>
+      shift;
+  return std::max<int64_t>(a - 1, 15);
+}
+
+}  // namespace
+
+TpccWorkload::Derived TpccWorkload::DeriveSizes(const TpccConfig& config) {
+  Derived d;
+  const double s = config.row_scale;
+  d.customers_per_district = std::max<int64_t>(30, static_cast<int64_t>(3000 * s));
+  d.items = std::max<int64_t>(100, static_cast<int64_t>(100000 * s));
+  d.stock_per_wh = d.items;
+  d.init_orders_per_district = d.customers_per_district;  // spec: one each
+  d.order_capacity = static_cast<int64_t>(config.order_capacity_factor) *
+                     d.init_orders_per_district * kDistrictsPerWh *
+                     config.warehouses;
+  d.max_lines = 12;
+  return d;
+}
+
+uint64_t TpccWorkload::EstimateDbPages(const TpccConfig& config,
+                                       uint32_t page_bytes) {
+  const Derived d = DeriveSizes(config);
+  const uint64_t payload = page_bytes - kPageHeaderSize;
+  auto pages = [payload](uint64_t rows, uint64_t row_bytes) {
+    const uint64_t per = payload / row_bytes;
+    return (rows + per - 1) / per;
+  };
+  const uint64_t w = static_cast<uint64_t>(config.warehouses);
+  uint64_t total = 0;
+  total += pages(w, sizeof(TpccRows::Warehouse));
+  total += pages(w * kDistrictsPerWh, sizeof(TpccRows::District));
+  total += pages(w * kDistrictsPerWh * d.customers_per_district,
+                 sizeof(TpccRows::Customer));
+  total += pages(d.items, sizeof(TpccRows::Item));
+  total += pages(w * d.stock_per_wh, sizeof(TpccRows::Stock));
+  total += pages(static_cast<uint64_t>(d.order_capacity), sizeof(TpccRows::Order));
+  total += pages(static_cast<uint64_t>(d.order_capacity * d.max_lines),
+                 sizeof(TpccRows::OrderLine));
+  total += pages(static_cast<uint64_t>(d.order_capacity), sizeof(TpccRows::History));
+  // B+-tree space: three indexes over the order ring at ~16B/entry, plus
+  // inner nodes (~2% overhead).
+  const uint64_t index_entries = static_cast<uint64_t>(d.order_capacity) * 3;
+  total += index_entries * 18 / payload + 3;
+  // Headroom for page-granularity rounding and index growth via splits.
+  return total + total / 6 + 64;
+}
+
+void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
+  TURBOBP_CHECK(db != nullptr);
+  const Derived d = DeriveSizes(config);
+  const uint64_t w = static_cast<uint64_t>(config.warehouses);
+  IoContext ctx = db->system().MakeContext(/*charge=*/false);
+  Rng rng(config.seed);
+
+  HeapFile warehouse =
+      HeapFile::Create(db, "warehouse", sizeof(TpccRows::Warehouse), w);
+  HeapFile district = HeapFile::Create(db, "district", sizeof(TpccRows::District),
+                                       w * kDistrictsPerWh);
+  HeapFile customer =
+      HeapFile::Create(db, "customer", sizeof(TpccRows::Customer),
+                       w * kDistrictsPerWh * d.customers_per_district);
+  HeapFile item = HeapFile::Create(db, "item", sizeof(TpccRows::Item), d.items);
+  HeapFile stock = HeapFile::Create(db, "stock", sizeof(TpccRows::Stock),
+                                    w * d.stock_per_wh);
+  HeapFile orders = HeapFile::Create(db, "orders", sizeof(TpccRows::Order),
+                                     static_cast<uint64_t>(d.order_capacity));
+  HeapFile order_line = HeapFile::Create(
+      db, "order_line", sizeof(TpccRows::OrderLine),
+      static_cast<uint64_t>(d.order_capacity * d.max_lines));
+  HeapFile history = HeapFile::Create(db, "history", sizeof(TpccRows::History),
+                                      static_cast<uint64_t>(d.order_capacity));
+  BPlusTree orders_idx = BPlusTree::Create(db, "orders_idx", ctx);
+  BPlusTree orders_by_cust = BPlusTree::Create(db, "orders_by_cust", ctx);
+  BPlusTree new_order_idx = BPlusTree::Create(db, "new_order_idx", ctx);
+
+  for (uint64_t i = 0; i < w; ++i) {
+    TpccRows::Warehouse row{};
+    row.w_id = i;
+    row.ytd_cents = 30000000;
+    warehouse.Append(AsBytes(row), 0, ctx);
+  }
+  for (uint64_t i = 0; i < w * kDistrictsPerWh; ++i) {
+    TpccRows::District row{};
+    row.d_key = i;
+    row.next_o_id = static_cast<uint64_t>(d.init_orders_per_district) + 1;
+    row.ytd_cents = 3000000;
+    district.Append(AsBytes(row), 0, ctx);
+  }
+  for (uint64_t i = 0; i < w * kDistrictsPerWh *
+                               static_cast<uint64_t>(d.customers_per_district);
+       ++i) {
+    TpccRows::Customer row{};
+    row.c_key = i;
+    row.balance_cents = -1000;
+    customer.Append(AsBytes(row), 0, ctx);
+  }
+  for (int64_t i = 0; i < d.items; ++i) {
+    TpccRows::Item row{};
+    row.i_id = static_cast<uint64_t>(i);
+    row.price_cents = 100 + static_cast<int64_t>(rng.Uniform(9900));
+    item.Append(AsBytes(row), 0, ctx);
+  }
+  for (uint64_t i = 0; i < w * static_cast<uint64_t>(d.stock_per_wh); ++i) {
+    TpccRows::Stock row{};
+    row.s_key = i;
+    row.quantity = 10 + static_cast<uint32_t>(rng.Uniform(91));
+    stock.Append(AsBytes(row), 0, ctx);
+  }
+
+  // Initial orders: one per customer per district, the newest third
+  // undelivered (populating the NEW_ORDER queue), each with 5-15 lines.
+  std::vector<std::pair<uint64_t, uint64_t>> idx_entries;
+  std::vector<std::pair<uint64_t, uint64_t>> cust_entries;
+  std::vector<std::pair<uint64_t, uint64_t>> new_order_entries;
+  uint64_t order_row = 0;
+  for (uint64_t dk = 0; dk < w * kDistrictsPerWh; ++dk) {
+    // Customers receive the initial orders in a random permutation.
+    std::vector<int64_t> perm(static_cast<size_t>(d.customers_per_district));
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int64_t>(i);
+    for (size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.Uniform(i)]);
+    }
+    for (int64_t o = 1; o <= d.init_orders_per_district; ++o) {
+      const uint64_t c_key =
+          dk * static_cast<uint64_t>(d.customers_per_district) +
+          static_cast<uint64_t>(perm[static_cast<size_t>(o - 1)]);
+      TpccRows::Order row{};
+      row.o_id = static_cast<uint64_t>(o);
+      row.c_key = c_key;
+      row.ol_cnt = 8 + static_cast<uint32_t>(rng.Uniform(5));
+      const bool delivered =
+          o <= d.init_orders_per_district - d.init_orders_per_district / 3;
+      row.carrier_id = delivered ? 1 + static_cast<uint32_t>(rng.Uniform(10)) : 0;
+      orders.Append(AsBytes(row), 0, ctx);
+      for (uint32_t l = 0; l < row.ol_cnt; ++l) {
+        TpccRows::OrderLine ol{};
+        ol.i_id = rng.Uniform(static_cast<uint64_t>(d.items));
+        ol.supply_w = dk / kDistrictsPerWh;
+        ol.amount_cents = delivered ? static_cast<int64_t>(rng.Uniform(999900)) : 0;
+        ol.quantity = 5;
+        ol.delivery_flag = delivered ? 1 : 0;
+        // Order lines live at computable slots: order_row * max_lines + l.
+        while (order_line.row_count() <
+               order_row * static_cast<uint64_t>(d.max_lines) + l) {
+          TpccRows::OrderLine filler{};
+          order_line.Append(AsBytes(filler), 0, ctx);
+        }
+        order_line.Append(AsBytes(ol), 0, ctx);
+      }
+      const uint64_t key = (dk << kOidBits) | static_cast<uint64_t>(o);
+      idx_entries.emplace_back(key, order_row);
+      cust_entries.emplace_back((c_key << kOidBits) | static_cast<uint64_t>(o),
+                                order_row);
+      if (!delivered) new_order_entries.emplace_back(key, order_row);
+      TpccRows::History h{};
+      h.c_key = c_key;
+      h.d_key = dk;
+      h.amount_cents = 1000;
+      history.Append(AsBytes(h), 0, ctx);
+      ++order_row;
+    }
+  }
+  // Pad the order-line table so future orders land at computable slots.
+  while (order_line.row_count() <
+         order_row * static_cast<uint64_t>(d.max_lines)) {
+    TpccRows::OrderLine filler{};
+    order_line.Append(AsBytes(filler), 0, ctx);
+  }
+
+  std::sort(cust_entries.begin(), cust_entries.end());
+  orders_idx.BulkLoad(idx_entries, ctx);
+  orders_by_cust.BulkLoad(cust_entries, ctx);
+  new_order_idx.BulkLoad(new_order_entries, ctx);
+
+  // Push the populated pages to the devices and start from a cold cache.
+  db->pool().FlushAllDirty(ctx, /*for_checkpoint=*/false);
+  db->pool().Reset();
+}
+
+TpccWorkload::TpccWorkload(Database* db, const TpccConfig& config)
+    : db_(db), config_(config), rng_(config.seed ^ 0xC0FFEE) {
+  const Derived d = DeriveSizes(config);
+  customers_per_district_ = d.customers_per_district;
+  items_ = d.items;
+  stock_per_wh_ = d.stock_per_wh;
+  init_orders_ = d.init_orders_per_district;
+  order_capacity_ = d.order_capacity;
+  max_lines_ = d.max_lines;
+  oid_ring_ = static_cast<uint64_t>(config.order_capacity_factor) *
+              static_cast<uint64_t>(d.init_orders_per_district);
+  warehouse_ = HeapFile::Attach(db, "warehouse");
+  district_ = HeapFile::Attach(db, "district");
+  customer_ = HeapFile::Attach(db, "customer");
+  orders_ = HeapFile::Attach(db, "orders");
+  order_line_ = HeapFile::Attach(db, "order_line");
+  item_ = HeapFile::Attach(db, "item");
+  stock_ = HeapFile::Attach(db, "stock");
+  history_ = HeapFile::Attach(db, "history");
+  orders_idx_ = BPlusTree::Attach(db, "orders_idx");
+  orders_by_cust_ = BPlusTree::Attach(db, "orders_by_cust");
+  new_order_idx_ = BPlusTree::Attach(db, "new_order_idx");
+  order_seq_ = orders_.row_count();
+  history_seq_ = history_.row_count();
+}
+
+uint64_t TpccWorkload::OidKey(uint64_t prefix, uint64_t o_id) const {
+  return (prefix << kOidBits) | ((o_id - 1) % oid_ring_ + 1);
+}
+
+int64_t TpccWorkload::NuRandCustomer() {
+  return rng_.NuRand(NuRandA(customers_per_district_, 2), 0,
+                     customers_per_district_ - 1);
+}
+
+int64_t TpccWorkload::NuRandItem() {
+  return rng_.NuRand(NuRandA(items_, 4), 0, items_ - 1);
+}
+
+void TpccWorkload::WriteRingRow(HeapFile& file, uint64_t row,
+                                std::span<const uint8_t> data, uint64_t txn,
+                                IoContext& ctx) {
+  if (row < file.row_count()) {
+    file.Update(file.RidOfRow(row), data, txn, ctx);
+  } else {
+    // Orders with fewer than max_lines lines leave gaps in the order-line
+    // slot space; pad the frontier so slots stay computable.
+    std::vector<uint8_t> filler(data.size(), 0);
+    while (row > file.row_count()) {
+      file.Append(filler, txn, ctx);
+    }
+    file.Append(data, txn, ctx);
+  }
+}
+
+bool TpccWorkload::RunTransaction(int client_id, IoContext& ctx) {
+  const uint64_t pick = rng_.Uniform(100);
+  bool metric = false;
+  if (pick < 45) {
+    NewOrder(ctx);
+    metric = true;
+  } else if (pick < 88) {
+    Payment(ctx);
+  } else if (pick < 92) {
+    OrderStatus(ctx);
+  } else if (pick < 96) {
+    Delivery(ctx);
+  } else {
+    StockLevel(ctx);
+  }
+  if (config_.commit_force) db_->system().log().CommitForce(ctx);
+  return metric;
+}
+
+void TpccWorkload::NewOrder(IoContext& ctx) {
+  ++new_orders_;
+  const uint64_t txn = next_txn_id_++;
+  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
+  const uint64_t d_key = DistrictKey(w, dist);
+
+  TpccRows::Warehouse wrow;
+  warehouse_.Read(warehouse_.RidOfRow(w), AsMutableBytes(wrow),
+                  AccessKind::kRandom, ctx);
+
+  TpccRows::District drow;
+  const Rid drid = district_.RidOfRow(d_key);
+  district_.Read(drid, AsMutableBytes(drow), AccessKind::kRandom, ctx);
+  const uint64_t o_id = drow.next_o_id;
+  drow.next_o_id++;
+  district_.Update(drid, AsBytes(drow), txn, ctx);
+
+  const uint64_t c_key = CustomerKey(d_key, NuRandCustomer());
+  TpccRows::Customer crow;
+  customer_.Read(customer_.RidOfRow(c_key), AsMutableBytes(crow),
+                 AccessKind::kRandom, ctx);
+
+  const uint32_t ol_cnt = 8 + static_cast<uint32_t>(rng_.Uniform(5));
+  const uint64_t o_row = order_seq_ % static_cast<uint64_t>(order_capacity_);
+  ++order_seq_;
+
+  // Recycling an order slot: purge the superseded order's index entries so
+  // the indexes stay bounded (ring substitution, see header comment).
+  if (order_seq_ > static_cast<uint64_t>(order_capacity_)) {
+    TpccRows::Order old;
+    orders_.Read(orders_.RidOfRow(o_row), AsMutableBytes(old),
+                 AccessKind::kRandom, ctx);
+    const uint64_t old_dk = old.c_key / static_cast<uint64_t>(
+                                            customers_per_district_);
+    orders_idx_.Delete(OidKey(old_dk, old.o_id), txn, ctx);
+    orders_by_cust_.Delete(OidKey(old.c_key, old.o_id), txn, ctx);
+    new_order_idx_.Delete(OidKey(old_dk, old.o_id), txn, ctx);
+  }
+
+  TpccRows::Order orow{};
+  orow.o_id = o_id;
+  orow.c_key = c_key;
+  orow.ol_cnt = ol_cnt;
+  orow.carrier_id = 0;
+  orow.entry_time = static_cast<uint64_t>(ctx.now);
+  WriteRingRow(orders_, o_row, AsBytes(orow), txn, ctx);
+
+  for (uint32_t l = 0; l < ol_cnt; ++l) {
+    const int64_t i_id = NuRandItem();
+    // 1% of lines are supplied by a remote warehouse.
+    const int supply_w = rng_.Bernoulli(0.01) && config_.warehouses > 1
+                             ? static_cast<int>(rng_.Uniform(config_.warehouses))
+                             : w;
+    TpccRows::Item irow;
+    item_.Read(item_.RidOfRow(static_cast<uint64_t>(i_id)),
+               AsMutableBytes(irow), AccessKind::kRandom, ctx);
+    const uint64_t s_key = static_cast<uint64_t>(supply_w) *
+                               static_cast<uint64_t>(stock_per_wh_) +
+                           static_cast<uint64_t>(i_id);
+    TpccRows::Stock srow;
+    const Rid srid = stock_.RidOfRow(s_key);
+    stock_.Read(srid, AsMutableBytes(srow), AccessKind::kRandom, ctx);
+    srow.quantity = srow.quantity > 10 ? srow.quantity - 5 : srow.quantity + 86;
+    srow.ytd += 5;
+    srow.order_cnt++;
+    if (supply_w != w) srow.remote_cnt++;
+    stock_.Update(srid, AsBytes(srow), txn, ctx);
+
+    TpccRows::OrderLine ol{};
+    ol.i_id = static_cast<uint64_t>(i_id);
+    ol.supply_w = static_cast<uint64_t>(supply_w);
+    ol.quantity = 5;
+    ol.amount_cents = 5 * irow.price_cents;
+    WriteRingRow(order_line_, o_row * static_cast<uint64_t>(max_lines_) + l,
+                 AsBytes(ol), txn, ctx);
+  }
+
+  const uint64_t key = OidKey(d_key, o_id);
+  orders_idx_.Insert(key, o_row, txn, ctx);
+  orders_by_cust_.Insert(OidKey(c_key, o_id), o_row, txn, ctx);
+  new_order_idx_.Insert(key, o_row, txn, ctx);
+}
+
+void TpccWorkload::Payment(IoContext& ctx) {
+  ++payments_;
+  const uint64_t txn = next_txn_id_++;
+  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
+  const uint64_t d_key = DistrictKey(w, dist);
+  const int64_t amount = 100 + static_cast<int64_t>(rng_.Uniform(499900));
+
+  TpccRows::Warehouse wrow;
+  const Rid wrid = warehouse_.RidOfRow(w);
+  warehouse_.Read(wrid, AsMutableBytes(wrow), AccessKind::kRandom, ctx);
+  wrow.ytd_cents += amount;
+  warehouse_.Update(wrid, AsBytes(wrow), txn, ctx);
+
+  TpccRows::District drow;
+  const Rid drid = district_.RidOfRow(d_key);
+  district_.Read(drid, AsMutableBytes(drow), AccessKind::kRandom, ctx);
+  drow.ytd_cents += amount;
+  district_.Update(drid, AsBytes(drow), txn, ctx);
+
+  // 15% of payments are for a customer of a remote district (spec 2.5.1.2).
+  uint64_t c_dkey = d_key;
+  if (rng_.Bernoulli(0.15)) {
+    c_dkey = DistrictKey(static_cast<int>(rng_.Uniform(config_.warehouses)),
+                         static_cast<int>(rng_.Uniform(kDistrictsPerWh)));
+  }
+  const uint64_t c_key = CustomerKey(c_dkey, NuRandCustomer());
+  TpccRows::Customer crow;
+  const Rid crid = customer_.RidOfRow(c_key);
+  customer_.Read(crid, AsMutableBytes(crow), AccessKind::kRandom, ctx);
+  crow.balance_cents -= amount;
+  crow.ytd_payment_cents += amount;
+  crow.payment_cnt++;
+  customer_.Update(crid, AsBytes(crow), txn, ctx);
+
+  TpccRows::History h{};
+  h.c_key = c_key;
+  h.d_key = d_key;
+  h.amount_cents = amount;
+  const uint64_t h_row = history_seq_ % static_cast<uint64_t>(order_capacity_);
+  ++history_seq_;
+  WriteRingRow(history_, h_row, AsBytes(h), txn, ctx);
+}
+
+void TpccWorkload::OrderStatus(IoContext& ctx) {
+  ++order_statuses_;
+  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
+  const uint64_t c_key = CustomerKey(DistrictKey(w, dist), NuRandCustomer());
+
+  TpccRows::Customer crow;
+  customer_.Read(customer_.RidOfRow(c_key), AsMutableBytes(crow),
+                 AccessKind::kRandom, ctx);
+
+  // Most recent order of this customer.
+  uint64_t last_row = kInvalidPageId;
+  orders_by_cust_.ScanRange(
+      c_key << kOidBits, ((c_key + 1) << kOidBits) - 1,
+      [&](uint64_t, uint64_t row) {
+        last_row = row;
+        return true;
+      },
+      ctx);
+  if (last_row == kInvalidPageId) return;  // ring recycled all their orders
+
+  TpccRows::Order orow;
+  orders_.Read(orders_.RidOfRow(last_row), AsMutableBytes(orow),
+               AccessKind::kRandom, ctx);
+  for (uint32_t l = 0; l < orow.ol_cnt; ++l) {
+    TpccRows::OrderLine ol;
+    order_line_.Read(
+        order_line_.RidOfRow(last_row * static_cast<uint64_t>(max_lines_) + l),
+        AsMutableBytes(ol), AccessKind::kRandom, ctx);
+  }
+}
+
+void TpccWorkload::Delivery(IoContext& ctx) {
+  ++deliveries_;
+  const uint64_t txn = next_txn_id_++;
+  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
+  for (int dist = 0; dist < kDistrictsPerWh; ++dist) {
+    const uint64_t d_key = DistrictKey(w, dist);
+    // Oldest undelivered order in this district.
+    uint64_t key = 0, o_row = 0;
+    bool found = false;
+    new_order_idx_.ScanRange(
+        d_key << kOidBits, ((d_key + 1) << kOidBits) - 1,
+        [&](uint64_t k, uint64_t row) {
+          key = k;
+          o_row = row;
+          found = true;
+          return false;  // first = oldest
+        },
+        ctx);
+    if (!found) continue;
+    new_order_idx_.Delete(key, txn, ctx);
+
+    TpccRows::Order orow;
+    const Rid orid = orders_.RidOfRow(o_row);
+    orders_.Read(orid, AsMutableBytes(orow), AccessKind::kRandom, ctx);
+    orow.carrier_id = 1 + static_cast<uint32_t>(rng_.Uniform(10));
+    orders_.Update(orid, AsBytes(orow), txn, ctx);
+
+    int64_t total = 0;
+    for (uint32_t l = 0; l < orow.ol_cnt; ++l) {
+      const Rid lrid = order_line_.RidOfRow(
+          o_row * static_cast<uint64_t>(max_lines_) + l);
+      TpccRows::OrderLine ol;
+      order_line_.Read(lrid, AsMutableBytes(ol), AccessKind::kRandom, ctx);
+      ol.delivery_flag = 1;
+      total += ol.amount_cents;
+      order_line_.Update(lrid, AsBytes(ol), txn, ctx);
+    }
+
+    TpccRows::Customer crow;
+    const Rid crid = customer_.RidOfRow(orow.c_key);
+    customer_.Read(crid, AsMutableBytes(crow), AccessKind::kRandom, ctx);
+    crow.balance_cents += total;
+    crow.delivery_cnt++;
+    customer_.Update(crid, AsBytes(crow), txn, ctx);
+  }
+}
+
+void TpccWorkload::StockLevel(IoContext& ctx) {
+  ++stock_levels_;
+  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
+  const uint64_t d_key = DistrictKey(w, dist);
+
+  TpccRows::District drow;
+  district_.Read(district_.RidOfRow(d_key), AsMutableBytes(drow),
+                 AccessKind::kRandom, ctx);
+
+  // Examine the last 20 orders' lines and probe the stock of each item.
+  const uint64_t from = drow.next_o_id > 20 ? drow.next_o_id - 20 : 1;
+  int low_stock = 0;
+  for (uint64_t o = from; o < drow.next_o_id; ++o) {
+    uint64_t o_row;
+    if (!orders_idx_.Search(OidKey(d_key, o), &o_row, ctx)) continue;
+    TpccRows::Order orow;
+    orders_.Read(orders_.RidOfRow(o_row), AsMutableBytes(orow),
+                 AccessKind::kRandom, ctx);
+    for (uint32_t l = 0; l < orow.ol_cnt; ++l) {
+      TpccRows::OrderLine ol;
+      order_line_.Read(
+          order_line_.RidOfRow(o_row * static_cast<uint64_t>(max_lines_) + l),
+          AsMutableBytes(ol), AccessKind::kRandom, ctx);
+      const uint64_t s_key =
+          static_cast<uint64_t>(w) * static_cast<uint64_t>(stock_per_wh_) +
+          ol.i_id;
+      TpccRows::Stock srow;
+      stock_.Read(stock_.RidOfRow(s_key), AsMutableBytes(srow),
+                  AccessKind::kRandom, ctx);
+      if (srow.quantity < 15) ++low_stock;
+    }
+  }
+  (void)low_stock;
+}
+
+}  // namespace turbobp

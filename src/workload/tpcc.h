@@ -1,0 +1,194 @@
+#ifndef TURBOBP_WORKLOAD_TPCC_H_
+#define TURBOBP_WORKLOAD_TPCC_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "engine/bplus_tree.h"
+#include "engine/heap_file.h"
+#include "workload/driver.h"
+
+namespace turbobp {
+
+// TPC-C-style OLTP workload: full schema, NURand access skew and the
+// standard five-transaction mix (NewOrder 45%, Payment 43%, OrderStatus 4%,
+// Delivery 4%, StockLevel 4%). Update-intensive and highly skewed — the
+// workload where the paper's LC design dominates (up to 9.4x over noSSD).
+//
+// Deviations from the audited kit, documented in DESIGN.md:
+//  * per-warehouse cardinalities scale by `row_scale` so page-count ratios
+//    (DB : buffer pool : SSD) match the paper's setup at simulation scale;
+//  * the growing tables (ORDERS / ORDER_LINE / HISTORY / NEW_ORDER) are
+//    rings sized `order_capacity_factor` x the initial order count, so a
+//    long run overwrites its oldest orders instead of growing unboundedly;
+//  * customer lookups are by id (the 60%-by-last-name path is folded in);
+//    the 1% intentional NewOrder aborts are omitted (redo-only logging).
+struct TpccConfig {
+  int warehouses = 8;
+  double row_scale = 0.03;       // fraction of spec rows per warehouse
+  int order_capacity_factor = 2;
+  uint64_t seed = 42;
+  bool commit_force = true;      // group-commit log force per transaction
+};
+
+// Row images (compact but proportioned like the spec's row sizes).
+struct TpccRows {
+  struct Warehouse {
+    uint64_t w_id;
+    int64_t ytd_cents;
+    char pad[80];
+  };
+  struct District {
+    uint64_t d_key;  // w*10+d
+    uint64_t next_o_id;
+    int64_t ytd_cents;
+    char pad[72];
+  };
+  struct Customer {
+    uint64_t c_key;
+    int64_t balance_cents;
+    int64_t ytd_payment_cents;
+    uint32_t payment_cnt;
+    uint32_t delivery_cnt;
+    char pad[224];
+  };
+  struct Order {
+    uint64_t o_id;
+    uint64_t c_key;
+    uint32_t ol_cnt;
+    uint32_t carrier_id;
+    uint64_t entry_time;
+    char pad[16];
+  };
+  struct OrderLine {
+    uint64_t i_id;
+    uint64_t supply_w;
+    int64_t amount_cents;
+    uint32_t quantity;
+    uint32_t delivery_flag;
+    char pad[16];
+  };
+  struct Item {
+    uint64_t i_id;
+    int64_t price_cents;
+    char pad[80];
+  };
+  struct Stock {
+    uint64_t s_key;  // w*items_per_wh + i
+    int64_t ytd;
+    uint32_t quantity;
+    uint32_t order_cnt;
+    uint32_t remote_cnt;
+    char pad[164];
+  };
+  struct History {
+    uint64_t c_key;
+    uint64_t d_key;
+    int64_t amount_cents;
+    char pad[24];
+  };
+};
+static_assert(sizeof(TpccRows::Warehouse) == 96);
+static_assert(sizeof(TpccRows::District) == 96);
+static_assert(sizeof(TpccRows::Customer) == 256);
+static_assert(sizeof(TpccRows::Order) == 48);
+static_assert(sizeof(TpccRows::OrderLine) == 48);
+static_assert(sizeof(TpccRows::Item) == 96);
+static_assert(sizeof(TpccRows::Stock) == 192);
+static_assert(sizeof(TpccRows::History) == 48);
+
+class TpccWorkload : public Workload {
+ public:
+  // Builds the schema and populates it (loader mode: free I/O, unlogged).
+  // The database must be freshly created.
+  static void Populate(Database* db, const TpccConfig& config);
+
+  // Attaches to a populated database for a measurement run.
+  TpccWorkload(Database* db, const TpccConfig& config);
+
+  std::string name() const override { return "TPC-C"; }
+  bool RunTransaction(int client_id, IoContext& ctx) override;
+
+  // Derived cardinalities.
+  int64_t customers_per_district() const { return customers_per_district_; }
+  int64_t items() const { return items_; }
+  int64_t initial_orders_per_district() const { return init_orders_; }
+
+  // Approximate total data pages a database with this config occupies
+  // (used by the benches to hit the paper's size ratios).
+  static uint64_t EstimateDbPages(const TpccConfig& config,
+                                  uint32_t page_bytes);
+
+  // Per-transaction counters.
+  int64_t new_orders() const { return new_orders_; }
+  int64_t payments() const { return payments_; }
+  int64_t order_statuses() const { return order_statuses_; }
+  int64_t deliveries() const { return deliveries_; }
+  int64_t stock_levels() const { return stock_levels_; }
+
+ private:
+  struct Derived {
+    int64_t customers_per_district;
+    int64_t items;
+    int64_t stock_per_wh;
+    int64_t init_orders_per_district;
+    int64_t order_capacity;     // ring size (rows)
+    int64_t max_lines;          // order lines per order slot
+  };
+  static Derived DeriveSizes(const TpccConfig& config);
+
+  void NewOrder(IoContext& ctx);
+  void Payment(IoContext& ctx);
+  void OrderStatus(IoContext& ctx);
+  void Delivery(IoContext& ctx);
+  void StockLevel(IoContext& ctx);
+
+  uint64_t DistrictKey(int w, int d) const {
+    return static_cast<uint64_t>(w) * 10 + static_cast<uint64_t>(d);
+  }
+  uint64_t CustomerKey(uint64_t d_key, int64_t c) const {
+    return d_key * static_cast<uint64_t>(customers_per_district_) +
+           static_cast<uint64_t>(c);
+  }
+  // Ring-aware row write: Update inside the populated prefix, Append at the
+  // growth frontier.
+  void WriteRingRow(HeapFile& file, uint64_t row, std::span<const uint8_t> data,
+                    uint64_t txn, IoContext& ctx);
+
+  int64_t NuRandCustomer();
+  int64_t NuRandItem();
+
+  // Index keys wrap o_id around the per-district ring size so the B+-tree
+  // key space (and hence its page footprint) stays bounded while o_ids keep
+  // growing monotonically in the order rows themselves.
+  uint64_t OidKey(uint64_t prefix, uint64_t o_id) const;
+
+  Database* db_;
+  TpccConfig config_;
+  Rng rng_;
+  int64_t customers_per_district_;
+  int64_t items_;
+  int64_t stock_per_wh_;
+  int64_t init_orders_;
+  int64_t order_capacity_;
+  int64_t max_lines_;
+  uint64_t oid_ring_ = 1;
+  uint64_t next_txn_id_ = 1;
+
+  HeapFile warehouse_, district_, customer_, orders_, order_line_, item_,
+      stock_, history_;
+  BPlusTree orders_idx_;       // (d_key<<24 | o_id) -> order row
+  BPlusTree orders_by_cust_;   // (c_key<<24 | o_id) -> order row
+  BPlusTree new_order_idx_;    // (d_key<<24 | o_id) -> order row
+
+  // Ring cursors (order slots are allocated globally round-robin).
+  uint64_t order_seq_ = 0;     // total orders ever created
+  uint64_t history_seq_ = 0;
+
+  int64_t new_orders_ = 0, payments_ = 0, order_statuses_ = 0,
+          deliveries_ = 0, stock_levels_ = 0;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_WORKLOAD_TPCC_H_

@@ -1,0 +1,375 @@
+#include "workload/tpce.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+namespace {
+
+constexpr uint64_t kTradeSeqBits = 26;
+constexpr double kZipfTheta = 0.8;
+
+template <typename Row>
+std::span<const uint8_t> AsBytes(const Row& row) {
+  return {reinterpret_cast<const uint8_t*>(&row), sizeof(Row)};
+}
+template <typename Row>
+std::span<uint8_t> AsMutableBytes(Row& row) {
+  return {reinterpret_cast<uint8_t*>(&row), sizeof(Row)};
+}
+
+int64_t SecuritiesFor(const TpceConfig& c) {
+  // Spec ratio: 685 securities per 1000 customers.
+  return std::max<int64_t>(100, c.customers * 685 / 1000);
+}
+
+}  // namespace
+
+uint64_t TpceWorkload::EstimateDbPages(const TpceConfig& config,
+                                       uint32_t page_bytes) {
+  const uint64_t payload = page_bytes - kPageHeaderSize;
+  auto pages = [payload](uint64_t rows, uint64_t row_bytes) {
+    const uint64_t per = payload / row_bytes;
+    return (rows + per - 1) / per;
+  };
+  const uint64_t c = static_cast<uint64_t>(config.customers);
+  const uint64_t trades =
+      c * static_cast<uint64_t>(config.trades_per_customer) * 2;  // ring
+  uint64_t total = 0;
+  total += pages(c, sizeof(TpceRows::Customer));
+  total += pages(c, sizeof(TpceRows::Account));
+  total += pages(static_cast<uint64_t>(SecuritiesFor(config)),
+                 sizeof(TpceRows::Security));
+  total += pages(static_cast<uint64_t>(SecuritiesFor(config)),
+                 sizeof(TpceRows::LastTrade));
+  total += pages(trades, sizeof(TpceRows::Trade));
+  total += pages(c * static_cast<uint64_t>(config.holdings_per_customer),
+                 sizeof(TpceRows::Holding));
+  total += trades * 18 / payload + 3;  // trades_by_account index
+  // Headroom for page rounding and index growth via splits.
+  return total + total / 8 + 64;
+}
+
+void TpceWorkload::Populate(Database* db, const TpceConfig& config) {
+  TURBOBP_CHECK(db != nullptr);
+  IoContext ctx = db->system().MakeContext(/*charge=*/false);
+  Rng rng(config.seed);
+  const uint64_t c = static_cast<uint64_t>(config.customers);
+  const int64_t securities = SecuritiesFor(config);
+  const uint64_t init_trades =
+      c * static_cast<uint64_t>(config.trades_per_customer);
+  const uint64_t trade_capacity = init_trades * 2;
+
+  HeapFile customer =
+      HeapFile::Create(db, "e_customer", sizeof(TpceRows::Customer), c);
+  HeapFile account =
+      HeapFile::Create(db, "e_account", sizeof(TpceRows::Account), c);
+  HeapFile security = HeapFile::Create(db, "e_security",
+                                       sizeof(TpceRows::Security),
+                                       static_cast<uint64_t>(securities));
+  HeapFile last_trade = HeapFile::Create(db, "e_last_trade",
+                                         sizeof(TpceRows::LastTrade),
+                                         static_cast<uint64_t>(securities));
+  HeapFile trade =
+      HeapFile::Create(db, "e_trade", sizeof(TpceRows::Trade), trade_capacity);
+  HeapFile holding = HeapFile::Create(
+      db, "e_holding", sizeof(TpceRows::Holding),
+      c * static_cast<uint64_t>(config.holdings_per_customer));
+  BPlusTree trades_by_account = BPlusTree::Create(db, "e_trades_by_acct", ctx);
+
+  for (uint64_t i = 0; i < c; ++i) {
+    TpceRows::Customer row{};
+    row.c_id = i;
+    row.tier = 1 + rng.Uniform(3);
+    customer.Append(AsBytes(row), 0, ctx);
+    TpceRows::Account arow{};
+    arow.ca_id = i;
+    arow.balance_cents = 1000000;
+    account.Append(AsBytes(arow), 0, ctx);
+  }
+  for (int64_t i = 0; i < securities; ++i) {
+    TpceRows::Security row{};
+    row.s_id = static_cast<uint64_t>(i);
+    row.last_price_cents = 1000 + static_cast<int64_t>(rng.Uniform(99000));
+    security.Append(AsBytes(row), 0, ctx);
+    TpceRows::LastTrade lt{};
+    lt.s_id = static_cast<uint64_t>(i);
+    lt.price_cents = row.last_price_cents;
+    last_trade.Append(AsBytes(lt), 0, ctx);
+  }
+  for (uint64_t i = 0;
+       i < c * static_cast<uint64_t>(config.holdings_per_customer); ++i) {
+    TpceRows::Holding row{};
+    row.h_id = i;
+    row.s_id = rng.Uniform(static_cast<uint64_t>(securities));
+    row.qty = 100;
+    row.cost_basis_cents = 5000;
+    holding.Append(AsBytes(row), 0, ctx);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> idx;
+  idx.reserve(init_trades);
+  for (uint64_t t = 0; t < init_trades; ++t) {
+    TpceRows::Trade row{};
+    row.t_id = t;
+    row.ca_id = rng.Uniform(c);
+    row.s_id = rng.Uniform(static_cast<uint64_t>(securities));
+    row.status = 1;
+    row.qty = 100;
+    row.price_cents = 5000;
+    trade.Append(AsBytes(row), 0, ctx);
+    idx.emplace_back((row.ca_id << kTradeSeqBits) | (t % trade_capacity), t);
+  }
+  std::sort(idx.begin(), idx.end());
+  trades_by_account.BulkLoad(idx, ctx);
+
+  db->pool().FlushAllDirty(ctx, /*for_checkpoint=*/false);
+  db->pool().Reset();
+}
+
+TpceWorkload::TpceWorkload(Database* db, const TpceConfig& config)
+    : db_(db), config_(config), rng_(config.seed ^ 0xE11E) {
+  securities_ = SecuritiesFor(config);
+  customer_ = HeapFile::Attach(db, "e_customer");
+  account_ = HeapFile::Attach(db, "e_account");
+  security_ = HeapFile::Attach(db, "e_security");
+  last_trade_ = HeapFile::Attach(db, "e_last_trade");
+  trade_ = HeapFile::Attach(db, "e_trade");
+  holding_ = HeapFile::Attach(db, "e_holding");
+  trades_by_account_ = BPlusTree::Attach(db, "e_trades_by_acct");
+  trade_seq_ = trade_.row_count();
+  trade_capacity_ = trade_.capacity_rows();
+}
+
+int64_t TpceWorkload::PickAccount() {
+  return rng_.Zipf(config_.customers, kZipfTheta);
+}
+
+int64_t TpceWorkload::PickSecurity() {
+  return rng_.Zipf(securities_, kZipfTheta);
+}
+
+uint64_t TpceWorkload::PickRecentTrade() {
+  // The hot tail: the most recent ~5% of trades.
+  const uint64_t window =
+      std::max<uint64_t>(1, trade_capacity_ / 20);
+  const uint64_t back = rng_.Uniform(std::min(trade_seq_, window));
+  return (trade_seq_ - 1 - back) % trade_capacity_;
+}
+
+uint64_t TpceWorkload::PickAnyTrade() {
+  return rng_.Uniform(std::min<uint64_t>(trade_seq_, trade_capacity_));
+}
+
+void TpceWorkload::ReadTrade(uint64_t t_row, IoContext& ctx) {
+  TpceRows::Trade row;
+  trade_.Read(trade_.RidOfRow(t_row), AsMutableBytes(row), AccessKind::kRandom,
+              ctx);
+}
+
+bool TpceWorkload::RunTransaction(int client_id, IoContext& ctx) {
+  const uint64_t pick = rng_.Uniform(100);
+  bool metric = false;
+  if (pick < 10) {
+    TradeOrder(ctx);
+  } else if (pick < 20) {
+    TradeResult(ctx);
+    metric = true;
+  } else if (pick < 39) {
+    TradeStatus(ctx);
+  } else if (pick < 52) {
+    CustomerPosition(ctx);
+  } else if (pick < 70) {
+    MarketWatch(ctx);
+  } else if (pick < 84) {
+    SecurityDetail(ctx);
+  } else if (pick < 92) {
+    TradeLookup(ctx);
+  } else if (pick < 94) {
+    TradeUpdate(ctx);
+  } else if (pick < 95) {
+    MarketFeed(ctx);
+  } else {
+    BrokerVolume(ctx);
+  }
+  if (config_.commit_force) db_->system().log().CommitForce(ctx);
+  return metric;
+}
+
+void TpceWorkload::TradeOrder(IoContext& ctx) {
+  const uint64_t txn = next_txn_id_++;
+  const int64_t ca = PickAccount();
+  const int64_t s = PickSecurity();
+  TpceRows::Customer crow;
+  customer_.Read(customer_.RidOfRow(static_cast<uint64_t>(ca)),
+                 AsMutableBytes(crow), AccessKind::kRandom, ctx);
+  TpceRows::Account arow;
+  account_.Read(account_.RidOfRow(static_cast<uint64_t>(ca)),
+                AsMutableBytes(arow), AccessKind::kRandom, ctx);
+  TpceRows::Security srow;
+  security_.Read(security_.RidOfRow(static_cast<uint64_t>(s)),
+                 AsMutableBytes(srow), AccessKind::kRandom, ctx);
+
+  const uint64_t t_row = trade_seq_ % trade_capacity_;
+  const uint64_t t_seq = trade_seq_++;
+  TpceRows::Trade trow{};
+  trow.t_id = t_seq;
+  trow.ca_id = static_cast<uint64_t>(ca);
+  trow.s_id = static_cast<uint64_t>(s);
+  trow.status = 0;  // pending; Trade-Result completes it
+  trow.qty = 100;
+  trow.price_cents = srow.last_price_cents;
+  if (t_row < trade_.row_count()) {
+    // Recycling a ring slot: purge the superseded trade's index entry so
+    // the index stays bounded (keys wrap with the ring).
+    TpceRows::Trade old;
+    trade_.Read(trade_.RidOfRow(t_row), AsMutableBytes(old),
+                AccessKind::kRandom, ctx);
+    trades_by_account_.Delete(
+        (old.ca_id << kTradeSeqBits) | (old.t_id % trade_capacity_), txn, ctx);
+    trade_.Update(trade_.RidOfRow(t_row), AsBytes(trow), txn, ctx);
+  } else {
+    trade_.Append(AsBytes(trow), txn, ctx);
+  }
+  trades_by_account_.Insert(
+      (trow.ca_id << kTradeSeqBits) | (t_seq % trade_capacity_), t_row, txn,
+      ctx);
+}
+
+void TpceWorkload::TradeResult(IoContext& ctx) {
+  ++trade_results_;
+  const uint64_t txn = next_txn_id_++;
+  const uint64_t t_row = PickRecentTrade();
+  TpceRows::Trade trow;
+  const Rid trid = trade_.RidOfRow(t_row);
+  trade_.Read(trid, AsMutableBytes(trow), AccessKind::kRandom, ctx);
+  trow.status = 1;
+  trade_.Update(trid, AsBytes(trow), txn, ctx);
+
+  TpceRows::Account arow;
+  const Rid arid = account_.RidOfRow(trow.ca_id % account_.row_count());
+  account_.Read(arid, AsMutableBytes(arow), AccessKind::kRandom, ctx);
+  arow.balance_cents -= trow.price_cents;
+  account_.Update(arid, AsBytes(arow), txn, ctx);
+
+  const uint64_t h_row =
+      (trow.ca_id * static_cast<uint64_t>(config_.holdings_per_customer) +
+       trow.s_id % static_cast<uint64_t>(config_.holdings_per_customer)) %
+      holding_.row_count();
+  TpceRows::Holding hrow;
+  const Rid hrid = holding_.RidOfRow(h_row);
+  holding_.Read(hrid, AsMutableBytes(hrow), AccessKind::kRandom, ctx);
+  hrow.qty += trow.qty;
+  holding_.Update(hrid, AsBytes(hrow), txn, ctx);
+
+  TpceRows::LastTrade lt;
+  const Rid ltrid = last_trade_.RidOfRow(trow.s_id %
+                                         static_cast<uint64_t>(securities_));
+  last_trade_.Read(ltrid, AsMutableBytes(lt), AccessKind::kRandom, ctx);
+  lt.price_cents = trow.price_cents;
+  lt.trade_count++;
+  last_trade_.Update(ltrid, AsBytes(lt), txn, ctx);
+}
+
+void TpceWorkload::TradeStatus(IoContext& ctx) {
+  const int64_t ca = PickAccount();
+  TpceRows::Account arow;
+  account_.Read(account_.RidOfRow(static_cast<uint64_t>(ca)),
+                AsMutableBytes(arow), AccessKind::kRandom, ctx);
+  // The 50 most recent trades of this account.
+  std::vector<uint64_t> rows;
+  trades_by_account_.ScanRange(
+      static_cast<uint64_t>(ca) << kTradeSeqBits,
+      ((static_cast<uint64_t>(ca) + 1) << kTradeSeqBits) - 1,
+      [&](uint64_t, uint64_t row) {
+        rows.push_back(row);
+        return true;
+      },
+      ctx);
+  const size_t take = std::min<size_t>(rows.size(), 50);
+  for (size_t i = rows.size() - take; i < rows.size(); ++i) {
+    ReadTrade(rows[i] % trade_capacity_, ctx);
+  }
+}
+
+void TpceWorkload::CustomerPosition(IoContext& ctx) {
+  const int64_t ca = PickAccount();
+  TpceRows::Customer crow;
+  customer_.Read(customer_.RidOfRow(static_cast<uint64_t>(ca)),
+                 AsMutableBytes(crow), AccessKind::kRandom, ctx);
+  TpceRows::Account arow;
+  account_.Read(account_.RidOfRow(static_cast<uint64_t>(ca)),
+                AsMutableBytes(arow), AccessKind::kRandom, ctx);
+  for (int64_t h = 0; h < config_.holdings_per_customer; ++h) {
+    const uint64_t h_row =
+        static_cast<uint64_t>(ca) *
+            static_cast<uint64_t>(config_.holdings_per_customer) +
+        static_cast<uint64_t>(h);
+    TpceRows::Holding hrow;
+    holding_.Read(holding_.RidOfRow(h_row % holding_.row_count()),
+                  AsMutableBytes(hrow), AccessKind::kRandom, ctx);
+    TpceRows::LastTrade lt;
+    last_trade_.Read(
+        last_trade_.RidOfRow(hrow.s_id % static_cast<uint64_t>(securities_)),
+        AsMutableBytes(lt), AccessKind::kRandom, ctx);
+  }
+}
+
+void TpceWorkload::MarketWatch(IoContext& ctx) {
+  // ~100 price probes against the hot ticker table (mostly buffer hits).
+  for (int i = 0; i < 100; ++i) {
+    const int64_t s = PickSecurity();
+    TpceRows::LastTrade lt;
+    last_trade_.Read(last_trade_.RidOfRow(static_cast<uint64_t>(s)),
+                     AsMutableBytes(lt), AccessKind::kRandom, ctx);
+  }
+}
+
+void TpceWorkload::SecurityDetail(IoContext& ctx) {
+  const int64_t s = PickSecurity();
+  TpceRows::Security srow;
+  security_.Read(security_.RidOfRow(static_cast<uint64_t>(s)),
+                 AsMutableBytes(srow), AccessKind::kRandom, ctx);
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t other = rng_.Uniform(static_cast<uint64_t>(securities_));
+    security_.Read(security_.RidOfRow(other), AsMutableBytes(srow),
+                   AccessKind::kRandom, ctx);
+  }
+}
+
+void TpceWorkload::TradeLookup(IoContext& ctx) {
+  // Uniform over the whole history: the cold random-read tail.
+  for (int i = 0; i < 8; ++i) ReadTrade(PickAnyTrade(), ctx);
+}
+
+void TpceWorkload::TradeUpdate(IoContext& ctx) {
+  const uint64_t txn = next_txn_id_++;
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t t_row = PickAnyTrade();
+    TpceRows::Trade trow;
+    const Rid trid = trade_.RidOfRow(t_row);
+    trade_.Read(trid, AsMutableBytes(trow), AccessKind::kRandom, ctx);
+    trow.qty += 1;
+    trade_.Update(trid, AsBytes(trow), txn, ctx);
+  }
+}
+
+void TpceWorkload::MarketFeed(IoContext& ctx) {
+  const uint64_t txn = next_txn_id_++;
+  for (int i = 0; i < 20; ++i) {
+    const int64_t s = PickSecurity();
+    TpceRows::LastTrade lt;
+    const Rid ltrid = last_trade_.RidOfRow(static_cast<uint64_t>(s));
+    last_trade_.Read(ltrid, AsMutableBytes(lt), AccessKind::kRandom, ctx);
+    lt.price_cents += static_cast<int64_t>(rng_.Uniform(21)) - 10;
+    last_trade_.Update(ltrid, AsBytes(lt), txn, ctx);
+  }
+}
+
+void TpceWorkload::BrokerVolume(IoContext& ctx) {
+  for (int i = 0; i < 20; ++i) ReadTrade(PickAnyTrade(), ctx);
+}
+
+}  // namespace turbobp

@@ -1,0 +1,128 @@
+#ifndef TURBOBP_WORKLOAD_TPCE_H_
+#define TURBOBP_WORKLOAD_TPCE_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "engine/bplus_tree.h"
+#include "engine/heap_file.h"
+#include "workload/driver.h"
+
+namespace turbobp {
+
+// TPC-E-style OLTP workload: read-intensive (roughly 9 reads : 1 write at
+// the transaction-mix level, versus TPC-C's 2:1 with updates), moderately
+// skewed. The paper uses it to show that when updates are rare the three
+// SSD designs and TAC converge (Figure 5 d-f), with the peak speedup when
+// the working set just fits the SSD (20K customers).
+//
+// The mix mirrors the spec's transaction weights: Trade-Order 10%,
+// Trade-Result 10% (the tpsE metric), Trade-Status 19%, Customer-Position
+// 13%, Market-Watch 18%, Security-Detail 14%, Trade-Lookup 8%,
+// Trade-Update 2%, Market-Feed 1%, Broker-Volume 5%. Hot traffic goes to
+// accounts, holdings, securities and *recent* trades; Trade-Lookup/Update
+// sample uniformly over the whole trade history — the cold random tail.
+struct TpceConfig {
+  int64_t customers = 5000;
+  int64_t trades_per_customer = 60;  // initial trade-history depth
+  int64_t holdings_per_customer = 10;
+  uint64_t seed = 7;
+  bool commit_force = true;
+};
+
+struct TpceRows {
+  struct Customer {
+    uint64_t c_id;
+    uint64_t tier;
+    char pad[112];
+  };
+  struct Account {
+    uint64_t ca_id;
+    int64_t balance_cents;
+    char pad[80];
+  };
+  struct Security {
+    uint64_t s_id;
+    int64_t last_price_cents;
+    char pad[112];
+  };
+  struct LastTrade {  // hot price ticker, one row per security
+    uint64_t s_id;
+    int64_t price_cents;
+    uint64_t trade_count;
+    char pad[8];
+  };
+  struct Trade {
+    uint64_t t_id;
+    uint64_t ca_id;
+    uint64_t s_id;
+    uint32_t status;  // 0 pending, 1 completed
+    uint32_t qty;
+    int64_t price_cents;
+    char pad[88];
+  };
+  struct Holding {
+    uint64_t h_id;  // account * holdings_per_customer + slot
+    uint64_t s_id;
+    uint32_t qty;
+    uint32_t pad0;
+    int64_t cost_basis_cents;
+    char pad[32];
+  };
+};
+static_assert(sizeof(TpceRows::Customer) == 128);
+static_assert(sizeof(TpceRows::Account) == 96);
+static_assert(sizeof(TpceRows::Security) == 128);
+static_assert(sizeof(TpceRows::LastTrade) == 32);
+static_assert(sizeof(TpceRows::Trade) == 128);
+static_assert(sizeof(TpceRows::Holding) == 64);
+
+class TpceWorkload : public Workload {
+ public:
+  static void Populate(Database* db, const TpceConfig& config);
+
+  TpceWorkload(Database* db, const TpceConfig& config);
+
+  std::string name() const override { return "TPC-E"; }
+  bool RunTransaction(int client_id, IoContext& ctx) override;
+
+  static uint64_t EstimateDbPages(const TpceConfig& config,
+                                  uint32_t page_bytes);
+
+  int64_t trade_results() const { return trade_results_; }
+
+ private:
+  void TradeOrder(IoContext& ctx);
+  void TradeResult(IoContext& ctx);
+  void TradeStatus(IoContext& ctx);
+  void CustomerPosition(IoContext& ctx);
+  void MarketWatch(IoContext& ctx);
+  void SecurityDetail(IoContext& ctx);
+  void TradeLookup(IoContext& ctx);
+  void TradeUpdate(IoContext& ctx);
+  void MarketFeed(IoContext& ctx);
+  void BrokerVolume(IoContext& ctx);
+
+  int64_t PickAccount();   // skewed (Zipf)
+  int64_t PickSecurity();  // skewed (Zipf)
+  uint64_t PickRecentTrade();
+  uint64_t PickAnyTrade();
+  void ReadTrade(uint64_t t_row, IoContext& ctx);
+
+  Database* db_;
+  TpceConfig config_;
+  Rng rng_;
+  int64_t securities_;
+  uint64_t trade_capacity_;
+  uint64_t next_txn_id_ = 1;
+  uint64_t trade_seq_ = 0;
+
+  HeapFile customer_, account_, security_, last_trade_, trade_, holding_;
+  BPlusTree trades_by_account_;  // (ca_id<<26 | t_seq_low) -> trade row
+
+  int64_t trade_results_ = 0;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_WORKLOAD_TPCE_H_

@@ -1,0 +1,504 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace turbobp {
+
+namespace {
+
+enum TableId {
+  kLineItem = 0,
+  kOrders = 1,
+  kCustomer = 2,
+  kPart = 3,
+  kPartSupp = 4,
+  kSupplier = 5,
+  kNumTables = 6,
+};
+
+constexpr uint32_t kLinesPerOrder = 4;  // spec average; fixed for direct RIDs
+constexpr uint32_t kScanOpPages = 8;    // one read-ahead window per op
+constexpr uint32_t kLookupOpRows = 4;   // random lookups per op
+
+struct Sizes {
+  uint64_t orders;
+  uint64_t lineitem;
+  uint64_t customer;
+  uint64_t part;
+  uint64_t partsupp;
+  uint64_t supplier;
+};
+
+Sizes SizesFor(const TpchConfig& c) {
+  const double m = c.scale_factor * c.row_scale;
+  Sizes s;
+  s.orders = std::max<uint64_t>(200, static_cast<uint64_t>(1500000 * m));
+  s.lineitem = s.orders * kLinesPerOrder;
+  s.customer = std::max<uint64_t>(50, static_cast<uint64_t>(150000 * m));
+  s.part = std::max<uint64_t>(50, static_cast<uint64_t>(200000 * m));
+  s.partsupp = s.part * 4;
+  s.supplier = std::max<uint64_t>(10, static_cast<uint64_t>(10000 * m));
+  return s;
+}
+
+template <typename Row>
+std::span<const uint8_t> AsBytes(const Row& row) {
+  return {reinterpret_cast<const uint8_t*>(&row), sizeof(Row)};
+}
+
+double GeoMeanSeconds(const std::vector<TpchQueryResult>& timings) {
+  double log_sum = 0.0;
+  for (const auto& t : timings) {
+    log_sum += std::log(std::max(1e-6, ToSeconds(t.elapsed)));
+  }
+  return std::exp(log_sum / static_cast<double>(timings.size()));
+}
+
+}  // namespace
+
+uint64_t TpchWorkload::EstimateDbPages(const TpchConfig& config,
+                                       uint32_t page_bytes) {
+  const Sizes s = SizesFor(config);
+  const uint64_t payload = page_bytes - kPageHeaderSize;
+  auto pages = [payload](uint64_t rows, uint64_t row_bytes) {
+    const uint64_t per = payload / row_bytes;
+    return (rows + per - 1) / per;
+  };
+  // RF headroom: the orders/lineitem extents carry 3% extra capacity.
+  uint64_t total = 0;
+  total += pages(s.lineitem * 103 / 100, sizeof(TpchRows::LineItem));
+  total += pages(s.orders * 103 / 100, sizeof(TpchRows::Order));
+  total += pages(s.customer, sizeof(TpchRows::Customer));
+  total += pages(s.part, sizeof(TpchRows::Part));
+  total += pages(s.partsupp, sizeof(TpchRows::PartSupp));
+  total += pages(s.supplier, sizeof(TpchRows::Supplier));
+  return total;
+}
+
+void TpchWorkload::Populate(Database* db, const TpchConfig& config) {
+  TURBOBP_CHECK(db != nullptr);
+  IoContext ctx = db->system().MakeContext(/*charge=*/false);
+  Rng rng(config.seed);
+  const Sizes s = SizesFor(config);
+
+  HeapFile lineitem =
+      HeapFile::Create(db, "h_lineitem", sizeof(TpchRows::LineItem),
+                       s.lineitem * 103 / 100);
+  HeapFile orders = HeapFile::Create(db, "h_orders", sizeof(TpchRows::Order),
+                                     s.orders * 103 / 100);
+  HeapFile customer = HeapFile::Create(db, "h_customer",
+                                       sizeof(TpchRows::Customer), s.customer);
+  HeapFile part =
+      HeapFile::Create(db, "h_part", sizeof(TpchRows::Part), s.part);
+  HeapFile partsupp = HeapFile::Create(db, "h_partsupp",
+                                       sizeof(TpchRows::PartSupp), s.partsupp);
+  HeapFile supplier = HeapFile::Create(db, "h_supplier",
+                                       sizeof(TpchRows::Supplier), s.supplier);
+
+  for (uint64_t o = 0; o < s.orders; ++o) {
+    TpchRows::Order row{};
+    row.o_orderkey = o;
+    row.o_custkey = rng.Uniform(s.customer);
+    row.orderdate = static_cast<uint32_t>(rng.Uniform(2557));  // 7 years
+    orders.Append(AsBytes(row), 0, ctx);
+    for (uint32_t l = 0; l < kLinesPerOrder; ++l) {
+      TpchRows::LineItem li{};
+      li.l_orderkey = o;
+      li.l_partkey = rng.Uniform(s.part);
+      li.l_suppkey = rng.Uniform(s.supplier);
+      li.quantity = 1 + static_cast<uint32_t>(rng.Uniform(50));
+      li.extended_price_cents = static_cast<int64_t>(rng.Uniform(1000000));
+      li.shipdate = row.orderdate + static_cast<uint32_t>(rng.Uniform(122));
+      lineitem.Append(AsBytes(li), 0, ctx);
+      row.total_price_cents += li.extended_price_cents;
+    }
+  }
+  for (uint64_t i = 0; i < s.customer; ++i) {
+    TpchRows::Customer row{};
+    row.c_custkey = i;
+    row.c_nationkey = rng.Uniform(25);
+    customer.Append(AsBytes(row), 0, ctx);
+  }
+  for (uint64_t i = 0; i < s.part; ++i) {
+    TpchRows::Part row{};
+    row.p_partkey = i;
+    row.retail_price_cents = 90000 + static_cast<int64_t>(rng.Uniform(20000));
+    part.Append(AsBytes(row), 0, ctx);
+    for (int j = 0; j < 4; ++j) {
+      TpchRows::PartSupp ps{};
+      ps.ps_partkey = i;
+      ps.ps_suppkey = rng.Uniform(s.supplier);
+      ps.avail_qty = static_cast<uint32_t>(rng.Uniform(9999));
+      partsupp.Append(AsBytes(ps), 0, ctx);
+    }
+  }
+  for (uint64_t i = 0; i < s.supplier; ++i) {
+    TpchRows::Supplier row{};
+    row.s_suppkey = i;
+    row.s_nationkey = rng.Uniform(25);
+    supplier.Append(AsBytes(row), 0, ctx);
+  }
+
+  db->pool().FlushAllDirty(ctx, /*for_checkpoint=*/false);
+  db->pool().Reset();
+}
+
+TpchWorkload::TpchWorkload(Database* db, const TpchConfig& config)
+    : db_(db), config_(config), rng_(config.seed ^ 0xDEC1) {
+  tables_.resize(kNumTables);
+  tables_[kLineItem] = HeapFile::Attach(db, "h_lineitem");
+  tables_[kOrders] = HeapFile::Attach(db, "h_orders");
+  tables_[kCustomer] = HeapFile::Attach(db, "h_customer");
+  tables_[kPart] = HeapFile::Attach(db, "h_part");
+  tables_[kPartSupp] = HeapFile::Attach(db, "h_partsupp");
+  tables_[kSupplier] = HeapFile::Attach(db, "h_supplier");
+  orders_rows_ = SizesFor(config).orders;
+}
+
+void TpchWorkload::AppendScan(std::vector<Op>* ops, int tbl, double fraction,
+                              Rng& rng) {
+  HeapFile& file = tables_[tbl];
+  const uint64_t total = file.num_pages();
+  const uint64_t want =
+      std::max<uint64_t>(1, static_cast<uint64_t>(total * fraction));
+  // A fractional scan reads a contiguous slice (a date-range segment).
+  const uint64_t start = want >= total ? 0 : rng.Uniform(total - want);
+  for (uint64_t p = 0; p < want; p += kScanOpPages) {
+    ops->push_back(Op{Op::kScanWindow, tbl, start + p,
+                      static_cast<uint32_t>(
+                          std::min<uint64_t>(kScanOpPages, want - p)),
+                      0});
+  }
+}
+
+void TpchWorkload::AppendLookups(std::vector<Op>* ops, int tbl,
+                                 uint64_t rows) {
+  for (uint64_t r = 0; r < rows; r += kLookupOpRows) {
+    ops->push_back(Op{Op::kRandomRows, tbl, 0, 0,
+                      static_cast<uint32_t>(
+                          std::min<uint64_t>(kLookupOpRows, rows - r))});
+  }
+}
+
+void TpchWorkload::AppendOrderJoins(std::vector<Op>* ops, uint64_t orders) {
+  for (uint64_t r = 0; r < orders; ++r) {
+    ops->push_back(Op{Op::kOrderWithLines, 0, 0, 0, 1});
+  }
+}
+
+std::vector<TpchWorkload::Op> TpchWorkload::CompileQuery(int q, Rng& rng) {
+  std::vector<Op> ops;
+  const Sizes s = SizesFor(config_);
+  // Random-lookup volumes scale with table cardinality.
+  const uint64_t li_pct = std::max<uint64_t>(1, s.lineitem / 100);
+  const uint64_t ord_pct = std::max<uint64_t>(1, s.orders / 100);
+  const uint64_t part_pct = std::max<uint64_t>(1, s.part / 100);
+  const uint64_t ps_pct = std::max<uint64_t>(1, s.partsupp / 100);
+  switch (q) {
+    case 1:  // pricing summary: full LINEITEM scan
+      AppendScan(&ops, kLineItem, 1.0, rng);
+      break;
+    case 2:  // minimum-cost supplier: random PART/PARTSUPP/SUPPLIER probing
+      AppendScan(&ops, kPart, 0.1, rng);
+      AppendLookups(&ops, kPartSupp, ps_pct * 2);
+      AppendLookups(&ops, kSupplier, s.supplier / 10);
+      break;
+    case 3:  // shipping priority
+      AppendScan(&ops, kCustomer, 1.0, rng);
+      AppendScan(&ops, kOrders, 1.0, rng);
+      AppendScan(&ops, kLineItem, 0.5, rng);
+      break;
+    case 4:  // order priority: ORDERS scan + LINEITEM existence probes
+      AppendScan(&ops, kOrders, 0.25, rng);
+      AppendOrderJoins(&ops, ord_pct * 4);
+      break;
+    case 5:  // local supplier volume
+      AppendScan(&ops, kCustomer, 1.0, rng);
+      AppendScan(&ops, kOrders, 0.3, rng);
+      AppendScan(&ops, kLineItem, 0.3, rng);
+      AppendScan(&ops, kSupplier, 1.0, rng);
+      break;
+    case 6:  // forecasting revenue change: LINEITEM range scan
+      AppendScan(&ops, kLineItem, 0.15, rng);
+      break;
+    case 7:  // volume shipping
+      AppendScan(&ops, kLineItem, 0.6, rng);
+      AppendScan(&ops, kOrders, 1.0, rng);
+      AppendScan(&ops, kCustomer, 1.0, rng);
+      AppendScan(&ops, kSupplier, 1.0, rng);
+      break;
+    case 8:  // national market share
+      AppendScan(&ops, kPart, 0.1, rng);
+      AppendOrderJoins(&ops, ord_pct * 3);
+      AppendScan(&ops, kCustomer, 1.0, rng);
+      break;
+    case 9:  // product type profit
+      AppendScan(&ops, kPart, 0.2, rng);
+      AppendScan(&ops, kLineItem, 1.0, rng);
+      AppendLookups(&ops, kPartSupp, ps_pct * 5);
+      break;
+    case 10:  // returned items
+      AppendScan(&ops, kLineItem, 0.25, rng);
+      AppendScan(&ops, kOrders, 1.0, rng);
+      AppendScan(&ops, kCustomer, 1.0, rng);
+      break;
+    case 11:  // important stock: PARTSUPP scan + supplier probes
+      AppendScan(&ops, kPartSupp, 1.0, rng);
+      AppendLookups(&ops, kSupplier, s.supplier / 25);
+      break;
+    case 12:  // shipping modes
+      AppendScan(&ops, kLineItem, 1.0, rng);
+      AppendLookups(&ops, kOrders, ord_pct * 2);
+      break;
+    case 13:  // customer distribution
+      AppendScan(&ops, kCustomer, 1.0, rng);
+      AppendScan(&ops, kOrders, 1.0, rng);
+      break;
+    case 14:  // promotion effect: month of LINEITEM + PART probes
+      AppendScan(&ops, kLineItem, 0.08, rng);
+      AppendLookups(&ops, kPart, part_pct * 2);
+      break;
+    case 15:  // top supplier
+      AppendScan(&ops, kLineItem, 0.25, rng);
+      AppendScan(&ops, kSupplier, 1.0, rng);
+      break;
+    case 16:  // parts/supplier relationship
+      AppendScan(&ops, kPartSupp, 1.0, rng);
+      AppendScan(&ops, kPart, 1.0, rng);
+      break;
+    case 17:  // small-quantity-order revenue: random LINEITEM lookups by part
+      AppendLookups(&ops, kPart, part_pct);
+      AppendLookups(&ops, kLineItem, li_pct);
+      break;
+    case 18:  // large volume customer
+      AppendScan(&ops, kOrders, 1.0, rng);
+      AppendScan(&ops, kLineItem, 1.0, rng);
+      break;
+    case 19:  // discounted revenue: LINEITEM probes via parts (index heavy)
+      AppendLookups(&ops, kPart, part_pct / 2);
+      AppendLookups(&ops, kLineItem, li_pct / 2);
+      break;
+    case 20:  // potential part promotion
+      AppendScan(&ops, kPart, 0.2, rng);
+      AppendLookups(&ops, kPartSupp, ps_pct * 2);
+      AppendLookups(&ops, kLineItem, li_pct / 2);
+      break;
+    case 21:  // waiting suppliers
+      AppendScan(&ops, kLineItem, 1.0, rng);
+      AppendLookups(&ops, kOrders, ord_pct * 4);
+      AppendScan(&ops, kSupplier, 1.0, rng);
+      break;
+    case 22:  // global sales opportunity
+      AppendScan(&ops, kCustomer, 0.1, rng);
+      AppendLookups(&ops, kOrders, ord_pct * 3);
+      break;
+    default:
+      Panic(__FILE__, __LINE__, "unknown TPC-H query");
+  }
+  return ops;
+}
+
+void TpchWorkload::ExecuteOp(const Op& op, Rng& rng, IoContext& ctx) {
+  switch (op.kind) {
+    case Op::kScanWindow: {
+      HeapFile& file = tables_[op.table];
+      file.ScanRange(op.from_page, op.page_count, ctx, nullptr);
+      break;
+    }
+    case Op::kRandomRows: {
+      HeapFile& file = tables_[op.table];
+      const uint64_t rows = file.row_count();
+      if (rows == 0) break;
+      std::vector<uint8_t> buf(file.info().row_bytes);
+      for (uint32_t i = 0; i < op.row_count; ++i) {
+        file.Read(file.RidOfRow(rng.Uniform(rows)), buf, AccessKind::kRandom,
+                  ctx);
+      }
+      break;
+    }
+    case Op::kOrderWithLines: {
+      HeapFile& orders = tables_[kOrders];
+      HeapFile& lineitem = tables_[kLineItem];
+      std::vector<uint8_t> buf(
+          std::max(orders.info().row_bytes, lineitem.info().row_bytes));
+      const uint64_t o = rng.Uniform(orders_rows_);
+      orders.Read(orders.RidOfRow(o),
+                  std::span<uint8_t>(buf.data(), orders.info().row_bytes),
+                  AccessKind::kRandom, ctx);
+      for (uint32_t l = 0; l < kLinesPerOrder; ++l) {
+        lineitem.Read(
+            lineitem.RidOfRow(o * kLinesPerOrder + l),
+            std::span<uint8_t>(buf.data(), lineitem.info().row_bytes),
+            AccessKind::kRandom, ctx);
+      }
+      break;
+    }
+  }
+}
+
+Time TpchWorkload::RunQuery(int q, IoContext& ctx) {
+  const Time begin = ctx.now;
+  Rng rng(config_.seed * 977 + static_cast<uint64_t>(q));
+  for (const Op& op : CompileQuery(q, rng)) {
+    ExecuteOp(op, rng, ctx);
+  }
+  return ctx.now - begin;
+}
+
+void TpchWorkload::RunRefresh(int which, IoContext& ctx) {
+  // RF1 inserts (RF2 deletes) SF*1500 orders plus their lines — 0.1% of the
+  // table, per the spec. Deletion is modeled as overwriting the oldest
+  // rows (redo-only engine), which produces the same write pattern.
+  const uint64_t count = std::max<uint64_t>(1, orders_rows_ / 1000);
+  HeapFile& orders = tables_[kOrders];
+  HeapFile& lineitem = tables_[kLineItem];
+  const uint64_t txn = next_txn_id_++;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t row =
+        which == 1 ? (orders_rows_ + rf_cursor_) % orders.capacity_rows()
+                   : rf_cursor_ % orders_rows_;
+    ++rf_cursor_;
+    TpchRows::Order orow{};
+    orow.o_orderkey = row;
+    orow.o_custkey = rng_.Uniform(tables_[kCustomer].row_count());
+    if (row < orders.row_count()) {
+      orders.Update(orders.RidOfRow(row), AsBytes(orow), txn, ctx);
+    } else {
+      orders.Append(AsBytes(orow), txn, ctx);
+    }
+    for (uint32_t l = 0; l < kLinesPerOrder; ++l) {
+      TpchRows::LineItem li{};
+      li.l_orderkey = row;
+      const uint64_t lrow = row * kLinesPerOrder + l;
+      if (lrow < lineitem.row_count()) {
+        lineitem.Update(lineitem.RidOfRow(lrow), AsBytes(li), txn, ctx);
+      } else if (lrow == lineitem.row_count()) {
+        lineitem.Append(AsBytes(li), txn, ctx);
+      }
+    }
+  }
+  db_->system().log().CommitForce(ctx);
+}
+
+// A query stream actor for the throughput test: runs its queries a few ops
+// per event so streams interleave on the devices.
+class TpchStream {
+ public:
+  TpchStream(TpchWorkload* workload, std::vector<int> queries, uint64_t seed,
+             std::function<void(Time)> on_done)
+      : workload_(workload),
+        queries_(std::move(queries)),
+        rng_(seed),
+        on_done_(std::move(on_done)) {}
+
+  void Start() {
+    NextQuery();
+    Step();
+  }
+
+ private:
+  static constexpr int kOpsPerEvent = 4;
+
+  void NextQuery() {
+    if (qi_ >= queries_.size()) {
+      done_ = true;
+      return;
+    }
+    ops_ = workload_->CompileQuery(queries_[qi_], rng_);
+    oi_ = 0;
+    ++qi_;
+  }
+
+  void Step() {
+    SimExecutor& ex = workload_->db_->system().executor();
+    if (done_) {
+      on_done_(ex.now());
+      delete this;
+      return;
+    }
+    IoContext ctx = workload_->db_->system().MakeContext();
+    for (int n = 0; n < kOpsPerEvent && !done_; ++n) {
+      if (oi_ >= ops_.size()) {
+        NextQuery();
+        continue;
+      }
+      workload_->ExecuteOp(ops_[oi_++], rng_, ctx);
+    }
+    ex.ScheduleAt(std::max(ctx.now, ex.now()), [this] { Step(); });
+  }
+
+  TpchWorkload* workload_;
+  std::vector<int> queries_;
+  Rng rng_;
+  std::function<void(Time)> on_done_;
+  std::vector<TpchWorkload::Op> ops_;
+  size_t qi_ = 0;
+  size_t oi_ = 0;
+  bool done_ = false;
+};
+
+TpchTestResult TpchWorkload::RunFullBenchmark() {
+  TpchTestResult result;
+  SimExecutor& ex = db_->system().executor();
+
+  // ---- Power test: RF1, Q1..Q22 serially, RF2 (single stream).
+  const Time power_start = ex.now();
+  {
+    IoContext ctx = db_->system().MakeContext();
+    const Time rf1_begin = ctx.now;
+    RunRefresh(1, ctx);
+    result.power_timings.push_back(TpchQueryResult{23, ctx.now - rf1_begin});
+    for (int q = 1; q <= kNumQueries; ++q) {
+      const Time t = RunQuery(q, ctx);
+      result.power_timings.push_back(TpchQueryResult{q, t});
+    }
+    const Time rf2_begin = ctx.now;
+    RunRefresh(2, ctx);
+    result.power_timings.push_back(TpchQueryResult{24, ctx.now - rf2_begin});
+    ex.RunUntil(ctx.now);
+  }
+  result.power_elapsed = ex.now() - power_start;
+
+  // ---- Throughput test: S concurrent query streams + a refresh stream.
+  const Time tp_start = ex.now();
+  int remaining = config_.streams;
+  Time last_done = tp_start;
+  for (int s = 0; s < config_.streams; ++s) {
+    std::vector<int> order;
+    for (int q = 0; q < kNumQueries; ++q) {
+      order.push_back(1 + (q + s * 7) % kNumQueries);  // rotated permutation
+    }
+    auto* stream = new TpchStream(this, std::move(order),
+                                  config_.seed + 100 + static_cast<uint64_t>(s),
+                                  [&remaining, &last_done](Time t) {
+                                    --remaining;
+                                    last_done = std::max(last_done, t);
+                                  });
+    stream->Start();
+  }
+  // Refresh stream: one RF pair per query stream, spread over the test.
+  ex.ScheduleAfter(Seconds(1), [this] {
+    IoContext ctx = db_->system().MakeContext();
+    for (int i = 0; i < config_.streams; ++i) {
+      RunRefresh(1, ctx);
+      RunRefresh(2, ctx);
+    }
+  });
+  while (remaining > 0 && ex.RunOne()) {
+  }
+  result.throughput_elapsed = std::max<Time>(1, last_done - tp_start);
+
+  // ---- Spec arithmetic.
+  const double sf = config_.scale_factor;
+  result.power_at_sf = 3600.0 * sf / GeoMeanSeconds(result.power_timings);
+  result.throughput_at_sf =
+      static_cast<double>(config_.streams) * kNumQueries * 3600.0 /
+      ToSeconds(result.throughput_elapsed) * sf;
+  result.qphh = std::sqrt(result.power_at_sf * result.throughput_at_sf);
+  return result;
+}
+
+}  // namespace turbobp

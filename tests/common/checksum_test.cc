@@ -1,0 +1,46 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace turbobp {
+namespace {
+
+TEST(Crc32cTest, KnownVector) {
+  // RFC 3720 test vector: CRC32C of 32 zero bytes.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, KnownVectorOnes) {
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, KnownVectorAscending) {
+  std::vector<uint8_t> asc(32);
+  for (int i = 0; i < 32; ++i) asc[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(asc.data(), asc.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  std::string data(100, 'a');
+  const uint32_t before = Crc32c(data.data(), data.size());
+  data[50] ^= 1;
+  EXPECT_NE(before, Crc32c(data.data(), data.size()));
+}
+
+TEST(Crc32cTest, Deterministic) {
+  std::string data = "turbocharging dbms buffer pool using ssds";
+  EXPECT_EQ(Crc32c(data.data(), data.size()),
+            Crc32c(data.data(), data.size()));
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,140 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace turbobp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Uniform(10)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 * 0.9);
+    EXPECT_LT(c, n / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, NuRandStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NuRand(255, 10, 500);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 500);
+  }
+}
+
+// The property the paper leans on: TPC-C's NURand concentrates ~75% of
+// accesses on a small fraction of the key space.
+TEST(RngTest, NuRandIsSkewed) {
+  Rng rng(42);
+  const int64_t range = 3000;
+  std::map<int64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[rng.NuRand(1023, 0, range - 1)]++;
+  // Sort keys by popularity and measure the share of the top 30%.
+  std::vector<int> freq;
+  freq.reserve(counts.size());
+  for (const auto& [k, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  int64_t top = 0, total = 0;
+  for (size_t i = 0; i < freq.size(); ++i) {
+    total += freq[i];
+    if (i < static_cast<size_t>(range) * 3 / 10) top += freq[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.70);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(8);
+  const int64_t n = 1000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = rng.Zipf(n, 0.8);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    counts[v]++;
+  }
+  // Rank 0 must dominate the median element by a wide margin.
+  EXPECT_GT(counts[0], counts[n / 2] * 10);
+}
+
+TEST(RngTest, ZipfHandlesTinyDomains) {
+  Rng rng(8);
+  EXPECT_EQ(rng.Zipf(1, 0.9), 0);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.Zipf(2, 0.9);
+    EXPECT_TRUE(v == 0 || v == 1);
+  }
+}
+
+}  // namespace
+}  // namespace turbobp

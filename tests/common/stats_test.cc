@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace turbobp {
+namespace {
+
+TEST(TimeSeriesTest, RecordsIntoCorrectBuckets) {
+  TimeSeries ts(Seconds(1));
+  ts.Record(Millis(100));
+  ts.Record(Millis(900));
+  ts.Record(Millis(1100), 2.0);
+  EXPECT_DOUBLE_EQ(ts.BucketSum(0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.BucketSum(1), 2.0);
+  EXPECT_DOUBLE_EQ(ts.BucketSum(2), 0.0);
+}
+
+TEST(TimeSeriesTest, BucketRateDividesByWidth) {
+  TimeSeries ts(Seconds(2));
+  ts.Record(0, 10.0);
+  EXPECT_DOUBLE_EQ(ts.BucketRate(0), 5.0);
+}
+
+TEST(TimeSeriesTest, NegativeTimeIgnored) {
+  TimeSeries ts(Seconds(1));
+  ts.Record(-5);
+  EXPECT_EQ(ts.num_buckets(), 0u);
+}
+
+TEST(TimeSeriesTest, AverageRateOverWindow) {
+  TimeSeries ts(Seconds(1));
+  for (int i = 0; i < 10; ++i) ts.Record(Seconds(i) + 1, 1.0);
+  // Buckets 5..9 hold one event each -> 1/s.
+  EXPECT_DOUBLE_EQ(ts.AverageRate(Seconds(5), Seconds(10)), 1.0);
+}
+
+TEST(TimeSeriesTest, AverageRateEmptyWindowIsZero) {
+  TimeSeries ts(Seconds(1));
+  EXPECT_DOUBLE_EQ(ts.AverageRate(Seconds(5), Seconds(10)), 0.0);
+}
+
+TEST(TimeSeriesTest, SmoothedRatesIsMovingAverage) {
+  TimeSeries ts(Seconds(1));
+  ts.Record(Millis(500), 3.0);   // bucket 0
+  ts.Record(Millis(1500), 6.0);  // bucket 1
+  ts.Record(Millis(2500), 9.0);  // bucket 2
+  const auto smooth = ts.SmoothedRates(3);
+  ASSERT_EQ(smooth.size(), 3u);
+  EXPECT_DOUBLE_EQ(smooth[1], 6.0);        // (3+6+9)/3
+  EXPECT_DOUBLE_EQ(smooth[0], 4.5);        // (3+6)/2 at the edge
+}
+
+TEST(TimeSeriesTest, BucketMidPoints) {
+  TimeSeries ts(Seconds(2));
+  EXPECT_EQ(ts.BucketMid(0), Seconds(1));
+  EXPECT_EQ(ts.BucketMid(3), Seconds(7));
+}
+
+TEST(HistogramTest, CountMeanMax) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.max(), 30);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99.9));
+  EXPECT_GE(h.Percentile(99.9), 511);  // true p999 is ~999
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(99), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(8);
+  b.Record(16);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.max(), 16);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "23"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, FmtHelpers) {
+  EXPECT_EQ(TextTable::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Fmt(int64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace turbobp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  const Status s = Status::NotFound("page 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.message(), "page 42");
+  EXPECT_EQ(s.ToString(), "NotFound: page 42");
+}
+
+TEST(StatusTest, AllConstructorsProduceTheirCode) {
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::Full().IsFull());
+  EXPECT_EQ(Status::InvalidArgument().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::IoError().code(), Status::Code::kIoError);
+  EXPECT_EQ(Status::Aborted().code(), Status::Code::kAborted);
+}
+
+TEST(StatusTest, EmptyMessageOmitsColon) {
+  EXPECT_EQ(Status::Corruption().ToString(), "Corruption");
+}
+
+TEST(TypesTest, DesignNames) {
+  EXPECT_STREQ(ToString(SsdDesign::kNoSsd), "noSSD");
+  EXPECT_STREQ(ToString(SsdDesign::kCleanWrite), "CW");
+  EXPECT_STREQ(ToString(SsdDesign::kDualWrite), "DW");
+  EXPECT_STREQ(ToString(SsdDesign::kLazyCleaning), "LC");
+  EXPECT_STREQ(ToString(SsdDesign::kTac), "TAC");
+}
+
+TEST(TypesTest, AccessKindNames) {
+  EXPECT_STREQ(ToString(AccessKind::kRandom), "random");
+  EXPECT_STREQ(ToString(AccessKind::kSequential), "sequential");
+}
+
+TEST(TypesTest, TimeConversions) {
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2.5), 2500000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(1500)), 1.5);
+}
+
+TEST(TypesTest, RidEquality) {
+  EXPECT_EQ((Rid{5, 2}), (Rid{5, 2}));
+  EXPECT_FALSE((Rid{5, 2}) == (Rid{5, 3}));
+  EXPECT_FALSE((Rid{6, 2}) == (Rid{5, 2}));
+}
+
+TEST(PanicDeathTest, CheckMacroFiresWithExpression) {
+  EXPECT_DEATH(TURBOBP_CHECK(1 == 2), "1 == 2");
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,206 @@
+#include "engine/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace turbobp {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemConfig config;
+    config.page_bytes = 512;  // small pages force deep trees quickly
+    config.db_pages = 1 << 14;
+    config.bp_frames = 256;
+    config.design = SsdDesign::kNoSsd;
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+    ctx_ = system_->MakeContext();
+    tree_ = BPlusTree::Create(db_.get(), "idx", ctx_);
+  }
+
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+  IoContext ctx_;
+  BPlusTree tree_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTreeFindsNothing) {
+  uint64_t v;
+  EXPECT_FALSE(tree_.Search(42, &v, ctx_));
+  EXPECT_EQ(tree_.num_entries(), 0u);
+  EXPECT_EQ(tree_.height(), 1u);
+}
+
+TEST_F(BPlusTreeTest, InsertThenSearch) {
+  tree_.Insert(10, 100, 1, ctx_);
+  tree_.Insert(5, 50, 1, ctx_);
+  tree_.Insert(20, 200, 1, ctx_);
+  uint64_t v = 0;
+  EXPECT_TRUE(tree_.Search(10, &v, ctx_));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(tree_.Search(5, &v, ctx_));
+  EXPECT_EQ(v, 50u);
+  EXPECT_FALSE(tree_.Search(15, &v, ctx_));
+  EXPECT_EQ(tree_.CheckInvariants(ctx_), 3u);
+}
+
+TEST_F(BPlusTreeTest, SplitsGrowTheTree) {
+  // 512B pages hold (512-40-8)/16 = 29 entries: 1000 inserts force splits
+  // and at least one root split.
+  for (uint64_t k = 0; k < 1000; ++k) tree_.Insert(k, k * 2, 1, ctx_);
+  EXPECT_GT(tree_.height(), 2u);
+  EXPECT_EQ(tree_.CheckInvariants(ctx_), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    uint64_t v;
+    ASSERT_TRUE(tree_.Search(k, &v, ctx_)) << k;
+    ASSERT_EQ(v, k * 2);
+  }
+}
+
+TEST_F(BPlusTreeTest, ReverseInsertionOrder) {
+  for (uint64_t k = 500; k > 0; --k) tree_.Insert(k, k, 1, ctx_);
+  EXPECT_EQ(tree_.CheckInvariants(ctx_), 500u);
+  uint64_t v;
+  EXPECT_TRUE(tree_.Search(1, &v, ctx_));
+  EXPECT_TRUE(tree_.Search(500, &v, ctx_));
+}
+
+TEST_F(BPlusTreeTest, ScanRangeInKeyOrder) {
+  for (uint64_t k = 0; k < 300; ++k) tree_.Insert(k * 3, k, 1, ctx_);
+  std::vector<uint64_t> keys;
+  tree_.ScanRange(30, 90,
+                  [&](uint64_t k, uint64_t) {
+                    keys.push_back(k);
+                    return true;
+                  },
+                  ctx_);
+  ASSERT_EQ(keys.size(), 21u);  // 30,33,...,90
+  EXPECT_EQ(keys.front(), 30u);
+  EXPECT_EQ(keys.back(), 90u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(BPlusTreeTest, ScanStopsWhenCallbackReturnsFalse) {
+  for (uint64_t k = 0; k < 100; ++k) tree_.Insert(k, k, 1, ctx_);
+  int seen = 0;
+  tree_.ScanRange(0, 99,
+                  [&](uint64_t, uint64_t) { return ++seen < 5; }, ctx_);
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(BPlusTreeTest, DeleteRemovesEntry) {
+  for (uint64_t k = 0; k < 200; ++k) tree_.Insert(k, k, 1, ctx_);
+  EXPECT_TRUE(tree_.Delete(100, 1, ctx_));
+  uint64_t v;
+  EXPECT_FALSE(tree_.Search(100, &v, ctx_));
+  EXPECT_FALSE(tree_.Delete(100, 1, ctx_));  // already gone
+  EXPECT_EQ(tree_.CheckInvariants(ctx_), 199u);
+}
+
+TEST_F(BPlusTreeTest, DuplicateKeysAllCluster) {
+  for (int i = 0; i < 10; ++i) tree_.Insert(7, static_cast<uint64_t>(i), 1, ctx_);
+  int count = 0;
+  tree_.ScanRange(7, 7,
+                  [&](uint64_t, uint64_t) {
+                    ++count;
+                    return true;
+                  },
+                  ctx_);
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(BPlusTreeTest, BulkLoadMatchesIncrementalSemantics) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 2000; ++k) entries.emplace_back(k * 7, k);
+  IoContext loader = system_->MakeContext(/*charge=*/false);
+  tree_.BulkLoad(entries, loader);
+  EXPECT_EQ(tree_.CheckInvariants(ctx_), 2000u);
+  for (uint64_t k = 0; k < 2000; k += 97) {
+    uint64_t v;
+    ASSERT_TRUE(tree_.Search(k * 7, &v, ctx_));
+    ASSERT_EQ(v, k);
+  }
+  uint64_t v;
+  EXPECT_FALSE(tree_.Search(3, &v, ctx_));
+}
+
+TEST_F(BPlusTreeTest, InsertAfterBulkLoad) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 500; ++k) entries.emplace_back(k * 2, k);
+  IoContext loader = system_->MakeContext(/*charge=*/false);
+  tree_.BulkLoad(entries, loader);
+  for (uint64_t k = 0; k < 500; ++k) tree_.Insert(k * 2 + 1, k, 1, ctx_);
+  EXPECT_EQ(tree_.CheckInvariants(ctx_), 1000u);
+}
+
+TEST_F(BPlusTreeTest, SplitPagesAreLogged) {
+  const int64_t before = system_->log().num_records();
+  for (uint64_t k = 0; k < 100; ++k) tree_.Insert(k, k, 1, ctx_);
+  EXPECT_GT(system_->log().num_records(), before + 100);  // inserts + splits
+}
+
+TEST_F(BPlusTreeTest, LookupsAreRandomAccessesForTheSsdPolicy) {
+  for (uint64_t k = 0; k < 2000; ++k) tree_.Insert(k, k, 1, ctx_);
+  system_->buffer_pool().ResetStats();
+  uint64_t v;
+  tree_.Search(1234, &v, ctx_);
+  const auto& stats = system_->buffer_pool().stats();
+  EXPECT_EQ(stats.prefetch_pages, 0);  // descents never use read-ahead
+}
+
+// Property test: randomized interleaving of inserts and deletes against a
+// std::multimap oracle.
+TEST(BPlusTreePropertyTest, MatchesOracleUnderRandomOps) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SystemConfig config;
+    config.page_bytes = 512;
+    config.db_pages = 1 << 14;
+    config.bp_frames = 128;
+    DbSystem system(config);
+    Database db(&system);
+    IoContext ctx = system.MakeContext();
+    BPlusTree tree = BPlusTree::Create(&db, "oracle_idx", ctx);
+    std::multimap<uint64_t, uint64_t> oracle;
+    Rng rng(seed);
+    for (int step = 0; step < 4000; ++step) {
+      const uint64_t key = rng.Uniform(500);
+      if (rng.Bernoulli(0.7)) {
+        const uint64_t value = rng.Next();
+        tree.Insert(key, value, 1, ctx);
+        oracle.emplace(key, value);
+      } else if (oracle.count(key) > 0) {
+        EXPECT_TRUE(tree.Delete(key, 1, ctx));
+        oracle.erase(oracle.find(key));
+      } else {
+        EXPECT_FALSE(tree.Delete(key, 1, ctx));
+      }
+    }
+    ASSERT_EQ(tree.CheckInvariants(ctx), oracle.size());
+    // Full-range scan must reproduce the oracle's key sequence.
+    std::vector<uint64_t> got, want;
+    tree.ScanRange(0, UINT64_MAX,
+                   [&](uint64_t k, uint64_t) {
+                     got.push_back(k);
+                     return true;
+                   },
+                   ctx);
+    for (const auto& [k, v] : oracle) want.push_back(k);
+    ASSERT_EQ(got, want) << "seed " << seed;
+    // Point lookups agree on presence.
+    for (uint64_t key = 0; key < 500; ++key) {
+      uint64_t v;
+      ASSERT_EQ(tree.Search(key, &v, ctx), oracle.contains(key))
+          << "seed " << seed << " key " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,104 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace turbobp {
+namespace {
+
+SystemConfig SmallConfig(SsdDesign design) {
+  SystemConfig config;
+  config.page_bytes = 1024;
+  config.db_pages = 4096;
+  config.bp_frames = 32;
+  config.ssd_frames = 128;
+  config.design = design;
+  config.ssd_options.num_partitions = 2;
+  return config;
+}
+
+TEST(DbSystemTest, WiresTheDesignRequested) {
+  for (SsdDesign d :
+       {SsdDesign::kNoSsd, SsdDesign::kCleanWrite, SsdDesign::kDualWrite,
+        SsdDesign::kLazyCleaning, SsdDesign::kTac}) {
+    DbSystem system(SmallConfig(d));
+    EXPECT_EQ(system.ssd_manager().design(), d) << ToString(d);
+    if (d == SsdDesign::kNoSsd) {
+      EXPECT_EQ(system.ssd_device(), nullptr);
+    } else {
+      ASSERT_NE(system.ssd_device(), nullptr);
+      EXPECT_GE(system.ssd_device()->num_pages(), 128u);
+    }
+  }
+}
+
+TEST(DbSystemTest, PageSizePropagatesToAllComponents) {
+  DbSystem system(SmallConfig(SsdDesign::kDualWrite));
+  EXPECT_EQ(system.buffer_pool().page_bytes(), 1024u);
+  EXPECT_EQ(system.disk_manager().page_bytes(), 1024u);
+  EXPECT_EQ(system.ssd_device()->page_bytes(), 1024u);
+}
+
+TEST(DbSystemTest, MakeContextTracksExecutor) {
+  DbSystem system(SmallConfig(SsdDesign::kNoSsd));
+  system.executor().ScheduleAt(Seconds(5), [] {});
+  system.executor().RunUntilIdle();
+  IoContext ctx = system.MakeContext();
+  EXPECT_EQ(ctx.now, Seconds(5));
+  EXPECT_EQ(ctx.executor, &system.executor());
+  EXPECT_TRUE(ctx.charge);
+  EXPECT_FALSE(system.MakeContext(false).charge);
+}
+
+TEST(DbSystemTest, CrashResetsVolatileStateOnly) {
+  DbSystem system(SmallConfig(SsdDesign::kLazyCleaning));
+  Database db(&system);
+  IoContext ctx = system.MakeContext();
+  {
+    PageGuard g = system.buffer_pool().FetchPage(3, AccessKind::kRandom, ctx);
+    g.view().payload()[0] = 1;
+    g.LogUpdate(1, kPageHeaderSize, 1);
+  }
+  system.Crash();
+  EXPECT_EQ(system.buffer_pool().UsedFrameCount(), 0);
+  // The SSD manager was rebuilt (restart reformats the SSD buffer pool).
+  EXPECT_EQ(system.ssd_manager().stats().used_frames, 0);
+  EXPECT_EQ(system.buffer_pool().ssd_manager(), &system.ssd_manager());
+}
+
+TEST(DatabaseTest, AllocatePagesIsContiguousBumpAllocation) {
+  DbSystem system(SmallConfig(SsdDesign::kNoSsd));
+  Database db(&system);
+  const PageId a = db.AllocatePages(10);
+  const PageId b = db.AllocatePages(5);
+  EXPECT_EQ(b, a + 10);
+  EXPECT_GE(a, 1u);  // page 0 reserved
+}
+
+TEST(DatabaseDeathTest, AllocationBeyondVolumePanics) {
+  DbSystem system(SmallConfig(SsdDesign::kNoSsd));
+  Database db(&system);
+  EXPECT_DEATH(db.AllocatePages(1 << 20), "");
+}
+
+TEST(DatabaseTest, CatalogSnapshotRestoreRoundTrip) {
+  DbSystem system(SmallConfig(SsdDesign::kNoSsd));
+  Database db(&system);
+  db.AllocatePages(7);
+  TableInfo t;
+  t.name = "x";
+  t.first_page = 1;
+  t.num_pages = 7;
+  t.row_bytes = 10;
+  db.catalog().tables["x"] = t;
+  const Catalog snapshot = db.catalog();
+
+  Database db2(&system);
+  db2.RestoreCatalog(snapshot);
+  EXPECT_EQ(db2.catalog().next_free_page, snapshot.next_free_page);
+  EXPECT_TRUE(db2.catalog().tables.contains("x"));
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,160 @@
+#include "engine/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace turbobp {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = 1 << 12;
+    config.bp_frames = 64;
+    config.design = SsdDesign::kNoSsd;
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+  }
+
+  std::vector<uint8_t> Row(uint32_t n, uint8_t fill) {
+    return std::vector<uint8_t>(n, fill);
+  }
+
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(HeapFileTest, CreateComputesGeometry) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 100, 1000);
+  // payload = 1024-40 = 984 -> 9 rows/page -> 112 pages.
+  EXPECT_EQ(f.info().rows_per_page, 9u);
+  EXPECT_EQ(f.num_pages(), 112u);
+  EXPECT_EQ(f.row_count(), 0u);
+  EXPECT_GE(f.capacity_rows(), 1000u);
+}
+
+TEST_F(HeapFileTest, AppendReadRoundTrip) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 64, 100);
+  IoContext ctx = system_->MakeContext();
+  const Rid rid = f.Append(Row(64, 0x42), 1, ctx);
+  std::vector<uint8_t> out(64);
+  f.Read(rid, out, AccessKind::kRandom, ctx);
+  EXPECT_EQ(out, Row(64, 0x42));
+  EXPECT_EQ(f.row_count(), 1u);
+}
+
+TEST_F(HeapFileTest, RidOfRowIsDense) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 100, 100);
+  IoContext ctx = system_->MakeContext();
+  for (int i = 0; i < 20; ++i) f.Append(Row(100, static_cast<uint8_t>(i)), 1, ctx);
+  // 9 rows per page: row 10 sits on the second page, slot 1.
+  const Rid rid = f.RidOfRow(10);
+  EXPECT_EQ(rid.page_id, f.first_page() + 1);
+  EXPECT_EQ(rid.slot, 1);
+  std::vector<uint8_t> out(100);
+  f.Read(rid, out, AccessKind::kRandom, ctx);
+  EXPECT_EQ(out[0], 10);
+}
+
+TEST_F(HeapFileTest, UpdateOverwritesInPlace) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 32, 50);
+  IoContext ctx = system_->MakeContext();
+  const Rid rid = f.Append(Row(32, 1), 1, ctx);
+  f.Update(rid, Row(32, 2), 2, ctx);
+  std::vector<uint8_t> out(32);
+  f.Read(rid, out, AccessKind::kRandom, ctx);
+  EXPECT_EQ(out, Row(32, 2));
+  EXPECT_EQ(f.row_count(), 1u);
+}
+
+TEST_F(HeapFileTest, UpdatesAreWalLogged) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 32, 50);
+  IoContext ctx = system_->MakeContext();
+  const int64_t before = system_->log().num_records();
+  const Rid rid = f.Append(Row(32, 1), 7, ctx);
+  f.Update(rid, Row(32, 2), 7, ctx);
+  EXPECT_GT(system_->log().num_records(), before);
+}
+
+TEST_F(HeapFileTest, LoaderModeSkipsLogging) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 32, 50);
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  f.Append(Row(32, 1), 0, ctx);
+  EXPECT_EQ(system_->log().num_records(), 0);
+}
+
+TEST_F(HeapFileTest, ScanAllVisitsEveryRowInOrder) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 100, 200);
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  for (int i = 0; i < 200; ++i) {
+    f.Append(Row(100, static_cast<uint8_t>(i)), 0, ctx);
+  }
+  IoContext scan_ctx = system_->MakeContext();
+  int count = 0;
+  f.ScanAll(scan_ctx, [&](Rid, std::span<const uint8_t> row) {
+    EXPECT_EQ(row[0], static_cast<uint8_t>(count));
+    ++count;
+  });
+  EXPECT_EQ(count, 200);
+}
+
+TEST_F(HeapFileTest, ScanUsesReadAheadAfterWarmup) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 100, 500);
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  for (int i = 0; i < 500; ++i) f.Append(Row(100, 1), 0, ctx);
+  system_->buffer_pool().Reset();  // cold cache
+  system_->buffer_pool().ResetStats();
+  IoContext scan_ctx = system_->MakeContext();
+  f.ScanAll(scan_ctx, nullptr);
+  const auto& stats = system_->buffer_pool().stats();
+  // Most pages arrived through the prefetch path (sequential batches), only
+  // the warm-up pages were individual random misses.
+  EXPECT_GT(stats.prefetch_pages, 40);
+  EXPECT_LT(stats.misses, 8);
+}
+
+TEST_F(HeapFileTest, ScanRangeTouchesSubsetOnly) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 100, 500);
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  for (int i = 0; i < 500; ++i) f.Append(Row(100, 1), 0, ctx);
+  IoContext scan_ctx = system_->MakeContext();
+  int rows = 0;
+  f.ScanRange(2, 3, scan_ctx, [&](Rid, std::span<const uint8_t>) { ++rows; });
+  EXPECT_EQ(rows, 27);  // 3 pages x 9 rows
+}
+
+TEST_F(HeapFileTest, AttachSeesExistingData) {
+  {
+    HeapFile f = HeapFile::Create(db_.get(), "t", 32, 10);
+    IoContext ctx = system_->MakeContext();
+    f.Append(Row(32, 5), 1, ctx);
+  }
+  HeapFile g = HeapFile::Attach(db_.get(), "t");
+  EXPECT_EQ(g.row_count(), 1u);
+  IoContext ctx = system_->MakeContext();
+  std::vector<uint8_t> out(32);
+  g.Read(g.RidOfRow(0), out, AccessKind::kRandom, ctx);
+  EXPECT_EQ(out[0], 5);
+}
+
+TEST_F(HeapFileTest, SynthesizedPagesAreValidEmptyHeapPages) {
+  HeapFile f = HeapFile::Create(db_.get(), "t", 100, 1000);
+  // Fetch a page never written: the synthesizer must produce a formatted
+  // heap page that passes checksum verification.
+  IoContext ctx = system_->MakeContext();
+  PageGuard g = system_->buffer_pool().FetchPage(f.first_page() + 50,
+                                                 AccessKind::kRandom, ctx);
+  EXPECT_EQ(g.view().header().type, PageType::kHeap);
+  EXPECT_EQ(g.view().header().slot_count, 0);
+}
+
+TEST_F(HeapFileTest, CreateDuplicateNamePanics) {
+  HeapFile::Create(db_.get(), "dup", 32, 10);
+  EXPECT_DEATH(HeapFile::Create(db_.get(), "dup", 32, 10), "");
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,145 @@
+// Cross-design behavioral invariants at system level, driven by the real
+// workloads — the properties the paper's conclusions rest on:
+//   * TPC-E (read-intensive): the three designs converge.
+//   * determinism: identical configs produce identical runs.
+//   * cold SSD at start; aggressive fill populates it quickly.
+//   * LC obeys lambda; DW/CW/TAC never hold dirty SSD pages.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/driver.h"
+#include "workload/tpcc.h"
+#include "workload/tpce.h"
+
+namespace turbobp {
+namespace {
+
+struct RunResult {
+  DriverResult driver;
+};
+
+RunResult RunTpce(SsdDesign design, double lambda = 0.01) {
+  TpceConfig tpce;
+  tpce.customers = 400;
+  tpce.trades_per_customer = 30;
+  SystemConfig config;
+  config.page_bytes = 1024;
+  config.db_pages = TpceWorkload::EstimateDbPages(tpce, 1024);
+  config.bp_frames = config.db_pages / 6;
+  config.ssd_frames = static_cast<int64_t>(config.db_pages * 2 / 3);
+  config.design = design;
+  config.ssd_options.num_partitions = 4;
+  config.ssd_options.lc_dirty_fraction = lambda;
+  DbSystem system(config);
+  Database db(&system);
+  TpceWorkload::Populate(&db, tpce);
+  TpceWorkload workload(&db, tpce);
+  DriverOptions opts;
+  opts.num_clients = 8;
+  opts.duration = Seconds(40);
+  opts.steady_window = Seconds(10);
+  Driver driver(&system, &workload, opts);
+  return RunResult{driver.Run()};
+}
+
+TEST(DesignBehaviorTest, ReadIntensiveWorkloadCollapsesTheDesignGap) {
+  const double dw = RunTpce(SsdDesign::kDualWrite).driver.steady_rate;
+  const double lc = RunTpce(SsdDesign::kLazyCleaning).driver.steady_rate;
+  const double cw = RunTpce(SsdDesign::kCleanWrite).driver.steady_rate;
+  ASSERT_GT(dw, 0);
+  // DW and LC within 25% of each other (paper: "similar performance").
+  EXPECT_LT(std::abs(dw - lc) / dw, 0.25);
+  // CW trails but not catastrophically on a read-heavy mix.
+  EXPECT_GT(cw, dw * 0.5);
+  EXPECT_LE(cw, std::max(dw, lc) * 1.1);
+}
+
+TEST(DesignBehaviorTest, RunsAreDeterministic) {
+  const DriverResult a = RunTpce(SsdDesign::kLazyCleaning).driver;
+  const DriverResult b = RunTpce(SsdDesign::kLazyCleaning).driver;
+  EXPECT_EQ(a.metric_txns, b.metric_txns);
+  EXPECT_EQ(a.total_txns, b.total_txns);
+  EXPECT_EQ(a.ssd.admissions, b.ssd.admissions);
+  EXPECT_EQ(a.bp.misses, b.bp.misses);
+}
+
+TEST(DesignBehaviorTest, OnlyLcHoldsDirtySsdPages) {
+  TpccConfig tpcc;
+  tpcc.warehouses = 2;
+  tpcc.row_scale = 0.01;
+  for (SsdDesign d : {SsdDesign::kCleanWrite, SsdDesign::kDualWrite,
+                      SsdDesign::kLazyCleaning, SsdDesign::kTac}) {
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = TpccWorkload::EstimateDbPages(tpcc, 1024);
+    config.bp_frames = config.db_pages / 5;
+    config.ssd_frames = static_cast<int64_t>(config.db_pages / 2);
+    config.design = d;
+    config.ssd_options.num_partitions = 2;
+    config.ssd_options.lc_dirty_fraction = 0.5;
+    DbSystem system(config);
+    Database db(&system);
+    TpccWorkload::Populate(&db, tpcc);
+    TpccWorkload workload(&db, tpcc);
+    DriverOptions opts;
+    opts.num_clients = 8;
+    opts.duration = Seconds(20);
+    Driver driver(&system, &workload, opts);
+    const DriverResult r = driver.Run();
+    if (d == SsdDesign::kLazyCleaning) {
+      EXPECT_GT(r.ssd.dirty_frames, 0) << ToString(d);
+      // lambda bound respected (cleaner may briefly overshoot one group).
+      EXPECT_LE(r.ssd.dirty_frames,
+                static_cast<int64_t>(0.5 * config.ssd_frames) + 64)
+          << ToString(d);
+    } else {
+      EXPECT_EQ(r.ssd.dirty_frames, 0) << ToString(d);
+    }
+    if (d == SsdDesign::kTac) {
+      EXPECT_GT(r.ssd.invalid_frames, 0) << "TAC must waste frames on TPC-C";
+    } else {
+      EXPECT_EQ(r.ssd.invalid_frames, 0) << ToString(d);
+    }
+  }
+}
+
+TEST(DesignBehaviorTest, LcServesMostlyDirtySsdPagesOnTpcc) {
+  // Section 4.2: "about 83% of the total SSD references are to dirty SSD
+  // pages" under LC on TPC-C — the mechanism behind the write-back win.
+  TpccConfig tpcc;
+  tpcc.warehouses = 2;
+  tpcc.row_scale = 0.01;
+  SystemConfig config;
+  config.page_bytes = 1024;
+  config.db_pages = TpccWorkload::EstimateDbPages(tpcc, 1024);
+  config.bp_frames = config.db_pages / 5;
+  config.ssd_frames = static_cast<int64_t>(config.db_pages * 7 / 10);
+  config.design = SsdDesign::kLazyCleaning;
+  config.ssd_options.num_partitions = 2;
+  config.ssd_options.lc_dirty_fraction = 0.9;
+  DbSystem system(config);
+  Database db(&system);
+  TpccWorkload::Populate(&db, tpcc);
+  TpccWorkload workload(&db, tpcc);
+  DriverOptions opts;
+  opts.num_clients = 8;
+  opts.duration = Seconds(40);
+  Driver driver(&system, &workload, opts);
+  const DriverResult r = driver.Run();
+  ASSERT_GT(r.ssd.hits, 100);
+  const double dirty_share = static_cast<double>(r.ssd.hits_dirty) /
+                             static_cast<double>(r.ssd.hits);
+  EXPECT_GT(dirty_share, 0.5);  // majority of SSD references hit dirty pages
+}
+
+TEST(DesignBehaviorTest, AggressiveFillPopulatesSsdFromColdStart) {
+  const RunResult r = RunTpce(SsdDesign::kDualWrite);
+  // The SSD started cold (population bypasses it) and filled during the run.
+  EXPECT_GT(r.driver.ssd.used_frames, r.driver.ssd.capacity_frames / 4);
+  EXPECT_GT(r.driver.ssd.admissions, r.driver.ssd.used_frames / 2);
+}
+
+}  // namespace
+}  // namespace turbobp

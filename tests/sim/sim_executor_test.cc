@@ -1,0 +1,74 @@
+#include "sim/sim_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace turbobp {
+namespace {
+
+TEST(SimExecutorTest, RunsEventsInTimeOrder) {
+  SimExecutor ex;
+  std::vector<int> order;
+  ex.ScheduleAt(30, [&] { order.push_back(3); });
+  ex.ScheduleAt(10, [&] { order.push_back(1); });
+  ex.ScheduleAt(20, [&] { order.push_back(2); });
+  ex.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ex.now(), 30);
+}
+
+TEST(SimExecutorTest, TiesBreakByInsertionOrder) {
+  SimExecutor ex;
+  std::vector<int> order;
+  ex.ScheduleAt(5, [&] { order.push_back(1); });
+  ex.ScheduleAt(5, [&] { order.push_back(2); });
+  ex.ScheduleAt(5, [&] { order.push_back(3); });
+  ex.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimExecutorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  SimExecutor ex;
+  int ran = 0;
+  ex.ScheduleAt(10, [&] { ++ran; });
+  ex.ScheduleAt(20, [&] { ++ran; });
+  ex.RunUntil(15);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(ex.now(), 15);
+  EXPECT_EQ(ex.num_pending(), 1u);
+}
+
+TEST(SimExecutorTest, EventsCanScheduleMoreEvents) {
+  SimExecutor ex;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) ex.ScheduleAfter(10, chain);
+  };
+  ex.ScheduleAt(0, chain);
+  ex.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(ex.now(), 40);
+}
+
+TEST(SimExecutorTest, RunOneReturnsFalseWhenEmpty) {
+  SimExecutor ex;
+  EXPECT_FALSE(ex.RunOne());
+}
+
+TEST(SimExecutorTest, CountsExecutedEvents) {
+  SimExecutor ex;
+  for (int i = 0; i < 7; ++i) ex.ScheduleAt(i, [] {});
+  ex.RunUntilIdle();
+  EXPECT_EQ(ex.num_executed(), 7u);
+}
+
+TEST(SimExecutorDeathTest, SchedulingInThePastPanics) {
+  SimExecutor ex;
+  ex.ScheduleAt(10, [] {});
+  ex.RunUntilIdle();
+  EXPECT_DEATH(ex.ScheduleAt(5, [] {}), "t >= now_");
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,114 @@
+#include "wal/log_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/sim_device.h"
+
+namespace turbobp {
+namespace {
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  LogManagerTest()
+      : dev_(1 << 12, 1024, std::make_unique<HddModel>()), log_(&dev_) {}
+
+  SimDevice dev_;
+  LogManager log_;
+};
+
+TEST_F(LogManagerTest, LsnsAreMonotonic) {
+  std::vector<uint8_t> bytes(10, 1);
+  const Lsn a = log_.AppendUpdate(1, 5, 0, bytes);
+  const Lsn b = log_.AppendUpdate(1, 6, 0, bytes);
+  const Lsn c = log_.AppendCommit(1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(log_.num_records(), 3);
+}
+
+TEST_F(LogManagerTest, NothingDurableBeforeFlush) {
+  std::vector<uint8_t> bytes(10, 1);
+  const Lsn a = log_.AppendUpdate(1, 5, 0, bytes);
+  EXPECT_FALSE(log_.IsDurable(a));
+  IoContext ctx;
+  log_.FlushTo(a, ctx);
+  EXPECT_TRUE(log_.IsDurable(a));
+}
+
+TEST_F(LogManagerTest, FlushChargesLogDeviceSequentially) {
+  std::vector<uint8_t> bytes(100, 1);
+  for (int i = 0; i < 50; ++i) log_.AppendUpdate(1, 5, 0, bytes);
+  IoContext ctx;
+  const Time done = log_.FlushTo(log_.current_lsn(), ctx);
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(log_.flushes_issued(), 1);  // one group write
+  // Writing the same LSN range again is a no-op.
+  EXPECT_EQ(log_.FlushTo(log_.current_lsn(), ctx), ctx.now);
+  EXPECT_EQ(log_.flushes_issued(), 1);
+}
+
+TEST_F(LogManagerTest, CommitForceBlocksClient) {
+  std::vector<uint8_t> bytes(100, 1);
+  log_.AppendUpdate(1, 5, 0, bytes);
+  IoContext ctx;
+  log_.CommitForce(ctx);
+  EXPECT_GT(ctx.now, 0);
+  EXPECT_TRUE(log_.IsDurable(log_.records().back().lsn));
+}
+
+TEST_F(LogManagerTest, SecondFlushIsSequentialNotSeek) {
+  std::vector<uint8_t> bytes(100, 1);
+  log_.AppendUpdate(1, 5, 0, bytes);
+  IoContext ctx;
+  const Time first = log_.FlushTo(log_.current_lsn(), ctx);
+  log_.AppendUpdate(1, 6, 0, bytes);
+  ctx.now = first;
+  const Time second_done = log_.FlushTo(log_.current_lsn(), ctx) - first;
+  // The first flush pays the positioning cost; the second streams.
+  EXPECT_LT(second_done, first / 2);
+}
+
+TEST_F(LogManagerTest, DropUnflushedTruncatesTail) {
+  std::vector<uint8_t> bytes(10, 1);
+  log_.AppendUpdate(1, 5, 0, bytes);
+  log_.AppendCommit(1);
+  IoContext ctx;
+  log_.CommitForce(ctx);
+  log_.AppendUpdate(1, 6, 0, bytes);
+  log_.AppendUpdate(1, 7, 0, bytes);
+  EXPECT_EQ(log_.DropUnflushed(), 2u);
+  EXPECT_EQ(log_.num_records(), 2);  // update + commit survive
+}
+
+TEST_F(LogManagerTest, LoaderModeFlushIsFree) {
+  std::vector<uint8_t> bytes(10, 1);
+  log_.AppendUpdate(1, 5, 0, bytes);
+  IoContext ctx;
+  ctx.charge = false;
+  EXPECT_EQ(log_.FlushTo(log_.current_lsn(), ctx), 0);
+  EXPECT_EQ(log_.flushes_issued(), 0);
+  EXPECT_TRUE(log_.IsDurable(log_.records().back().lsn));
+}
+
+TEST_F(LogManagerTest, UpdatePayloadPreserved) {
+  std::vector<uint8_t> bytes = {9, 8, 7};
+  log_.AppendUpdate(3, 55, 123, bytes);
+  const LogRecord& rec = log_.records().back();
+  EXPECT_EQ(rec.txn_id, 3u);
+  EXPECT_EQ(rec.page_id, 55u);
+  EXPECT_EQ(rec.offset, 123u);
+  EXPECT_EQ(rec.bytes, bytes);
+  EXPECT_EQ(rec.type, LogRecordType::kUpdate);
+}
+
+TEST_F(LogManagerTest, CheckpointRecordTypes) {
+  log_.AppendBeginCheckpoint();
+  log_.AppendEndCheckpoint();
+  EXPECT_EQ(log_.records()[0].type, LogRecordType::kBeginCheckpoint);
+  EXPECT_EQ(log_.records()[1].type, LogRecordType::kEndCheckpoint);
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,152 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace turbobp {
+namespace {
+
+// A deterministic toy workload: every transaction reads one page uniformly
+// and every third transaction writes it.
+class ToyWorkload : public Workload {
+ public:
+  ToyWorkload(DbSystem* system, uint64_t pages)
+      : system_(system), pages_(pages) {}
+
+  std::string name() const override { return "toy"; }
+
+  bool RunTransaction(int client_id, IoContext& ctx) override {
+    const PageId pid = (counter_ * 2654435761u) % pages_;
+    ++counter_;
+    PageGuard g = system_->buffer_pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    if (counter_ % 3 == 0) {
+      g.view().payload()[0]++;
+      g.LogUpdate(counter_, kPageHeaderSize, 1);
+    }
+    g.Release();
+    system_->log().CommitForce(ctx);
+    return true;
+  }
+
+ private:
+  DbSystem* system_;
+  uint64_t pages_;
+  uint64_t counter_ = 0;
+};
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = 2048;
+    config.bp_frames = 64;
+    config.ssd_frames = 256;
+    config.design = SsdDesign::kDualWrite;
+    config.ssd_options.num_partitions = 2;
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+    workload_ = std::make_unique<ToyWorkload>(system_.get(), 2048);
+  }
+
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ToyWorkload> workload_;
+};
+
+TEST_F(DriverTest, RunsForExactlyTheConfiguredDuration) {
+  DriverOptions opts;
+  opts.num_clients = 4;
+  opts.duration = Seconds(5);
+  Driver driver(system_.get(), workload_.get(), opts);
+  const DriverResult result = driver.Run();
+  EXPECT_GT(result.metric_txns, 0);
+  EXPECT_GE(system_->executor().now(), Seconds(5));
+  EXPECT_DOUBLE_EQ(result.overall_rate,
+                   static_cast<double>(result.metric_txns) / 5.0);
+}
+
+TEST_F(DriverTest, MoreClientsMoreConcurrencyMoreThroughput) {
+  DriverOptions opts;
+  opts.duration = Seconds(5);
+  opts.num_clients = 1;
+  double one;
+  {
+    DbSystem sys(system_->config());
+    Database db(&sys);
+    ToyWorkload w(&sys, 2048);
+    one = Driver(&sys, &w, opts).Run().overall_rate;
+  }
+  opts.num_clients = 8;
+  double eight;
+  {
+    DbSystem sys(system_->config());
+    Database db(&sys);
+    ToyWorkload w(&sys, 2048);
+    eight = Driver(&sys, &w, opts).Run().overall_rate;
+  }
+  EXPECT_GT(eight, one * 2);  // 8 spindles absorb concurrent randoms
+}
+
+TEST_F(DriverTest, ThroughputSeriesCoversTheRun) {
+  DriverOptions opts;
+  opts.num_clients = 4;
+  opts.duration = Seconds(10);
+  opts.sample_width = Seconds(1);
+  Driver driver(system_.get(), workload_.get(), opts);
+  const DriverResult result = driver.Run();
+  EXPECT_GE(result.throughput.num_buckets(), 9u);
+  double total = 0;
+  for (size_t i = 0; i < result.throughput.num_buckets(); ++i) {
+    total += result.throughput.BucketSum(i);
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(result.metric_txns));
+}
+
+TEST_F(DriverTest, TrafficRecordingSeesDeviceBytes) {
+  DriverOptions opts;
+  opts.num_clients = 4;
+  opts.duration = Seconds(5);
+  opts.record_traffic = true;
+  Driver driver(system_.get(), workload_.get(), opts);
+  const DriverResult result = driver.Run();
+  double disk_read = 0;
+  for (size_t i = 0; i < result.disk_read_bytes.num_buckets(); ++i) {
+    disk_read += result.disk_read_bytes.BucketSum(i);
+  }
+  EXPECT_GT(disk_read, 0.0);
+}
+
+TEST_F(DriverTest, DeterministicAcrossRuns) {
+  DriverOptions opts;
+  opts.num_clients = 3;
+  opts.duration = Seconds(3);
+  int64_t first;
+  {
+    DbSystem sys(system_->config());
+    Database db(&sys);
+    ToyWorkload w(&sys, 2048);
+    first = Driver(&sys, &w, opts).Run().metric_txns;
+  }
+  {
+    DbSystem sys(system_->config());
+    Database db(&sys);
+    ToyWorkload w(&sys, 2048);
+    EXPECT_EQ(Driver(&sys, &w, opts).Run().metric_txns, first);
+  }
+}
+
+TEST_F(DriverTest, PeriodicCheckpointsFireDuringRun) {
+  system_->checkpoint().SchedulePeriodic(Seconds(2));
+  DriverOptions opts;
+  opts.num_clients = 4;
+  opts.duration = Seconds(10);
+  Driver driver(system_.get(), workload_.get(), opts);
+  const DriverResult result = driver.Run();
+  EXPECT_GE(result.ckpt.checkpoints_taken, 3);
+  EXPECT_GT(result.ckpt.pages_flushed_memory, 0);
+}
+
+}  // namespace
+}  // namespace turbobp

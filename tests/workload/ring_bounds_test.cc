@@ -1,0 +1,77 @@
+// Long-haul boundedness: the ring substitution must keep databases and
+// indexes from growing without limit over runs far longer than any single
+// benchmark — the property that lets virtual "10-hour" runs finish without
+// exhausting the preallocated volume.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/tpcc.h"
+#include "workload/tpce.h"
+
+namespace turbobp {
+namespace {
+
+TEST(RingBoundsTest, TpccStaysInsideItsVolumeOverLongRuns) {
+  TpccConfig tpcc;
+  tpcc.warehouses = 2;
+  tpcc.row_scale = 0.01;
+  SystemConfig config;
+  config.page_bytes = 1024;
+  config.db_pages = TpccWorkload::EstimateDbPages(tpcc, 1024);
+  config.bp_frames = config.db_pages / 4;
+  config.ssd_frames = static_cast<int64_t>(config.db_pages / 2);
+  config.design = SsdDesign::kLazyCleaning;
+  config.ssd_options.num_partitions = 2;
+  DbSystem system(config);
+  Database db(&system);
+  TpccWorkload::Populate(&db, tpcc);
+  TpccWorkload workload(&db, tpcc);
+
+  const uint64_t allocated_after_populate = db.catalog().next_free_page;
+  IoContext ctx = system.MakeContext(/*charge=*/false);
+  // Enough transactions to wrap the order ring several times over.
+  for (int i = 0; i < 30000; ++i) workload.RunTransaction(0, ctx);
+
+  // Index splits may allocate a bounded number of pages while the key space
+  // settles, but allocation must converge well inside the volume.
+  EXPECT_LE(db.catalog().next_free_page, config.db_pages);
+  EXPECT_LE(db.catalog().next_free_page,
+            allocated_after_populate + allocated_after_populate / 4);
+  // Index entries bounded by live orders.
+  BPlusTree orders_idx = BPlusTree::Attach(&db, "orders_idx");
+  EXPECT_LE(orders_idx.num_entries(),
+            db.catalog().tables.at("orders").row_count + 1);
+  EXPECT_EQ(orders_idx.CheckInvariants(ctx), orders_idx.num_entries());
+}
+
+TEST(RingBoundsTest, TpceStaysInsideItsVolumeOverLongRuns) {
+  TpceConfig tpce;
+  tpce.customers = 200;
+  tpce.trades_per_customer = 15;
+  SystemConfig config;
+  config.page_bytes = 1024;
+  config.db_pages = TpceWorkload::EstimateDbPages(tpce, 1024);
+  config.bp_frames = config.db_pages / 4;
+  config.ssd_frames = static_cast<int64_t>(config.db_pages / 2);
+  config.design = SsdDesign::kDualWrite;
+  config.ssd_options.num_partitions = 2;
+  DbSystem system(config);
+  Database db(&system);
+  TpceWorkload::Populate(&db, tpce);
+  TpceWorkload workload(&db, tpce);
+
+  IoContext ctx = system.MakeContext(/*charge=*/false);
+  // Trade ring capacity is 2x the initial 3000 trades; 30000 transactions
+  // (~10% TradeOrder) wrap it.
+  for (int i = 0; i < 30000; ++i) workload.RunTransaction(0, ctx);
+  EXPECT_LE(db.catalog().next_free_page, config.db_pages);
+  BPlusTree idx = BPlusTree::Attach(&db, "e_trades_by_acct");
+  EXPECT_LE(idx.num_entries(),
+            db.catalog().tables.at("e_trade").row_count + 1);
+  EXPECT_EQ(idx.CheckInvariants(ctx), idx.num_entries());
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,145 @@
+#include "workload/tpcc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace turbobp {
+namespace {
+
+class TpccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpcc_.warehouses = 2;
+    tpcc_.row_scale = 0.01;
+    tpcc_.seed = 5;
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = TpccWorkload::EstimateDbPages(tpcc_, 1024);
+    config.bp_frames = config.db_pages / 4;
+    config.ssd_frames = static_cast<int64_t>(config.db_pages / 2);
+    config.design = SsdDesign::kLazyCleaning;
+    config.ssd_options.num_partitions = 2;
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+    TpccWorkload::Populate(db_.get(), tpcc_);
+    workload_ = std::make_unique<TpccWorkload>(db_.get(), tpcc_);
+  }
+
+  TpccConfig tpcc_;
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TpccWorkload> workload_;
+};
+
+TEST_F(TpccTest, PopulationBuildsAllTables) {
+  const Catalog& cat = db_->catalog();
+  for (const char* name : {"warehouse", "district", "customer", "item",
+                           "stock", "orders", "order_line", "history"}) {
+    EXPECT_TRUE(cat.tables.contains(name)) << name;
+  }
+  for (const char* name : {"orders_idx", "orders_by_cust", "new_order_idx"}) {
+    EXPECT_TRUE(cat.btrees.contains(name)) << name;
+  }
+  // Initial orders: one per customer per district.
+  const auto& orders = cat.tables.at("orders");
+  EXPECT_EQ(orders.row_count,
+            static_cast<uint64_t>(2 * 10 * workload_->customers_per_district()));
+}
+
+TEST_F(TpccTest, PopulationFitsEstimate) {
+  EXPECT_LE(db_->catalog().next_free_page,
+            TpccWorkload::EstimateDbPages(tpcc_, 1024));
+}
+
+TEST_F(TpccTest, PopulationLeavesCachesCold) {
+  EXPECT_EQ(system_->buffer_pool().UsedFrameCount(), 0);
+  EXPECT_EQ(system_->ssd_manager().stats().used_frames, 0);
+  EXPECT_EQ(system_->log().num_records(), 0);  // loader mode is unlogged
+}
+
+TEST_F(TpccTest, IndexesAreConsistentAfterPopulation) {
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  BPlusTree orders_idx = BPlusTree::Attach(db_.get(), "orders_idx");
+  EXPECT_EQ(orders_idx.CheckInvariants(ctx), orders_idx.num_entries());
+  BPlusTree by_cust = BPlusTree::Attach(db_.get(), "orders_by_cust");
+  EXPECT_EQ(by_cust.num_entries(), orders_idx.num_entries());
+  BPlusTree new_order = BPlusTree::Attach(db_.get(), "new_order_idx");
+  // A third of the initial orders are undelivered.
+  EXPECT_NEAR(static_cast<double>(new_order.num_entries()),
+              static_cast<double>(orders_idx.num_entries()) / 3.0,
+              static_cast<double>(orders_idx.num_entries()) * 0.2);
+}
+
+TEST_F(TpccTest, TransactionsRunAndAdvanceTime) {
+  IoContext ctx = system_->MakeContext();
+  int metric = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (workload_->RunTransaction(0, ctx)) ++metric;
+    system_->executor().RunUntil(ctx.now);
+  }
+  EXPECT_GT(ctx.now, 0);
+  EXPECT_GT(metric, 50);  // ~45% of the mix
+  EXPECT_LT(metric, 150);
+  EXPECT_EQ(workload_->new_orders(), metric);
+  EXPECT_GT(workload_->payments(), 0);
+}
+
+TEST_F(TpccTest, MixMatchesSpecWeights) {
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  for (int i = 0; i < 3000; ++i) workload_->RunTransaction(0, ctx);
+  const double n = 3000.0;
+  EXPECT_NEAR(workload_->new_orders() / n, 0.45, 0.03);
+  EXPECT_NEAR(workload_->payments() / n, 0.43, 0.03);
+  EXPECT_NEAR(workload_->order_statuses() / n, 0.04, 0.02);
+  EXPECT_NEAR(workload_->deliveries() / n, 0.04, 0.02);
+  EXPECT_NEAR(workload_->stock_levels() / n, 0.04, 0.02);
+}
+
+TEST_F(TpccTest, UpdateIntensityMatchesThePaper) {
+  // "every two read accesses are accompanied by a write access": the
+  // workload must be update-intensive — a large fraction of evictions are
+  // dirty once the pool churns.
+  IoContext ctx = system_->MakeContext();
+  for (int i = 0; i < 500; ++i) {
+    workload_->RunTransaction(0, ctx);
+    system_->executor().RunUntil(ctx.now);
+  }
+  const auto& stats = system_->buffer_pool().stats();
+  ASSERT_GT(stats.evictions_clean + stats.evictions_dirty, 100);
+  EXPECT_GT(static_cast<double>(stats.evictions_dirty) /
+                static_cast<double>(stats.evictions_clean +
+                                    stats.evictions_dirty),
+            0.25);
+}
+
+TEST_F(TpccTest, AccessSkewIsHigh) {
+  // NURand: most stock accesses land on a small fraction of the items.
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  for (int i = 0; i < 2000; ++i) workload_->RunTransaction(0, ctx);
+  // The buffer pool hit rate must be high despite the pool covering only a
+  // quarter of the database — that is what skew means operationally.
+  const auto& stats = system_->buffer_pool().stats();
+  const double hit_rate =
+      static_cast<double>(stats.hits) /
+      static_cast<double>(stats.hits + stats.misses);
+  EXPECT_GT(hit_rate, 0.7);
+}
+
+TEST_F(TpccTest, OrderRingRecyclesWithoutUnboundedGrowth) {
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  const uint64_t capacity = db_->catalog().tables.at("orders").num_pages;
+  for (int i = 0; i < 8000; ++i) workload_->RunTransaction(0, ctx);
+  // The orders table never outgrows its preallocated ring.
+  EXPECT_EQ(db_->catalog().tables.at("orders").num_pages, capacity);
+  EXPECT_LE(db_->catalog().tables.at("orders").row_count,
+            db_->catalog().tables.at("orders").num_pages *
+                db_->catalog().tables.at("orders").rows_per_page);
+  // Index sizes stay bounded by the ring (entries <= capacity).
+  BPlusTree orders_idx = BPlusTree::Attach(db_.get(), "orders_idx");
+  EXPECT_LE(orders_idx.num_entries(),
+            db_->catalog().tables.at("orders").rows_per_page * capacity + 1);
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,104 @@
+#include "workload/tpce.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace turbobp {
+namespace {
+
+class TpceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpce_.customers = 300;
+    tpce_.trades_per_customer = 20;
+    tpce_.seed = 3;
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = TpceWorkload::EstimateDbPages(tpce_, 1024) + 64;
+    config.bp_frames = config.db_pages / 5;
+    config.ssd_frames = static_cast<int64_t>(config.db_pages / 2);
+    config.design = SsdDesign::kDualWrite;
+    config.ssd_options.num_partitions = 2;
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+    TpceWorkload::Populate(db_.get(), tpce_);
+    workload_ = std::make_unique<TpceWorkload>(db_.get(), tpce_);
+  }
+
+  TpceConfig tpce_;
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TpceWorkload> workload_;
+};
+
+TEST_F(TpceTest, PopulationBuildsAllTables) {
+  const Catalog& cat = db_->catalog();
+  for (const char* name : {"e_customer", "e_account", "e_security",
+                           "e_last_trade", "e_trade", "e_holding"}) {
+    EXPECT_TRUE(cat.tables.contains(name)) << name;
+  }
+  EXPECT_TRUE(cat.btrees.contains("e_trades_by_acct"));
+  EXPECT_EQ(cat.tables.at("e_trade").row_count, 300u * 20u);
+  // Spec ratio: 685 securities per 1000 customers.
+  EXPECT_EQ(cat.tables.at("e_security").row_count, 300u * 685u / 1000u);
+}
+
+TEST_F(TpceTest, TradeTableDominatesTheDatabase) {
+  const Catalog& cat = db_->catalog();
+  const uint64_t trade_pages = cat.tables.at("e_trade").num_pages;
+  uint64_t other_pages = 0;
+  for (const auto& [name, t] : cat.tables) {
+    if (name != "e_trade") other_pages += t.num_pages;
+  }
+  EXPECT_GT(trade_pages, other_pages / 2);
+}
+
+TEST_F(TpceTest, MetricIsTradeResult) {
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  int metric = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (workload_->RunTransaction(0, ctx)) ++metric;
+  }
+  EXPECT_EQ(metric, workload_->trade_results());
+  EXPECT_NEAR(metric / 2000.0, 0.10, 0.03);
+}
+
+TEST_F(TpceTest, WorkloadIsReadIntensive) {
+  // Unlike TPC-C, dirty evictions are a small share: this is the property
+  // that collapses the LC-vs-DW gap on TPC-E (Figure 5 d-f).
+  IoContext ctx = system_->MakeContext();
+  for (int i = 0; i < 400; ++i) {
+    workload_->RunTransaction(0, ctx);
+    system_->executor().RunUntil(ctx.now);
+  }
+  const auto& stats = system_->buffer_pool().stats();
+  ASSERT_GT(stats.evictions_clean + stats.evictions_dirty, 50);
+  EXPECT_LT(static_cast<double>(stats.evictions_dirty) /
+                static_cast<double>(stats.evictions_clean +
+                                    stats.evictions_dirty),
+            0.45);
+}
+
+TEST_F(TpceTest, TransactionsAdvanceTimeAndTouchSsd) {
+  IoContext ctx = system_->MakeContext();
+  for (int i = 0; i < 500; ++i) {
+    workload_->RunTransaction(0, ctx);
+    system_->executor().RunUntil(ctx.now);
+  }
+  EXPECT_GT(ctx.now, 0);
+  EXPECT_GT(system_->ssd_manager().stats().admissions, 0);
+}
+
+TEST_F(TpceTest, ColdTradeTailGeneratesMisses) {
+  // Warm up, then measure: Trade-Lookup's uniform sampling over the whole
+  // trade history keeps producing buffer misses (the cold tail).
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  for (int i = 0; i < 1000; ++i) workload_->RunTransaction(0, ctx);
+  system_->buffer_pool().ResetStats();
+  for (int i = 0; i < 1000; ++i) workload_->RunTransaction(0, ctx);
+  EXPECT_GT(system_->buffer_pool().stats().misses, 100);
+}
+
+}  // namespace
+}  // namespace turbobp

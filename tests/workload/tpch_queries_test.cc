@@ -1,0 +1,96 @@
+// Per-query sanity for the TPC-H skeletons: every query does real work,
+// scan-heavy and lookup-heavy queries exercise the intended I/O classes,
+// and work scales with the scale factor.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/tpch.h"
+
+namespace turbobp {
+namespace {
+
+struct Fixture {
+  explicit Fixture(double row_scale) {
+    tpch.scale_factor = 1.0;
+    tpch.row_scale = row_scale;
+    tpch.streams = 2;
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = TpchWorkload::EstimateDbPages(tpch, 1024) + 128;
+    config.bp_frames = config.db_pages / 10;
+    config.ssd_frames = static_cast<int64_t>(config.db_pages / 2);
+    config.design = SsdDesign::kNoSsd;
+    system = std::make_unique<DbSystem>(config);
+    db = std::make_unique<Database>(system.get());
+    TpchWorkload::Populate(db.get(), tpch);
+    workload = std::make_unique<TpchWorkload>(db.get(), tpch);
+  }
+
+  TpchConfig tpch;
+  std::unique_ptr<DbSystem> system;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<TpchWorkload> workload;
+};
+
+TEST(TpchQueriesTest, EveryQueryTouchesPages) {
+  Fixture f(1.0 / 2000);
+  for (int q = 1; q <= TpchWorkload::kNumQueries; ++q) {
+    f.system->buffer_pool().ResetStats();
+    IoContext ctx = f.system->MakeContext();
+    const Time t = f.workload->RunQuery(q, ctx);
+    f.system->executor().RunUntil(ctx.now);
+    const auto& s = f.system->buffer_pool().stats();
+    EXPECT_GT(t, 0) << "Q" << q;
+    EXPECT_GE(s.hits + s.misses + s.prefetch_pages, 8) << "Q" << q;
+  }
+}
+
+TEST(TpchQueriesTest, QueriesAreDeterministicPerRun) {
+  Fixture a(1.0 / 2000);
+  Fixture b(1.0 / 2000);
+  for (int q : {1, 4, 17, 21}) {
+    IoContext ca = a.system->MakeContext();
+    IoContext cb = b.system->MakeContext();
+    EXPECT_EQ(a.workload->RunQuery(q, ca), b.workload->RunQuery(q, cb))
+        << "Q" << q;
+  }
+}
+
+TEST(TpchQueriesTest, WorkScalesWithScaleFactor) {
+  Fixture small(1.0 / 2000);
+  Fixture big(1.0 / 500);  // 4x the rows
+  IoContext cs = small.system->MakeContext();
+  IoContext cb = big.system->MakeContext();
+  const Time ts = small.workload->RunQuery(1, cs);  // full LINEITEM scan
+  const Time tb = big.workload->RunQuery(1, cb);
+  EXPECT_GT(tb, ts * 2);
+}
+
+TEST(TpchQueriesTest, ScanQueriesDwarfLookupQueriesInPagesTouched) {
+  Fixture f(1.0 / 500);
+  auto pages_touched = [&](int q) {
+    f.system->buffer_pool().ResetStats();
+    IoContext ctx = f.system->MakeContext();
+    f.workload->RunQuery(q, ctx);
+    const auto& s = f.system->buffer_pool().stats();
+    return s.prefetch_pages + s.misses;
+  };
+  // Q1 scans all of LINEITEM; Q2 is small random probing.
+  EXPECT_GT(pages_touched(1), pages_touched(2) * 3);
+}
+
+TEST(TpchQueriesTest, RefreshFunctionsPreserveRowAccounting) {
+  Fixture f(1.0 / 2000);
+  const uint64_t before = f.db->catalog().tables.at("h_orders").row_count;
+  const TpchTestResult r = f.workload->RunFullBenchmark();
+  (void)r;
+  const auto& orders = f.db->catalog().tables.at("h_orders");
+  // RF1 appends into the reserved 3% headroom; never beyond capacity.
+  EXPECT_GE(orders.row_count, before);
+  EXPECT_LE(orders.row_count, orders.num_pages * orders.rows_per_page);
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -1,0 +1,99 @@
+#include "workload/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+
+namespace turbobp {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch_.scale_factor = 1.0;
+    tpch_.row_scale = 1.0 / 1500;  // tiny for unit tests
+    tpch_.streams = 2;
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = TpchWorkload::EstimateDbPages(tpch_, 1024) + 128;
+    config.bp_frames = config.db_pages / 10;
+    config.ssd_frames = static_cast<int64_t>(config.db_pages / 2);
+    config.design = SsdDesign::kDualWrite;
+    config.ssd_options.num_partitions = 2;
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+    TpchWorkload::Populate(db_.get(), tpch_);
+    workload_ = std::make_unique<TpchWorkload>(db_.get(), tpch_);
+  }
+
+  TpchConfig tpch_;
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TpchWorkload> workload_;
+};
+
+TEST_F(TpchTest, PopulationBuildsSchemaWithSpecRatios) {
+  const Catalog& cat = db_->catalog();
+  for (const char* name : {"h_lineitem", "h_orders", "h_customer", "h_part",
+                           "h_partsupp", "h_supplier"}) {
+    EXPECT_TRUE(cat.tables.contains(name)) << name;
+  }
+  // LINEITEM : ORDERS = 4 : 1 (spec average lines per order).
+  EXPECT_EQ(cat.tables.at("h_lineitem").row_count,
+            cat.tables.at("h_orders").row_count * 4);
+  // LINEITEM dominates the database, as at any real TPC-H scale.
+  EXPECT_GT(cat.tables.at("h_lineitem").num_pages,
+            cat.tables.at("h_orders").num_pages * 2);
+}
+
+TEST_F(TpchTest, EveryQueryRunsAndTakesTime) {
+  IoContext ctx = system_->MakeContext();
+  for (int q = 1; q <= TpchWorkload::kNumQueries; ++q) {
+    const Time t = workload_->RunQuery(q, ctx);
+    EXPECT_GT(t, 0) << "Q" << q;
+    system_->executor().RunUntil(ctx.now);
+  }
+}
+
+TEST_F(TpchTest, ScanDominatedQueryUsesReadAhead) {
+  system_->buffer_pool().ResetStats();
+  IoContext ctx = system_->MakeContext();
+  workload_->RunQuery(1, ctx);  // pure LINEITEM scan
+  const auto& stats = system_->buffer_pool().stats();
+  EXPECT_GT(stats.prefetch_pages, 20);
+}
+
+TEST_F(TpchTest, IndexQueryIsRandomDominated) {
+  system_->buffer_pool().ResetStats();
+  IoContext ctx = system_->MakeContext();
+  workload_->RunQuery(17, ctx);  // random LINEITEM/PART lookups
+  const auto& stats = system_->buffer_pool().stats();
+  EXPECT_EQ(stats.prefetch_pages, 0);
+  EXPECT_GT(stats.misses, 10);
+}
+
+TEST_F(TpchTest, FullBenchmarkProducesSaneMetrics) {
+  const TpchTestResult result = workload_->RunFullBenchmark();
+  // RF1 + 22 queries + RF2 timings recorded.
+  ASSERT_EQ(result.power_timings.size(), 24u);
+  for (const auto& t : result.power_timings) EXPECT_GT(t.elapsed, 0);
+  EXPECT_GT(result.power_elapsed, 0);
+  EXPECT_GT(result.throughput_elapsed, 0);
+  EXPECT_GT(result.power_at_sf, 0.0);
+  EXPECT_GT(result.throughput_at_sf, 0.0);
+  EXPECT_NEAR(result.qphh,
+              std::sqrt(result.power_at_sf * result.throughput_at_sf),
+              result.qphh * 1e-9);
+}
+
+TEST_F(TpchTest, RefreshFunctionsWriteAndCommit) {
+  const int64_t records_before = system_->log().num_records();
+  const TpchTestResult result = workload_->RunFullBenchmark();
+  (void)result;
+  EXPECT_GT(system_->log().num_records(), records_before);
+}
+
+}  // namespace
+}  // namespace turbobp
