@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cw.dir/bench_ablation_cw.cc.o"
+  "CMakeFiles/bench_ablation_cw.dir/bench_ablation_cw.cc.o.d"
+  "bench_ablation_cw"
+  "bench_ablation_cw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

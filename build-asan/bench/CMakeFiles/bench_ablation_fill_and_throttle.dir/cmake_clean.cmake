@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fill_and_throttle.dir/bench_ablation_fill_and_throttle.cc.o"
+  "CMakeFiles/bench_ablation_fill_and_throttle.dir/bench_ablation_fill_and_throttle.cc.o.d"
+  "bench_ablation_fill_and_throttle"
+  "bench_ablation_fill_and_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fill_and_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

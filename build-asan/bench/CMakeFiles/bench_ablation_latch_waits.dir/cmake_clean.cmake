@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_latch_waits.dir/bench_ablation_latch_waits.cc.o"
+  "CMakeFiles/bench_ablation_latch_waits.dir/bench_ablation_latch_waits.cc.o.d"
+  "bench_ablation_latch_waits"
+  "bench_ablation_latch_waits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_latch_waits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

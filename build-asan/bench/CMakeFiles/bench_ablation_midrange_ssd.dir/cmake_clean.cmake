@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_midrange_ssd.dir/bench_ablation_midrange_ssd.cc.o"
+  "CMakeFiles/bench_ablation_midrange_ssd.dir/bench_ablation_midrange_ssd.cc.o.d"
+  "bench_ablation_midrange_ssd"
+  "bench_ablation_midrange_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_midrange_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_readahead_accuracy.dir/bench_ablation_readahead_accuracy.cc.o"
+  "CMakeFiles/bench_ablation_readahead_accuracy.dir/bench_ablation_readahead_accuracy.cc.o.d"
+  "bench_ablation_readahead_accuracy"
+  "bench_ablation_readahead_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_readahead_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tac_waste.dir/bench_ablation_tac_waste.cc.o"
+  "CMakeFiles/bench_ablation_tac_waste.dir/bench_ablation_tac_waste.cc.o.d"
+  "bench_ablation_tac_waste"
+  "bench_ablation_tac_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tac_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_ssd_size_sweep.dir/bench_analysis_ssd_size_sweep.cc.o"
+  "CMakeFiles/bench_analysis_ssd_size_sweep.dir/bench_analysis_ssd_size_sweep.cc.o.d"
+  "bench_analysis_ssd_size_sweep"
+  "bench_analysis_ssd_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_ssd_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

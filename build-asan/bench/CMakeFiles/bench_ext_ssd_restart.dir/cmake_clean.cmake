@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ssd_restart.dir/bench_ext_ssd_restart.cc.o"
+  "CMakeFiles/bench_ext_ssd_restart.dir/bench_ext_ssd_restart.cc.o.d"
+  "bench_ext_ssd_restart"
+  "bench_ext_ssd_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ssd_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

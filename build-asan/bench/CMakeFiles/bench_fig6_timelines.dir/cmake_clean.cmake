@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_timelines.dir/bench_fig6_timelines.cc.o"
+  "CMakeFiles/bench_fig6_timelines.dir/bench_fig6_timelines.cc.o.d"
+  "bench_fig6_timelines"
+  "bench_fig6_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

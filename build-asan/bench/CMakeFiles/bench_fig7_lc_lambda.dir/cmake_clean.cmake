@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lc_lambda.dir/bench_fig7_lc_lambda.cc.o"
+  "CMakeFiles/bench_fig7_lc_lambda.dir/bench_fig7_lc_lambda.cc.o.d"
+  "bench_fig7_lc_lambda"
+  "bench_fig7_lc_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lc_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

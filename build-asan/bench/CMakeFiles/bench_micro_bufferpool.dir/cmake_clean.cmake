@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_bufferpool.dir/bench_micro_bufferpool.cc.o"
+  "CMakeFiles/bench_micro_bufferpool.dir/bench_micro_bufferpool.cc.o.d"
+  "bench_micro_bufferpool"
+  "bench_micro_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

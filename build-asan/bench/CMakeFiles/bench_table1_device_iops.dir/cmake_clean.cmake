@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_device_iops.dir/bench_table1_device_iops.cc.o"
+  "CMakeFiles/bench_table1_device_iops.dir/bench_table1_device_iops.cc.o.d"
+  "bench_table1_device_iops"
+  "bench_table1_device_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_device_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tpch_qphh.dir/bench_table3_tpch_qphh.cc.o"
+  "CMakeFiles/bench_table3_tpch_qphh.dir/bench_table3_tpch_qphh.cc.o.d"
+  "bench_table3_tpch_qphh"
+  "bench_table3_tpch_qphh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tpch_qphh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

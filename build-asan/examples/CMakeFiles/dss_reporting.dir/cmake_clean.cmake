@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_reporting.dir/dss_reporting.cpp.o"
+  "CMakeFiles/dss_reporting.dir/dss_reporting.cpp.o.d"
+  "dss_reporting"
+  "dss_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

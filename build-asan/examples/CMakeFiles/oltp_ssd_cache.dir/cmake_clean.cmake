@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_ssd_cache.dir/oltp_ssd_cache.cpp.o"
+  "CMakeFiles/oltp_ssd_cache.dir/oltp_ssd_cache.cpp.o.d"
+  "oltp_ssd_cache"
+  "oltp_ssd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_ssd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

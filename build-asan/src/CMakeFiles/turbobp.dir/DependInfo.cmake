@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_pool.cc" "src/CMakeFiles/turbobp.dir/buffer/buffer_pool.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/buffer/buffer_pool.cc.o.d"
+  "/root/repo/src/common/checksum.cc" "src/CMakeFiles/turbobp.dir/common/checksum.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/common/checksum.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/turbobp.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/turbobp.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/clean_write.cc" "src/CMakeFiles/turbobp.dir/core/clean_write.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/core/clean_write.cc.o.d"
+  "/root/repo/src/core/dual_write.cc" "src/CMakeFiles/turbobp.dir/core/dual_write.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/core/dual_write.cc.o.d"
+  "/root/repo/src/core/lazy_cleaning.cc" "src/CMakeFiles/turbobp.dir/core/lazy_cleaning.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/core/lazy_cleaning.cc.o.d"
+  "/root/repo/src/core/ssd_buffer_table.cc" "src/CMakeFiles/turbobp.dir/core/ssd_buffer_table.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/core/ssd_buffer_table.cc.o.d"
+  "/root/repo/src/core/ssd_cache_base.cc" "src/CMakeFiles/turbobp.dir/core/ssd_cache_base.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/core/ssd_cache_base.cc.o.d"
+  "/root/repo/src/core/ssd_heap.cc" "src/CMakeFiles/turbobp.dir/core/ssd_heap.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/core/ssd_heap.cc.o.d"
+  "/root/repo/src/core/tac.cc" "src/CMakeFiles/turbobp.dir/core/tac.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/core/tac.cc.o.d"
+  "/root/repo/src/debug/invariant_auditor.cc" "src/CMakeFiles/turbobp.dir/debug/invariant_auditor.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/debug/invariant_auditor.cc.o.d"
+  "/root/repo/src/debug/latch_order_checker.cc" "src/CMakeFiles/turbobp.dir/debug/latch_order_checker.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/debug/latch_order_checker.cc.o.d"
+  "/root/repo/src/engine/bplus_tree.cc" "src/CMakeFiles/turbobp.dir/engine/bplus_tree.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/engine/bplus_tree.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/turbobp.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/heap_file.cc" "src/CMakeFiles/turbobp.dir/engine/heap_file.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/engine/heap_file.cc.o.d"
+  "/root/repo/src/sim/device_model.cc" "src/CMakeFiles/turbobp.dir/sim/device_model.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/sim/device_model.cc.o.d"
+  "/root/repo/src/sim/sim_executor.cc" "src/CMakeFiles/turbobp.dir/sim/sim_executor.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/sim/sim_executor.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/turbobp.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/file_device.cc" "src/CMakeFiles/turbobp.dir/storage/file_device.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/storage/file_device.cc.o.d"
+  "/root/repo/src/storage/mem_device.cc" "src/CMakeFiles/turbobp.dir/storage/mem_device.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/storage/mem_device.cc.o.d"
+  "/root/repo/src/storage/sim_device.cc" "src/CMakeFiles/turbobp.dir/storage/sim_device.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/storage/sim_device.cc.o.d"
+  "/root/repo/src/storage/striped_array.cc" "src/CMakeFiles/turbobp.dir/storage/striped_array.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/storage/striped_array.cc.o.d"
+  "/root/repo/src/wal/checkpoint.cc" "src/CMakeFiles/turbobp.dir/wal/checkpoint.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/wal/checkpoint.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/turbobp.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/CMakeFiles/turbobp.dir/wal/recovery.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/wal/recovery.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/turbobp.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/turbobp.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/tpce.cc" "src/CMakeFiles/turbobp.dir/workload/tpce.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/workload/tpce.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/turbobp.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/turbobp.dir/workload/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_prefetch_trim_test.dir/buffer/prefetch_trim_test.cc.o"
+  "CMakeFiles/buffer_prefetch_trim_test.dir/buffer/prefetch_trim_test.cc.o.d"
+  "buffer_prefetch_trim_test"
+  "buffer_prefetch_trim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_prefetch_trim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

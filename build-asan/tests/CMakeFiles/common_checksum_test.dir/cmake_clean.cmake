@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_checksum_test.dir/common/checksum_test.cc.o"
+  "CMakeFiles/common_checksum_test.dir/common/checksum_test.cc.o.d"
+  "common_checksum_test"
+  "common_checksum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_checksum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lazy_cleaning_test.dir/core/lazy_cleaning_test.cc.o"
+  "CMakeFiles/core_lazy_cleaning_test.dir/core/lazy_cleaning_test.cc.o.d"
+  "core_lazy_cleaning_test"
+  "core_lazy_cleaning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lazy_cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

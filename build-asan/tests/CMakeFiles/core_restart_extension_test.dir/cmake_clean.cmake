@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_restart_extension_test.dir/core/restart_extension_test.cc.o"
+  "CMakeFiles/core_restart_extension_test.dir/core/restart_extension_test.cc.o.d"
+  "core_restart_extension_test"
+  "core_restart_extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_restart_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ssd_heap_test.dir/core/ssd_heap_test.cc.o"
+  "CMakeFiles/core_ssd_heap_test.dir/core/ssd_heap_test.cc.o.d"
+  "core_ssd_heap_test"
+  "core_ssd_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ssd_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tac_test.dir/core/tac_test.cc.o"
+  "CMakeFiles/core_tac_test.dir/core/tac_test.cc.o.d"
+  "core_tac_test"
+  "core_tac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

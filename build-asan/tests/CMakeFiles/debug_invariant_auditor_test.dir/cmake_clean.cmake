@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_invariant_auditor_test.dir/debug/invariant_auditor_test.cc.o"
+  "CMakeFiles/debug_invariant_auditor_test.dir/debug/invariant_auditor_test.cc.o.d"
+  "debug_invariant_auditor_test"
+  "debug_invariant_auditor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_invariant_auditor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for debug_invariant_auditor_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_latch_order_checker_test.dir/debug/latch_order_checker_test.cc.o"
+  "CMakeFiles/debug_latch_order_checker_test.dir/debug/latch_order_checker_test.cc.o.d"
+  "debug_latch_order_checker_test"
+  "debug_latch_order_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_latch_order_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

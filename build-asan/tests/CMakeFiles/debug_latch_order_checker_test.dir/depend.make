@@ -1,0 +1,2 @@
+# Empty dependencies file for debug_latch_order_checker_test.
+# This may be replaced when dependencies are built.

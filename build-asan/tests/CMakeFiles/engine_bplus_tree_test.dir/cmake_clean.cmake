@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_bplus_tree_test.dir/engine/bplus_tree_test.cc.o"
+  "CMakeFiles/engine_bplus_tree_test.dir/engine/bplus_tree_test.cc.o.d"
+  "engine_bplus_tree_test"
+  "engine_bplus_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_bplus_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

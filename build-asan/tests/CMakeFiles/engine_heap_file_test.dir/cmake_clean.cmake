@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_heap_file_test.dir/engine/heap_file_test.cc.o"
+  "CMakeFiles/engine_heap_file_test.dir/engine/heap_file_test.cc.o.d"
+  "engine_heap_file_test"
+  "engine_heap_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_heap_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_design_behavior_test.dir/integration/design_behavior_test.cc.o"
+  "CMakeFiles/integration_design_behavior_test.dir/integration/design_behavior_test.cc.o.d"
+  "integration_design_behavior_test"
+  "integration_design_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_design_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_real_file_test.dir/integration/real_file_test.cc.o"
+  "CMakeFiles/integration_real_file_test.dir/integration/real_file_test.cc.o.d"
+  "integration_real_file_test"
+  "integration_real_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_real_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

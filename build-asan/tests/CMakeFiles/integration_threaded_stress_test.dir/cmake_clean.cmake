@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_threaded_stress_test.dir/integration/threaded_stress_test.cc.o"
+  "CMakeFiles/integration_threaded_stress_test.dir/integration/threaded_stress_test.cc.o.d"
+  "integration_threaded_stress_test"
+  "integration_threaded_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_threaded_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

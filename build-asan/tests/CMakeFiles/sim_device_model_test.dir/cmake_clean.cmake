@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_device_model_test.dir/sim/device_model_test.cc.o"
+  "CMakeFiles/sim_device_model_test.dir/sim/device_model_test.cc.o.d"
+  "sim_device_model_test"
+  "sim_device_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_device_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sim_executor_test.dir/sim/sim_executor_test.cc.o"
+  "CMakeFiles/sim_sim_executor_test.dir/sim/sim_executor_test.cc.o.d"
+  "sim_sim_executor_test"
+  "sim_sim_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sim_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_disk_manager_test.dir/storage/disk_manager_test.cc.o"
+  "CMakeFiles/storage_disk_manager_test.dir/storage/disk_manager_test.cc.o.d"
+  "storage_disk_manager_test"
+  "storage_disk_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_disk_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_mem_device_test.dir/storage/mem_device_test.cc.o"
+  "CMakeFiles/storage_mem_device_test.dir/storage/mem_device_test.cc.o.d"
+  "storage_mem_device_test"
+  "storage_mem_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_mem_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

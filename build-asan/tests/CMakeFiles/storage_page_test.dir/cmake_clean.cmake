@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_page_test.dir/storage/page_test.cc.o"
+  "CMakeFiles/storage_page_test.dir/storage/page_test.cc.o.d"
+  "storage_page_test"
+  "storage_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

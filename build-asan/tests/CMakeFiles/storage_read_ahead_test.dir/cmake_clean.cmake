@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_read_ahead_test.dir/storage/read_ahead_test.cc.o"
+  "CMakeFiles/storage_read_ahead_test.dir/storage/read_ahead_test.cc.o.d"
+  "storage_read_ahead_test"
+  "storage_read_ahead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_read_ahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

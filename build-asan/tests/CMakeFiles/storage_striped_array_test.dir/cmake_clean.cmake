@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_striped_array_test.dir/storage/striped_array_test.cc.o"
+  "CMakeFiles/storage_striped_array_test.dir/storage/striped_array_test.cc.o.d"
+  "storage_striped_array_test"
+  "storage_striped_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_striped_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_checkpoint_manager_test.dir/wal/checkpoint_manager_test.cc.o"
+  "CMakeFiles/wal_checkpoint_manager_test.dir/wal/checkpoint_manager_test.cc.o.d"
+  "wal_checkpoint_manager_test"
+  "wal_checkpoint_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_checkpoint_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

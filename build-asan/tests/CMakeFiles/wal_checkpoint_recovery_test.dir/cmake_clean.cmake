@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_checkpoint_recovery_test.dir/wal/checkpoint_recovery_test.cc.o"
+  "CMakeFiles/wal_checkpoint_recovery_test.dir/wal/checkpoint_recovery_test.cc.o.d"
+  "wal_checkpoint_recovery_test"
+  "wal_checkpoint_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_checkpoint_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

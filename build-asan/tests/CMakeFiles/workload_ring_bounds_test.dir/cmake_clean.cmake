@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_ring_bounds_test.dir/workload/ring_bounds_test.cc.o"
+  "CMakeFiles/workload_ring_bounds_test.dir/workload/ring_bounds_test.cc.o.d"
+  "workload_ring_bounds_test"
+  "workload_ring_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_ring_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tpcc_test.dir/workload/tpcc_test.cc.o"
+  "CMakeFiles/workload_tpcc_test.dir/workload/tpcc_test.cc.o.d"
+  "workload_tpcc_test"
+  "workload_tpcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tpcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tpce_test.dir/workload/tpce_test.cc.o"
+  "CMakeFiles/workload_tpce_test.dir/workload/tpce_test.cc.o.d"
+  "workload_tpce_test"
+  "workload_tpce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tpce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tpch_queries_test.dir/workload/tpch_queries_test.cc.o"
+  "CMakeFiles/workload_tpch_queries_test.dir/workload/tpch_queries_test.cc.o.d"
+  "workload_tpch_queries_test"
+  "workload_tpch_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tpch_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tpch_test.dir/workload/tpch_test.cc.o"
+  "CMakeFiles/workload_tpch_test.dir/workload/tpch_test.cc.o.d"
+  "workload_tpch_test"
+  "workload_tpch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tpch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# turbobp lint: custom style/safety checks plus clang-tidy (when installed).
+#
+# Run from the repository root, or via `cmake --build build --target lint`.
+# Exits non-zero if any check fails. Individual lines may opt out of a rule
+# with an explicit annotation, e.g.  // lint: allow(raw-new) — the point is
+# that every exception is visible and greppable.
+
+set -u
+cd "$(dirname "$0")/.."
+
+FAILED=0
+fail() {
+  echo "lint: $1" >&2
+  FAILED=1
+}
+
+SRC_FILES=$(find src tests bench examples -name '*.cc' -o -name '*.h' | sort)
+HDR_FILES=$(find src -name '*.h' | sort)
+
+# --- no raw new/delete outside arenas ---------------------------------------
+# Ownership lives in containers and smart pointers; the only allowed raw
+# allocations are explicitly annotated (factory for a private constructor,
+# self-owning simulator event objects).
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  fail "raw new/delete (annotate with 'lint: allow(raw-new)' if intended): $line"
+done < <(grep -nE '(^|[^_[:alnum:]])(new|delete)([[:space:]]+[[:alnum:]_:]|[[:space:]]*\[)' \
+           $SRC_FILES \
+         | grep -vE '//.*(new|delete)' \
+         | grep -v 'lint: allow(raw-new)' \
+         | grep -vE 'delete\]|= delete')
+
+# --- no ignored Status -------------------------------------------------------
+# The compiler enforces this through the [[nodiscard]] attribute on Status;
+# lint only guards the attribute itself against accidental removal.
+if ! grep -q 'class \[\[nodiscard\]\] Status' src/common/status.h; then
+  fail "Status must stay [[nodiscard]] (src/common/status.h)"
+fi
+
+# --- include guards ----------------------------------------------------------
+# Every header under src/ uses TURBOBP_<PATH>_H_ derived from its path.
+for hdr in $HDR_FILES; do
+  rel="${hdr#src/}"
+  want="TURBOBP_$(echo "$rel" | tr 'a-z/.' 'A-Z__')_"
+  if ! grep -q "#ifndef ${want}\$" "$hdr" || ! grep -q "#define ${want}\$" "$hdr"; then
+    fail "$hdr: include guard must be ${want}"
+  fi
+done
+
+# --- style -------------------------------------------------------------------
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  fail "using-directive pollutes the global namespace: $line"
+done < <(grep -n 'using namespace' $SRC_FILES)
+
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  fail "literal tab character: $line"
+done < <(grep -nP '\t' $SRC_FILES)
+
+for f in $SRC_FILES; do
+  case "$f" in
+    src/*)
+      if grep -q '^namespace turbobp {' "$f" &&
+         ! grep -q '}  // namespace turbobp' "$f"; then
+        fail "$f: missing '}  // namespace turbobp' closing comment"
+      fi
+      ;;
+  esac
+done
+
+# --- clang-tidy --------------------------------------------------------------
+# Static analysis over the library sources when clang-tidy and a compile
+# database are available (CI installs clang-tidy; local builds may not).
+BUILD_DIR="${TURBOBP_BUILD_DIR:-build}"
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    if ! clang-tidy --quiet -p "$BUILD_DIR" $(find src -name '*.cc' | sort); then
+      fail "clang-tidy reported findings"
+    fi
+  else
+    echo "lint: note: $BUILD_DIR/compile_commands.json missing; skipping clang-tidy" >&2
+  fi
+else
+  echo "lint: note: clang-tidy not installed; skipping static analysis" >&2
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"

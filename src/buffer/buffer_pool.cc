@@ -90,7 +90,7 @@ void BufferPool::VerifyFrameChecksum(int32_t frame, PageId pid) const {
 }
 
 PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   if (ctx.charge) ctx.now += options_.hit_cpu;
 
   auto it = page_table_.find(pid);
@@ -185,7 +185,7 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
 }
 
 PageGuard BufferPool::NewPage(PageId pid, PageType type, IoContext& ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   int32_t frame;
   auto it = page_table_.find(pid);
   if (it != page_table_.end()) {
@@ -213,7 +213,7 @@ PageGuard BufferPool::NewPage(PageId pid, PageType type, IoContext& ctx) {
 }
 
 void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   if (n == 0) return;
   TURBOBP_CHECK(first + n <= disk_->num_pages());
 
@@ -289,12 +289,12 @@ void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
 }
 
 bool BufferPool::Contains(PageId pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   return page_table_.contains(pid);
 }
 
 int64_t BufferPool::DirtyFrameCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   int64_t n = 0;
   for (const Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) ++n;
@@ -303,7 +303,7 @@ int64_t BufferPool::DirtyFrameCount() const {
 }
 
 int64_t BufferPool::UsedFrameCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   return static_cast<int64_t>(page_table_.size());
 }
 
@@ -402,7 +402,7 @@ Time BufferPool::WriteFrameToDisk(int32_t frame, IoContext& ctx) {
 }
 
 Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   Time last = ctx.now;
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
@@ -423,7 +423,7 @@ Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {
 }
 
 void BufferPool::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   page_table_.clear();
   victim_heap_ = {};
   free_list_.clear();
@@ -435,7 +435,7 @@ void BufferPool::Reset() {
 }
 
 void BufferPool::Unpin(int32_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   Frame& f = frames_[frame];
   TURBOBP_DCHECK(f.pin_count > 0);
   --f.pin_count;
@@ -443,7 +443,7 @@ void BufferPool::Unpin(int32_t frame) {
 
 Lsn BufferPool::LogUpdateInternal(int32_t frame, uint64_t txn_id,
                                   uint32_t offset, uint32_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   TURBOBP_CHECK(log_ != nullptr);
   Frame& f = frames_[frame];
   TURBOBP_CHECK(offset + len <= options_.page_bytes);
@@ -455,7 +455,7 @@ Lsn BufferPool::LogUpdateInternal(int32_t frame, uint64_t txn_id,
 }
 
 void BufferPool::MarkDirtyInternal(int32_t frame, Lsn lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   MarkDirtyLocked(frame, lsn);
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/types.h"
 #include "core/ssd_manager.h"
+#include "debug/latch_order_checker.h"
 #include "storage/disk_manager.h"
 #include "storage/io_context.h"
 #include "storage/page.h"
@@ -19,6 +20,8 @@
 namespace turbobp {
 
 class BufferPool;
+class InvariantAuditor;
+struct AuditAccess;
 
 // RAII pin on a buffer frame. While a guard is alive the frame cannot be
 // evicted. Mutations must go through BeginWrite()/FinishWrite() so the
@@ -137,6 +140,8 @@ class BufferPool {
 
  private:
   friend class PageGuard;
+  friend class InvariantAuditor;  // read-only structural audits (src/debug)
+  friend struct AuditAccess;      // corruption injection in auditor tests
 
   struct Frame {
     PageId page_id = kInvalidPageId;
@@ -202,7 +207,9 @@ class BufferPool {
 
   bool warmed_up_ = false;  // pool has been filled once (stops expansion)
   BufferPoolStats stats_;
-  mutable std::mutex mu_;  // guards all structures in real-thread mode
+  // Guards all structures in real-thread mode. Outermost latch class: held
+  // across WAL flushes, SSD-manager calls and device I/O (see LatchClass).
+  mutable TrackedMutex<LatchClass::kBufferPool> mu_;
 };
 
 }  // namespace turbobp

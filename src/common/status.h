@@ -10,8 +10,10 @@ namespace turbobp {
 
 // Lightweight status object: the library does not use exceptions (hot paths
 // in the buffer manager cannot afford unwinding and the style guide bans
-// them); operations that can fail return Status / StatusOr.
-class Status {
+// them); operations that can fail return Status / StatusOr. The class is
+// [[nodiscard]]: silently dropping a Status is a compile error under
+// -Werror; truly-ignorable results must say so with TURBOBP_IGNORE_STATUS.
+class [[nodiscard]] Status {
  public:
   enum class Code : uint8_t {
     kOk = 0,
@@ -86,6 +88,13 @@ class Status {
     if (!(cond)) {                                   \
       ::turbobp::Panic(__FILE__, __LINE__, #cond);   \
     }                                                \
+  } while (0)
+
+// Documents that a Status is deliberately dropped (rare; prefer checking).
+#define TURBOBP_IGNORE_STATUS(expr)                  \
+  do {                                               \
+    ::turbobp::Status _ignored = (expr);             \
+    (void)_ignored;                                  \
   } while (0)
 
 #define TURBOBP_CHECK_OK(expr)                                        \

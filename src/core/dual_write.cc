@@ -15,7 +15,7 @@ EvictionOutcome DualWriteCache::OnEvictDirty(PageId pid,
     outcome.cached_on_ssd =
         AdmitPage(pid, data, kind, /*dirty=*/false, page_lsn, ctx);
   } else {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     if (!AdmissionAllows(kind)) {
       ++stats_counters_.rejected_sequential;
     } else {

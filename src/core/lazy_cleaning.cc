@@ -31,7 +31,7 @@ EvictionOutcome LazyCleaningCache::OnEvictDirty(PageId pid,
     MaybeWakeCleaner(ctx.now);
   } else {
     outcome.write_to_disk = true;
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     if (!in_checkpoint_ && !AdmissionAllows(kind)) {
       ++stats_counters_.rejected_sequential;
     } else if (!in_checkpoint_) {
@@ -85,7 +85,7 @@ bool LazyCleaningCache::OldestDirty(Partition** part, int32_t* rec) {
   *part = nullptr;
   *rec = -1;
   for (auto& p : partitions_) {
-    std::lock_guard<std::mutex> lock(p->mu);
+    std::lock_guard lock(p->mu);
     const int32_t root = p->heap.DirtyRoot();
     if (root == -1) continue;
     const double key = static_cast<double>(p->table.record(root).Lru2Key());
@@ -105,7 +105,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
 
   PageId seed_pid;
   {
-    std::lock_guard<std::mutex> lock(seed_part->mu);
+    std::lock_guard lock(seed_part->mu);
     // Re-validate under the lock (the root may have moved).
     if (seed_part->table.record(seed_rec).state != SsdFrameState::kDirty) {
       return ctx.now + 1;  // retry next step
@@ -123,7 +123,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   for (int i = 0; i < options_.lc_group_pages; ++i) {
     const PageId pid = seed_pid + static_cast<PageId>(i);
     Partition& part = PartitionFor(pid);
-    std::lock_guard<std::mutex> lock(part.mu);
+    std::lock_guard lock(part.mu);
     const int32_t rec = part.table.Lookup(pid);
     if (rec == -1 ||
         part.table.record(rec).state != SsdFrameState::kDirty) {
@@ -154,7 +154,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
 
   // Mark the group clean: move records from the dirty heap to the clean heap.
   for (auto& [part, rec] : group) {
-    std::lock_guard<std::mutex> lock(part->mu);
+    std::lock_guard lock(part->mu);
     SsdFrameRecord& r = part->table.record(rec);
     if (r.state != SsdFrameState::kDirty) continue;  // raced with invalidate
     r.state = SsdFrameState::kClean;
@@ -163,7 +163,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
     part->heap.DirtyToClean(rec);
   }
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     stats_counters_.cleaner_disk_writes += static_cast<int64_t>(group.size());
     ++stats_counters_.cleaner_io_requests;
   }

@@ -8,6 +8,8 @@
 
 namespace turbobp {
 
+class InvariantAuditor;
+
 enum class SsdFrameState : uint8_t {
   kFree = 0,
   kClean = 1,    // valid; identical to the disk copy
@@ -74,6 +76,8 @@ class SsdBufferTable {
   void PushFree(int32_t rec);
 
  private:
+  friend class InvariantAuditor;  // walks buckets/free list read-only
+
   size_t BucketOf(PageId pid) const;
 
   std::vector<SsdFrameRecord> records_;

@@ -38,7 +38,7 @@ SsdCacheBase::SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
     partitions_.push_back(std::move(part));
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    std::lock_guard lock(stats_mu_);
     stats_counters_.capacity_frames = options.num_frames;
   }
 }
@@ -49,7 +49,7 @@ double SsdCacheBase::HeapKey(const Partition& part, int32_t rec) const {
 
 SsdProbe SsdCacheBase::Probe(PageId pid) const {
   const Partition& part = PartitionFor(pid);
-  std::lock_guard<std::mutex> lock(part.mu);
+  std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return SsdProbe::kAbsent;
   switch (part.table.record(rec).state) {
@@ -65,16 +65,16 @@ SsdProbe SsdCacheBase::Probe(PageId pid) const {
 bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
                                IoContext& ctx) {
   Partition& part = PartitionFor(pid);
-  std::lock_guard<std::mutex> lock(part.mu);
+  std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.probe_misses;
     return false;
   }
   SsdFrameRecord& r = part.table.record(rec);
   if (r.state != SsdFrameState::kClean && r.state != SsdFrameState::kDirty) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.probe_misses;
     return false;
   }
@@ -82,7 +82,7 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
   // Throttle control (Section 3.3.2): when the SSD queue is saturated, read
   // from disk instead — unless the SSD copy is newer (correctness).
   if (!must_read && ThrottleBlocks(ctx.now)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.throttled;
     return false;
   }
@@ -95,7 +95,7 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
   r.Touch(ctx.now);
   part.heap.UpdateKey(rec);
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.hits;
     // The paper attributes LC's TPC-C win to re-referenced dirty SSD pages
     // ("about 83% of the total SSD references are to dirty SSD pages").
@@ -108,7 +108,7 @@ void SsdCacheBase::OnPageDirtied(PageId pid) { Invalidate(pid); }
 
 void SsdCacheBase::Invalidate(PageId pid) {
   Partition& part = PartitionFor(pid);
-  std::lock_guard<std::mutex> lock(part.mu);
+  std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return;
   SsdFrameRecord& r = part.table.record(rec);
@@ -116,19 +116,19 @@ void SsdCacheBase::Invalidate(PageId pid) {
   DetachRecord(part, rec);
   part.table.PushFree(rec);
   used_frames_.fetch_sub(1);
-  std::lock_guard<std::mutex> slock(stats_mu_);
+  std::lock_guard slock(stats_mu_);
   ++stats_counters_.invalidations;
 }
 
 void SsdCacheBase::OnEvictClean(PageId pid, std::span<const uint8_t> data,
                                 AccessKind kind, IoContext& ctx) {
   if (!AdmissionAllows(kind)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.rejected_sequential;
     return;
   }
   if (ThrottleBlocks(ctx.now)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.throttled;
     return;
   }
@@ -164,7 +164,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
                              AccessKind kind, bool dirty, Lsn page_lsn,
                              IoContext& ctx) {
   Partition& part = PartitionFor(pid);
-  std::lock_guard<std::mutex> lock(part.mu);
+  std::lock_guard lock(part.mu);
   int32_t rec = part.table.Lookup(pid);
   if (rec != -1) {
     // Already cached. A clean re-admission is content-identical: refresh
@@ -199,7 +199,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
     part.table.PushFree(victim);
     used_frames_.fetch_sub(1);
     {
-      std::lock_guard<std::mutex> slock(stats_mu_);
+      std::lock_guard slock(stats_mu_);
       ++stats_counters_.evictions;
     }
     rec = part.table.PopFree();
@@ -231,7 +231,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
   }
   r.ready_at = WriteFrame(part, rec, data, ctx);
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.admissions;
   }
   return true;
@@ -254,7 +254,7 @@ std::vector<SsdManager::CheckpointEntry> SsdCacheBase::SnapshotForCheckpoint()
     const {
   std::vector<CheckpointEntry> entries;
   for (const auto& part : partitions_) {
-    std::lock_guard<std::mutex> lock(part->mu);
+    std::lock_guard lock(part->mu);
     for (int32_t rec = 0; rec < part->table.capacity(); ++rec) {
       const SsdFrameRecord& r = part->table.record(rec);
       if (r.state != SsdFrameState::kClean && r.state != SsdFrameState::kDirty) {
@@ -312,7 +312,7 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
       }
       continue;
     }
-    std::lock_guard<std::mutex> lock(part.mu);
+    std::lock_guard lock(part.mu);
     if (part.table.Lookup(e.page_id) != -1) continue;  // duplicate entry
     // The exact record index must be free for the frame mapping to hold.
     // After a restart all records are free, so PopFree until we find it
@@ -356,7 +356,7 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
 SsdManagerStats SsdCacheBase::stats() const {
   SsdManagerStats s;
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     s = stats_counters_;
   }
   s.used_frames = used_frames_.load();

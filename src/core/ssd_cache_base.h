@@ -9,12 +9,15 @@
 #include "core/ssd_buffer_table.h"
 #include "core/ssd_heap.h"
 #include "core/ssd_manager.h"
+#include "debug/latch_order_checker.h"
 #include "storage/disk_manager.h"
 #include "storage/storage_device.h"
 
 namespace turbobp {
 
 class SimExecutor;
+class InvariantAuditor;
+struct AuditAccess;
 
 // Tuning parameters of Table 2.
 struct SsdCacheOptions {
@@ -65,7 +68,7 @@ class SsdCacheBase : public SsdManager {
     SsdBufferTable table;
     SsdSplitHeap heap;
     int64_t frame_base = 0;  // device page of this partition's frame 0
-    mutable std::mutex mu;
+    mutable TrackedMutex<LatchClass::kSsdPartition> mu;
   };
 
   Partition& PartitionFor(PageId pid) {
@@ -128,8 +131,12 @@ class SsdCacheBase : public SsdManager {
   std::atomic<int64_t> invalid_frames_{0};
 
   // Stats (mutated under partition locks; read racily for reporting).
-  mutable std::mutex stats_mu_;
+  mutable TrackedMutex<LatchClass::kSsdStats> stats_mu_;
   SsdManagerStats stats_counters_;
+
+ private:
+  friend class InvariantAuditor;  // read-only structural audits (src/debug)
+  friend struct AuditAccess;      // corruption injection in auditor tests
 };
 
 }  // namespace turbobp

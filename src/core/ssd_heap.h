@@ -9,6 +9,8 @@
 
 namespace turbobp {
 
+class InvariantAuditor;
+
 // The SSD heap array of Figure 4: a single array of `capacity` slots hosting
 // two indexed binary min-heaps that grow toward each other. The *clean*
 // heap keeps its root (the replacement victim) at slot 0 and grows right;
@@ -49,6 +51,8 @@ class SsdSplitHeap {
   bool CheckInvariants() const;
 
  private:
+  friend class InvariantAuditor;  // walks slots read-only
+
   enum Side : int8_t { kNone = -1, kClean = 0, kDirty = 1 };
 
   // Physical slot of logical index i on a side: the clean heap is stored

@@ -42,7 +42,7 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
   const double temp = ExtentTemperature(pid);
   Partition& part = PartitionFor(pid);
   {
-    std::lock_guard<std::mutex> lock(part.mu);
+    std::lock_guard lock(part.mu);
     const int32_t existing = part.table.Lookup(pid);
     if (existing != -1 &&
         part.table.record(existing).state != SsdFrameState::kInvalid) {
@@ -61,7 +61,7 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
   }
 
   if (ThrottleBlocks(ctx.now)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.throttled;
     return;
   }
@@ -81,7 +81,7 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
     pending_admissions_.erase(pending);
     Partition& p = PartitionFor(pid);
     {
-      std::lock_guard<std::mutex> lock(p.mu);
+      std::lock_guard lock(p.mu);
       const int32_t existing = p.table.Lookup(pid);
       if (existing != -1) return;  // raced (dirtied -> invalid, or admitted)
     }
@@ -91,13 +91,13 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
     if (AdmitPage(pid, std::span<const uint8_t>(copy), AccessKind::kRandom,
                   /*dirty=*/false, kInvalidLsn, ctx2)) {
       Partition& pp = PartitionFor(pid);
-      std::lock_guard<std::mutex> lock(pp.mu);
+      std::lock_guard lock(pp.mu);
       const int32_t rec = pp.table.Lookup(pid);
       if (rec != -1) {
         SsdFrameRecord& r = pp.table.record(rec);
         r.key_snapshot = snapshot;
         pp.heap.UpdateKey(rec);
-        std::lock_guard<std::mutex> llock(latch_mu_);
+        std::lock_guard llock(latch_mu_);
         latch_busy_[pid] = r.ready_at;
       }
     }
@@ -115,7 +115,7 @@ void TacCache::OnPageDirtied(PageId pid) {
   // Cancel any scheduled admission write: its buffered image is now stale.
   pending_admissions_.erase(pid);
   Partition& part = PartitionFor(pid);
-  std::lock_guard<std::mutex> lock(part.mu);
+  std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return;
   SsdFrameRecord& r = part.table.record(rec);
@@ -125,7 +125,7 @@ void TacCache::OnPageDirtied(PageId pid) {
   r.state = SsdFrameState::kInvalid;
   part.heap.Remove(rec);
   invalid_frames_.fetch_add(1);
-  std::lock_guard<std::mutex> slock(stats_mu_);
+  std::lock_guard slock(stats_mu_);
   ++stats_counters_.invalidations;
 }
 
@@ -141,13 +141,13 @@ EvictionOutcome TacCache::OnEvictDirty(PageId pid,
   EvictionOutcome outcome;
   outcome.write_to_disk = true;  // write-through, as in a traditional DBMS
   Partition& part = PartitionFor(pid);
-  std::lock_guard<std::mutex> lock(part.mu);
+  std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return outcome;  // no invalid version -> not written to SSD
   SsdFrameRecord& r = part.table.record(rec);
   if (r.state != SsdFrameState::kInvalid) return outcome;
   if (ThrottleBlocks(ctx.now)) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.throttled;
     return outcome;
   }
@@ -161,7 +161,7 @@ EvictionOutcome TacCache::OnEvictDirty(PageId pid,
   r.ready_at = WriteFrame(part, rec, data, ctx);
   outcome.cached_on_ssd = true;
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    std::lock_guard slock(stats_mu_);
     ++stats_counters_.admissions;
   }
   return outcome;
@@ -181,7 +181,7 @@ int32_t TacCache::PickVictim(Partition& part) {
 }
 
 Time TacCache::LatchBusyUntil(PageId pid, Time now) {
-  std::lock_guard<std::mutex> lock(latch_mu_);
+  std::lock_guard lock(latch_mu_);
   if (latch_busy_.size() > 8192) {
     for (auto it = latch_busy_.begin(); it != latch_busy_.end();) {
       it = it->second <= now ? latch_busy_.erase(it) : std::next(it);

@@ -74,7 +74,7 @@ class TacCache : public SsdCacheBase {
   uint64_t admission_generation_ = 0;
   // Pending/completed admission writes: pid -> latch release time.
   std::unordered_map<PageId, Time> latch_busy_;
-  std::mutex latch_mu_;
+  TrackedMutex<LatchClass::kTacLatch> latch_mu_;
 };
 
 }  // namespace turbobp

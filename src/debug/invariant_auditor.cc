@@ -1,0 +1,427 @@
+#include "debug/invariant_auditor.h"
+
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+
+#include "buffer/buffer_pool.h"
+#include "core/ssd_buffer_table.h"
+#include "core/ssd_cache_base.h"
+#include "core/ssd_heap.h"
+
+namespace turbobp {
+
+namespace {
+std::string PidStr(PageId pid) {
+  return pid == kInvalidPageId ? std::string("<invalid>") : std::to_string(pid);
+}
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  if (ok()) return "audit clean";
+  std::string out = "audit found " + std::to_string(violations_.size()) +
+                    " violation(s):";
+  for (const InvariantViolation& v : violations_) {
+    out += "\n  [" + v.structure + "] " + v.detail;
+  }
+  return out;
+}
+
+AuditReport InvariantAuditor::AuditBufferPool(const BufferPool& pool) {
+  AuditReport report;
+  std::lock_guard lock(pool.mu_);
+  const int32_t num_frames = static_cast<int32_t>(pool.frames_.size());
+
+  // Hash table -> frame direction: every entry maps to a frame that holds
+  // exactly that page, and no two entries share a frame.
+  std::unordered_set<int32_t> mapped_frames;
+  for (const auto& [pid, frame] : pool.page_table_) {
+    if (frame < 0 || frame >= num_frames) {
+      report.Add("pool.page_table", "entry for page " + PidStr(pid) +
+                                        " points at out-of-range frame " +
+                                        std::to_string(frame));
+      continue;
+    }
+    if (!mapped_frames.insert(frame).second) {
+      report.Add("pool.page_table", "frame " + std::to_string(frame) +
+                                        " is mapped by more than one page");
+    }
+    if (pool.frames_[frame].page_id != pid) {
+      report.Add("pool.page_table",
+                 "stale entry: page " + PidStr(pid) + " maps to frame " +
+                     std::to_string(frame) + " which holds page " +
+                     PidStr(pool.frames_[frame].page_id));
+    }
+  }
+
+  // Frame -> hash table direction, and empty-frame hygiene.
+  for (int32_t i = 0; i < num_frames; ++i) {
+    const auto& f = pool.frames_[i];
+    if (f.page_id != kInvalidPageId) {
+      const auto it = pool.page_table_.find(f.page_id);
+      if (it == pool.page_table_.end() || it->second != i) {
+        report.Add("pool.frames", "resident frame " + std::to_string(i) +
+                                      " (page " + PidStr(f.page_id) +
+                                      ") is not indexed by the page table");
+      }
+    } else {
+      if (f.dirty) {
+        report.Add("pool.frames",
+                   "empty frame " + std::to_string(i) + " is marked dirty");
+      }
+      if (f.pin_count != 0) {
+        report.Add("pool.frames", "empty frame " + std::to_string(i) +
+                                      " has pin count " +
+                                      std::to_string(f.pin_count));
+      }
+    }
+  }
+
+  // Free list: in range, listed once, genuinely free.
+  std::unordered_set<int32_t> free_set;
+  for (const int32_t frame : pool.free_list_) {
+    if (frame < 0 || frame >= num_frames) {
+      report.Add("pool.free_list",
+                 "out-of-range frame " + std::to_string(frame));
+      continue;
+    }
+    if (!free_set.insert(frame).second) {
+      report.Add("pool.free_list",
+                 "frame " + std::to_string(frame) + " listed twice");
+      continue;
+    }
+    if (pool.frames_[frame].page_id != kInvalidPageId) {
+      report.Add("pool.free_list", "frame " + std::to_string(frame) +
+                                       " is on the free list but holds page " +
+                                       PidStr(pool.frames_[frame].page_id));
+    }
+  }
+  return report;
+}
+
+AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
+  AuditReport report;
+  const SsdDesign design = cache.design();
+
+  // Partition frame ranges must tile [0, S) contiguously and disjointly.
+  int64_t expected_base = 0;
+  for (size_t pi = 0; pi < cache.partitions_.size(); ++pi) {
+    const auto& part = *cache.partitions_[pi];
+    if (part.frame_base != expected_base) {
+      report.Add("ssd.partitions",
+                 "partition " + std::to_string(pi) + " frame base " +
+                     std::to_string(part.frame_base) + " != expected " +
+                     std::to_string(expected_base));
+    }
+    expected_base = part.frame_base + part.table.capacity();
+  }
+  if (expected_base != cache.options_.num_frames) {
+    report.Add("ssd.partitions",
+               "partition capacities cover " + std::to_string(expected_base) +
+                   " frames, options say " +
+                   std::to_string(cache.options_.num_frames));
+  }
+
+  int64_t used_total = 0;
+  int64_t dirty_total = 0;
+  int64_t invalid_total = 0;
+  for (size_t pi = 0; pi < cache.partitions_.size(); ++pi) {
+    const auto& part = *cache.partitions_[pi];
+    const std::string where = "partition " + std::to_string(pi);
+    std::lock_guard lock(part.mu);
+    const SsdBufferTable& table = part.table;
+    const SsdSplitHeap& heap = part.heap;
+    const int32_t cap = table.capacity();
+
+    // Heap-internal order and position bookkeeping.
+    if (!heap.CheckInvariants()) {
+      report.Add("ssd.heap", where + ": heap order/position invariant broken");
+    }
+
+    // Free list: no cycles, in range, length reconciles with used().
+    std::vector<char> on_free(static_cast<size_t>(cap), 0);
+    int32_t free_count = 0;
+    for (int32_t rec = table.free_head_; rec != -1;
+         rec = table.records_[static_cast<size_t>(rec)].free_next) {
+      if (rec < 0 || rec >= cap) {
+        report.Add("ssd.free_list",
+                   where + ": out-of-range record " + std::to_string(rec));
+        break;
+      }
+      if (on_free[static_cast<size_t>(rec)]) {
+        report.Add("ssd.free_list",
+                   where + ": cycle through record " + std::to_string(rec));
+        break;
+      }
+      on_free[static_cast<size_t>(rec)] = 1;
+      ++free_count;
+    }
+    if (free_count + table.used() != cap) {
+      report.Add("ssd.free_list",
+                 where + ": " + std::to_string(free_count) + " free + " +
+                     std::to_string(table.used()) + " used != capacity " +
+                     std::to_string(cap));
+    }
+
+    // Hash chains: every entry is a live record of this partition, in the
+    // right bucket, and findable (no duplicate page ids shadowing it).
+    std::vector<char> in_hash(static_cast<size_t>(cap), 0);
+    for (size_t b = 0; b < table.buckets_.size(); ++b) {
+      int32_t steps = 0;
+      for (int32_t rec = table.buckets_[b]; rec != -1;
+           rec = table.records_[static_cast<size_t>(rec)].hash_next) {
+        if (rec < 0 || rec >= cap || ++steps > cap) {
+          report.Add("ssd.hash", where + ": bucket " + std::to_string(b) +
+                                     " chain corrupt at record " +
+                                     std::to_string(rec));
+          break;
+        }
+        in_hash[static_cast<size_t>(rec)] = 1;
+        const SsdFrameRecord& r = table.record(rec);
+        if (r.state == SsdFrameState::kFree) {
+          report.Add("ssd.hash", where + ": stale hash entry: record " +
+                                     std::to_string(rec) + " (page " +
+                                     PidStr(r.page_id) + ") is free");
+          continue;
+        }
+        if (table.BucketOf(r.page_id) != b) {
+          report.Add("ssd.hash", where + ": record " + std::to_string(rec) +
+                                     " (page " + PidStr(r.page_id) +
+                                     ") chained in the wrong bucket");
+        }
+        if (table.Lookup(r.page_id) != rec) {
+          report.Add("ssd.hash", where + ": page " + PidStr(r.page_id) +
+                                     " has a duplicate or shadowed entry");
+        }
+        if (&cache.PartitionFor(r.page_id) != &part) {
+          report.Add("ssd.hash", where + ": page " + PidStr(r.page_id) +
+                                     " belongs to a different partition");
+        }
+      }
+    }
+
+    // Record states vs hash/free/heap membership: the per-frame half of the
+    // copy-state machine (a dirty frame must sit in the dirty heap until the
+    // cleaner copies it out; free and invalid frames sit in no heap).
+    for (int32_t rec = 0; rec < cap; ++rec) {
+      const SsdFrameRecord& r = table.record(rec);
+      const std::string who =
+          where + " record " + std::to_string(rec) + " (page " +
+          PidStr(r.page_id) + ")";
+      const bool hashed = in_hash[static_cast<size_t>(rec)] != 0;
+      const bool freed = on_free[static_cast<size_t>(rec)] != 0;
+      switch (r.state) {
+        case SsdFrameState::kFree:
+          if (hashed) {
+            report.Add("ssd.table", who + ": free but still hashed");
+          }
+          if (!freed) {
+            report.Add("ssd.table", who + ": free but not on the free list");
+          }
+          if (heap.Contains(rec)) {
+            report.Add("ssd.table", who + ": free but present in a heap");
+          }
+          break;
+        case SsdFrameState::kClean:
+          if (!hashed) report.Add("ssd.table", who + ": clean but not hashed");
+          if (freed) {
+            report.Add("ssd.table", who + ": clean but on the free list");
+          }
+          if (!heap.Contains(rec)) {
+            report.Add("ssd.table", who + ": clean but in no heap");
+          } else if (heap.IsDirtySide(rec)) {
+            report.Add("ssd.heap", who + ": record says clean but sits in the"
+                                         " dirty heap");
+          }
+          break;
+        case SsdFrameState::kDirty:
+          ++dirty_total;
+          if (design != SsdDesign::kLazyCleaning) {
+            report.Add("ssd.table",
+                       who + ": dirty SSD frame under design " +
+                           std::string(turbobp::ToString(design)) +
+                           " (only LC writes dirty pages to the SSD)");
+          }
+          if (!hashed) report.Add("ssd.table", who + ": dirty but not hashed");
+          if (freed) {
+            report.Add("ssd.table", who + ": dirty but on the free list");
+          }
+          if (!heap.Contains(rec)) {
+            report.Add("ssd.heap",
+                       who + ": dirty but in no heap (the cleaner would"
+                             " never find it)");
+          } else if (!heap.IsDirtySide(rec)) {
+            report.Add("ssd.heap", who + ": record says dirty but sits in the"
+                                         " clean heap");
+          }
+          break;
+        case SsdFrameState::kInvalid:
+          ++invalid_total;
+          if (design != SsdDesign::kTac) {
+            report.Add("ssd.table",
+                       who + ": logically-invalid frame under design " +
+                           std::string(turbobp::ToString(design)) +
+                           " (only TAC invalidates logically)");
+          }
+          if (!hashed) {
+            report.Add("ssd.table", who + ": invalid but not hashed");
+          }
+          if (freed) {
+            report.Add("ssd.table", who + ": invalid but on the free list");
+          }
+          if (heap.Contains(rec)) {
+            report.Add("ssd.heap", who + ": invalid but present in a heap");
+          }
+          break;
+      }
+    }
+
+    // Heap slots -> record states (the other direction of the membership
+    // checks above, so a record/heap disagreement is caught from both ends).
+    for (int32_t i = 0; i < heap.clean_size(); ++i) {
+      const int32_t rec = heap.SlotAt(SsdSplitHeap::kClean, i);
+      if (rec < 0 || rec >= cap) continue;  // CheckInvariants reported it
+      if (table.record(rec).state != SsdFrameState::kClean) {
+        report.Add("ssd.heap", where + ": clean-heap slot " +
+                                   std::to_string(i) + " holds record " +
+                                   std::to_string(rec) +
+                                   " whose state is not clean");
+      }
+    }
+    for (int32_t i = 0; i < heap.dirty_size(); ++i) {
+      const int32_t rec = heap.SlotAt(SsdSplitHeap::kDirty, i);
+      if (rec < 0 || rec >= cap) continue;
+      if (table.record(rec).state != SsdFrameState::kDirty) {
+        report.Add("ssd.heap", where + ": dirty-heap slot " +
+                                   std::to_string(i) + " holds record " +
+                                   std::to_string(rec) +
+                                   " whose state is not dirty");
+      }
+    }
+
+    used_total += table.used();
+  }
+
+  // Aggregate counters vs ground truth.
+  if (used_total != cache.used_frames_.load()) {
+    report.Add("ssd.counters",
+               "used_frames counter " +
+                   std::to_string(cache.used_frames_.load()) +
+                   " != table total " + std::to_string(used_total));
+  }
+  if (dirty_total != cache.dirty_frames_.load()) {
+    report.Add("ssd.counters",
+               "dirty_frames counter " +
+                   std::to_string(cache.dirty_frames_.load()) +
+                   " != dirty-record total " + std::to_string(dirty_total));
+  }
+  if (invalid_total != cache.invalid_frames_.load()) {
+    report.Add("ssd.counters",
+               "invalid_frames counter " +
+                   std::to_string(cache.invalid_frames_.load()) +
+                   " != invalid-record total " + std::to_string(invalid_total));
+  }
+  return report;
+}
+
+AuditReport InvariantAuditor::AuditSystem(const BufferPool& pool,
+                                          const SsdManager* ssd) {
+  AuditReport report = AuditBufferPool(pool);
+  const auto* cache = dynamic_cast<const SsdCacheBase*>(ssd);
+  if (cache != nullptr) report.Merge(AuditSsdCache(*cache));
+  if (ssd == nullptr) return report;
+
+  // Cross-structure: snapshot resident pages under the pool latch, then
+  // probe the SSD (pool latch released first: Probe takes partition latches
+  // and needs no pool state).
+  std::vector<std::pair<PageId, bool>> resident;
+  {
+    std::lock_guard lock(pool.mu_);
+    resident.reserve(pool.page_table_.size());
+    for (const auto& [pid, frame] : pool.page_table_) {
+      if (frame < 0 || frame >= static_cast<int32_t>(pool.frames_.size())) {
+        continue;  // already reported by AuditBufferPool
+      }
+      resident.emplace_back(pid, pool.frames_[frame].dirty);
+    }
+  }
+  for (const auto& [pid, dirty] : resident) {
+    if (!dirty) continue;
+    // The clean->dirty transition invalidates any SSD copy, and nothing may
+    // re-admit the page while the newest version sits dirty in memory.
+    if (ssd->Probe(pid) != SsdProbe::kAbsent) {
+      report.Add("cross",
+                 "page " + PidStr(pid) +
+                     " is dirty in the memory pool but the SSD still serves"
+                     " a copy (missed invalidation)");
+    }
+  }
+  return report;
+}
+
+bool InvariantAuditor::IsLegalTransition(SsdFrameState from, SsdFrameState to) {
+  if (from == to) return true;
+  switch (from) {
+    case SsdFrameState::kFree:
+      return to == SsdFrameState::kClean || to == SsdFrameState::kDirty;
+    case SsdFrameState::kClean:
+      return to == SsdFrameState::kDirty || to == SsdFrameState::kFree ||
+             to == SsdFrameState::kInvalid;
+    case SsdFrameState::kDirty:
+      // A dirty frame holds the only up-to-date copy: it may only become
+      // clean (after the cleaner's disk write) or be dropped when the page
+      // is re-dirtied in memory; logical invalidation would strand it.
+      return to == SsdFrameState::kClean || to == SsdFrameState::kFree;
+    case SsdFrameState::kInvalid:
+      return to == SsdFrameState::kClean || to == SsdFrameState::kFree;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- AuditAccess
+
+size_t AuditAccess::NumPartitions(const SsdCacheBase& cache) {
+  return cache.partitions_.size();
+}
+
+size_t AuditAccess::PartitionIndexOf(const SsdCacheBase& cache, PageId pid) {
+  const auto& part = cache.PartitionFor(pid);
+  for (size_t i = 0; i < cache.partitions_.size(); ++i) {
+    if (cache.partitions_[i].get() == &part) return i;
+  }
+  return cache.partitions_.size();
+}
+
+SsdBufferTable& AuditAccess::Table(SsdCacheBase& cache, size_t partition) {
+  return cache.partitions_.at(partition)->table;
+}
+
+SsdSplitHeap& AuditAccess::Heap(SsdCacheBase& cache, size_t partition) {
+  return cache.partitions_.at(partition)->heap;
+}
+
+std::atomic<int64_t>& AuditAccess::DirtyFrames(SsdCacheBase& cache) {
+  return cache.dirty_frames_;
+}
+
+void AuditAccess::RebindPageTableEntry(BufferPool& pool, PageId pid,
+                                       int32_t frame) {
+  std::lock_guard lock(pool.mu_);
+  if (frame < 0) {
+    pool.page_table_.erase(pid);
+  } else {
+    pool.page_table_[pid] = frame;
+  }
+}
+
+void AuditAccess::SetFramePageId(BufferPool& pool, int32_t frame, PageId pid) {
+  std::lock_guard lock(pool.mu_);
+  pool.frames_.at(static_cast<size_t>(frame)).page_id = pid;
+}
+
+void AuditAccess::PushFreeList(BufferPool& pool, int32_t frame) {
+  std::lock_guard lock(pool.mu_);
+  pool.free_list_.push_back(frame);
+}
+
+}  // namespace turbobp

@@ -1,0 +1,107 @@
+#ifndef TURBOBP_DEBUG_LATCH_ORDER_CHECKER_H_
+#define TURBOBP_DEBUG_LATCH_ORDER_CHECKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace turbobp {
+
+// Every latch in the engine belongs to one of these classes. The documented
+// acquisition discipline is the enum order: a thread may only acquire a latch
+// whose class is *greater* than every latch class it already holds, and must
+// never hold two latches of the same class (the code is written so that
+// same-class latches — e.g. two SSD partitions — are acquired one at a time).
+//
+//   kBufferPool   BufferPool::mu_ (outermost: the page-fetch/evict path)
+//   kWal          LogManager::mu_ (WAL rule runs under the pool latch)
+//   kSsdPartition SsdCacheBase::Partition::mu
+//   kSsdStats     SsdCacheBase::stats_mu_
+//   kTacLatch     TacCache::latch_mu_ (pending-admission latch table)
+//   kDevice       storage-device internals (innermost)
+enum class LatchClass : uint8_t {
+  kBufferPool = 0,
+  kWal = 1,
+  kSsdPartition = 2,
+  kSsdStats = 3,
+  kTacLatch = 4,
+  kDevice = 5,
+};
+inline constexpr int kNumLatchClasses = 6;
+
+const char* ToString(LatchClass c);
+
+// Runtime lock-order checker. Threads report every tracked acquisition and
+// release; the checker maintains the global directed graph of observed
+// "held A while acquiring B" edges and flags
+//   * cycles (an edge whose reverse path already exists), and
+//   * same-class nesting (a potential deadlock without address ordering).
+// Checking costs one relaxed atomic load per lock operation when disabled;
+// it is enabled by default in debug and TURBOBP_AUDIT builds and can be
+// toggled at runtime (tests enable it explicitly so they work in every
+// build type).
+class LatchOrderChecker {
+ public:
+  static LatchOrderChecker& Instance();
+
+  static void OnAcquire(LatchClass c);
+  static void OnRelease(LatchClass c);
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // When set, a detected violation panics instead of being recorded
+  // (the mode the TURBOBP_AUDIT build runs tests in).
+  void set_abort_on_violation(bool on) { abort_on_violation_ = on; }
+
+  int64_t violation_count() const;
+  std::vector<std::string> violations() const;
+
+  // Clears the observed-order graph and recorded violations (tests).
+  void Reset();
+
+ private:
+  LatchOrderChecker();
+
+  void RecordAcquire(LatchClass c);
+  void RecordRelease(LatchClass c);
+  // True if a path to -> ... -> from exists in the observed-edge graph.
+  bool PathExists(int from, int to) const;
+  void AddViolation(const std::string& msg);
+
+  std::atomic<bool> enabled_;
+  bool abort_on_violation_ = false;
+  mutable std::mutex mu_;  // leaf lock: guards the graph and violation log
+  bool edges_[kNumLatchClasses][kNumLatchClasses] = {};
+  std::vector<std::string> violations_;
+};
+
+// Drop-in std::mutex replacement that reports its class to the
+// LatchOrderChecker. Satisfies Lockable, so std::lock_guard /
+// std::unique_lock work unchanged (use CTAD: `std::lock_guard lock(mu_);`).
+template <LatchClass kClass>
+class TrackedMutex {
+ public:
+  void lock() {
+    LatchOrderChecker::OnAcquire(kClass);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    LatchOrderChecker::OnAcquire(kClass);
+    return true;
+  }
+  void unlock() {
+    mu_.unlock();
+    LatchOrderChecker::OnRelease(kClass);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_DEBUG_LATCH_ORDER_CHECKER_H_

@@ -25,7 +25,8 @@ Status FileDevice::Create(const std::string& path, uint64_t num_pages,
     ::close(fd);
     return Status::IoError("ftruncate " + path + ": " + std::strerror(errno));
   }
-  out->reset(new FileDevice(fd, num_pages, page_bytes));
+  // Factory for a private constructor; make_unique has no access.
+  out->reset(new FileDevice(fd, num_pages, page_bytes));  // lint: allow(raw-new)
   return Status::Ok();
 }
 
@@ -40,8 +41,8 @@ Status FileDevice::Open(const std::string& path, uint32_t page_bytes,
     ::close(fd);
     return Status::IoError("fstat " + path + ": " + std::strerror(errno));
   }
-  out->reset(new FileDevice(fd, static_cast<uint64_t>(st.st_size) / page_bytes,
-                            page_bytes));
+  out->reset(new FileDevice(  // lint: allow(raw-new)
+      fd, static_cast<uint64_t>(st.st_size) / page_bytes, page_bytes));
   return Status::Ok();
 }
 

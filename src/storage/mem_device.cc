@@ -26,7 +26,7 @@ Time MemDevice::Read(uint64_t first_page, uint32_t num_pages,
                      std::span<uint8_t> out, Time now, bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
   TURBOBP_CHECK(out.size() >= static_cast<size_t>(num_pages) * page_bytes_);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   for (uint32_t i = 0; i < num_pages; ++i) {
     ReadOne(first_page + i,
             out.subspan(static_cast<size_t>(i) * page_bytes_, page_bytes_));
@@ -38,7 +38,7 @@ Time MemDevice::Write(uint64_t first_page, uint32_t num_pages,
                       std::span<const uint8_t> data, Time now, bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
   TURBOBP_CHECK(data.size() >= static_cast<size_t>(num_pages) * page_bytes_);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   for (uint32_t i = 0; i < num_pages; ++i) {
     auto& stored = pages_[first_page + i];
     stored.assign(data.begin() + static_cast<size_t>(i) * page_bytes_,
@@ -48,17 +48,17 @@ Time MemDevice::Write(uint64_t first_page, uint32_t num_pages,
 }
 
 bool MemDevice::IsMaterialized(uint64_t page) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   return pages_.contains(page);
 }
 
 size_t MemDevice::materialized_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   return pages_.size();
 }
 
 void MemDevice::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard lock(mu_);
   pages_.clear();
 }
 

@@ -3,10 +3,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "debug/latch_order_checker.h"
 #include "storage/storage_device.h"
 
 namespace turbobp {
@@ -48,7 +48,7 @@ class MemDevice : public StorageDevice {
   const uint64_t num_pages_;
   const uint32_t page_bytes_;
   Synthesizer synthesizer_;
-  mutable std::mutex mu_;
+  mutable TrackedMutex<LatchClass::kDevice> mu_;
   std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
 };
 

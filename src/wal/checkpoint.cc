@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "debug/invariant_auditor.h"
 
 namespace turbobp {
+
+namespace {
+// TURBOBP_AUDIT builds cross-check the buffer pool and the SSD manager's
+// structures at every checkpoint boundary: the checkpoint is the one moment
+// the engine claims a consistent durable story, so an inconsistency here
+// means a correctness bug upstream. No-op (and zero cost) otherwise.
+void AuditAtCheckpointBoundary(BufferPool* pool, SsdManager* ssd,
+                               [[maybe_unused]] const char* when) {
+#ifdef TURBOBP_AUDIT
+  const AuditReport report = InvariantAuditor::AuditSystem(*pool, ssd);
+  if (!report.ok()) {
+    const std::string msg =
+        std::string("checkpoint ") + when + ": " + report.ToString();
+    Panic(__FILE__, __LINE__, msg.c_str());
+  }
+#else
+  (void)pool;
+  (void)ssd;
+#endif
+}
+}  // namespace
 
 CheckpointManager::CheckpointManager(BufferPool* pool, SsdManager* ssd,
                                      LogManager* log, SimExecutor* executor)
@@ -15,6 +37,7 @@ CheckpointManager::CheckpointManager(BufferPool* pool, SsdManager* ssd,
 
 Time CheckpointManager::RunCheckpoint(IoContext& ctx) {
   const Time start = ctx.now;
+  AuditAtCheckpointBoundary(pool_, ssd_, "begin");
   const Lsn begin_lsn = log_->AppendBeginCheckpoint();
   if (ssd_ != nullptr) ssd_->OnCheckpointBegin();
 
@@ -57,6 +80,7 @@ Time CheckpointManager::RunCheckpoint(IoContext& ctx) {
   stats_.max_duration = std::max(stats_.max_duration, duration);
   stats_.last_checkpoint_lsn = begin_lsn;
   completed_.push_back(begin_lsn);
+  AuditAtCheckpointBoundary(pool_, ssd_, "end");
   return end;
 }
 

@@ -11,6 +11,7 @@ LogManager::LogManager(StorageDevice* log_device) : device_(log_device) {
 }
 
 Lsn LogManager::Append(LogRecord rec) {
+  std::lock_guard lock(mu_);
   rec.lsn = next_lsn_;
   next_lsn_ += rec.SizeOnDisk();
   records_.push_back(std::move(rec));
@@ -48,6 +49,11 @@ Lsn LogManager::AppendEndCheckpoint() {
 }
 
 Time LogManager::FlushTo(Lsn lsn, IoContext& ctx) {
+  std::lock_guard lock(mu_);
+  return FlushToLocked(lsn, ctx);
+}
+
+Time LogManager::FlushToLocked(Lsn lsn, IoContext& ctx) {
   // Durability is tracked by record-start LSN: flushing "to lsn" makes the
   // record beginning at lsn durable. Clamp to the last appended record.
   lsn = std::min(lsn, records_.empty() ? Lsn{0} : records_.back().lsn);
@@ -78,11 +84,16 @@ Time LogManager::FlushTo(Lsn lsn, IoContext& ctx) {
 }
 
 void LogManager::CommitForce(IoContext& ctx) {
-  const Time completion = FlushTo(next_lsn_, ctx);
+  Time completion;
+  {
+    std::lock_guard lock(mu_);
+    completion = FlushToLocked(next_lsn_, ctx);
+  }
   ctx.Wait(completion);
 }
 
 size_t LogManager::DropUnflushed() {
+  std::lock_guard lock(mu_);
   size_t dropped = 0;
   while (!records_.empty() && records_.back().lsn > durable_lsn_) {
     records_.pop_back();

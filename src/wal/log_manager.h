@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "debug/latch_order_checker.h"
 #include "storage/io_context.h"
 #include "storage/storage_device.h"
 
@@ -57,16 +58,33 @@ class LogManager {
   // Group commit: forces the whole log and blocks the client until durable.
   void CommitForce(IoContext& ctx);
 
-  Lsn current_lsn() const { return next_lsn_; }
-  Lsn durable_lsn() const { return durable_lsn_; }
-  bool IsDurable(Lsn lsn) const { return lsn <= durable_lsn_; }
+  Lsn current_lsn() const {
+    std::lock_guard lock(mu_);
+    return next_lsn_;
+  }
+  Lsn durable_lsn() const {
+    std::lock_guard lock(mu_);
+    return durable_lsn_;
+  }
+  bool IsDurable(Lsn lsn) const { return lsn <= durable_lsn(); }
 
   // Total records appended / flush requests issued (stats).
-  int64_t num_records() const { return static_cast<int64_t>(records_.size()); }
-  int64_t flushes_issued() const { return flushes_; }
-  int64_t bytes_appended() const { return static_cast<int64_t>(next_lsn_); }
+  int64_t num_records() const {
+    std::lock_guard lock(mu_);
+    return static_cast<int64_t>(records_.size());
+  }
+  int64_t flushes_issued() const {
+    std::lock_guard lock(mu_);
+    return flushes_;
+  }
+  int64_t bytes_appended() const {
+    std::lock_guard lock(mu_);
+    return static_cast<int64_t>(next_lsn_);
+  }
 
   // Recovery interface: all records, and the subset durable at crash time.
+  // Returns a reference into the log's own storage: recovery is
+  // single-threaded, so no latch is held while the caller iterates.
   const std::vector<LogRecord>& records() const { return records_; }
 
   // Simulates a crash: discards records that were never forced to the log
@@ -75,7 +93,12 @@ class LogManager {
 
  private:
   Lsn Append(LogRecord rec);
+  Time FlushToLocked(Lsn lsn, IoContext& ctx);
 
+  // WAL latch: serializes appends and flushes. Acquired under the buffer
+  // pool latch on the eviction path (kBufferPool -> kWal) and standalone by
+  // checkpoints and group commit.
+  mutable TrackedMutex<LatchClass::kWal> mu_;
   StorageDevice* device_;
   std::vector<LogRecord> records_;
   Lsn next_lsn_ = 1;        // byte-offset LSN; 0 is kInvalidLsn

@@ -416,7 +416,7 @@ class TpchStream {
     SimExecutor& ex = workload_->db_->system().executor();
     if (done_) {
       on_done_(ex.now());
-      delete this;
+      delete this;  // lint: allow(raw-new) self-owning event object
       return;
     }
     IoContext ctx = workload_->db_->system().MakeContext();
@@ -471,7 +471,8 @@ TpchTestResult TpchWorkload::RunFullBenchmark() {
     for (int q = 0; q < kNumQueries; ++q) {
       order.push_back(1 + (q + s * 7) % kNumQueries);  // rotated permutation
     }
-    auto* stream = new TpchStream(this, std::move(order),
+    // The stream owns itself until its final event fires.
+    auto* stream = new TpchStream(this, std::move(order),  // lint: allow(raw-new)
                                   config_.seed + 100 + static_cast<uint64_t>(s),
                                   [&remaining, &last_done](Time t) {
                                     --remaining;

@@ -70,7 +70,7 @@ TEST(RealFileTest, BufferPoolWithSsdCacheOverRealFiles) {
   EXPECT_GT(ssd.stats().admissions, 0);
 
   // Re-open the database file cold and verify every page checksums.
-  disk_dev->Sync();
+  ASSERT_TRUE(disk_dev->Sync().ok());
   std::unique_ptr<FileDevice> reopened;
   ASSERT_TRUE(FileDevice::Open(disk_path, kPage, &reopened).ok());
   std::vector<uint8_t> buf(kPage);
