@@ -39,11 +39,12 @@ Timings MeasureOne(uint32_t ssd_mask) {
       done = std::max(done, disks.Read(512 + first, count,
                                        std::span<uint8_t>(buf.data(),
                                                           count * kPage),
-                                       0));
+                                       0).time);
     };
     auto read_ssd = [&](uint32_t page) {
       done = std::max(done, ssd.Read(page, 1,
-                                     std::span<uint8_t>(buf.data(), kPage), 0));
+                                     std::span<uint8_t>(buf.data(), kPage), 0)
+                                .time);
     };
     if (strategy == 0) {
       // Split: each maximal non-SSD run is a separate disk I/O.

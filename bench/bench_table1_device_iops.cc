@@ -22,8 +22,8 @@ double MeasureIops(SimDevice& dev, IoOp op, bool sequential, uint64_t seed) {
   while (now < Seconds(20)) {
     const uint64_t page =
         sequential ? (seq++ % dev.num_pages()) : rng.Uniform(dev.num_pages());
-    now = op == IoOp::kRead ? dev.Read(page, 1, buf, now)
-                            : dev.Write(page, 1, buf, now);
+    now = op == IoOp::kRead ? dev.Read(page, 1, buf, now).time
+                            : dev.Write(page, 1, buf, now).time;
     ++count;
   }
   return static_cast<double>(count) / 20.0;

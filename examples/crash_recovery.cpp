@@ -99,7 +99,8 @@ int main() {
   for (uint64_t r = 0; r < 10000; ++r) {
     const Rid rid = accounts.RidOfRow(r);
     IoContext read_ctx = system.MakeContext(false);
-    system.disk_manager().ReadPage(rid.page_id, buf, read_ctx);
+    TURBOBP_CHECK_OK(
+        system.disk_manager().ReadPage(rid.page_id, buf, read_ctx));
     PageView v(buf.data(), 1024);
     int64_t balance;
     std::memcpy(&balance,

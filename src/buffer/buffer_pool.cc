@@ -89,7 +89,8 @@ void BufferPool::VerifyFrameChecksum(int32_t frame, PageId pid) const {
   }
 }
 
-PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
+PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx,
+                                Status* out_error) {
   std::lock_guard lock(mu_);
   if (ctx.charge) ctx.now += options_.hit_cpu;
 
@@ -118,7 +119,8 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
   ssd_->OnBufferPoolMiss(pid, kind, ctx);
 
   const int32_t frame = AcquireFrame(ctx);
-  if (ssd_->TryReadPage(pid, FrameSpan(frame), ctx)) {
+  Status ssd_error;
+  if (ssd_->TryReadPage(pid, FrameSpan(frame), ctx, &ssd_error)) {
     ++stats_.ssd_hits;
     ++ctx.ssd_hits;
     VerifyFrameChecksum(frame, pid);
@@ -126,6 +128,17 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
     Frame& f = frames_[frame];
     ++f.pin_count;
     return PageGuard(this, frame);
+  }
+  if (!ssd_error.ok()) {
+    // The only current copy of this page sat in a dirty SSD frame that
+    // could not be salvaged; the disk version is stale, so serving it would
+    // silently corrupt the database. Surface a hard error instead.
+    free_list_.push_back(frame);
+    if (out_error != nullptr) {
+      *out_error = ssd_error;
+      return PageGuard();
+    }
+    Panic(__FILE__, __LINE__, "page unreadable: newest copy lost with the SSD");
   }
 
   // Read from disk. While the pool still has free frames SQL Server 2008 R2
@@ -140,7 +153,7 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
         std::min<uint64_t>(expand, disk_->num_pages() - block_first));
     static thread_local std::vector<uint8_t> scratch;
     scratch.resize(static_cast<size_t>(count) * options_.page_bytes);
-    disk_->ReadPages(block_first, count, scratch, ctx);
+    TURBOBP_CHECK_OK(disk_->ReadPages(block_first, count, scratch, ctx));
     stats_.disk_page_reads += count;
     int32_t pinned_frame = -1;
     for (uint32_t i = 0; i < count; ++i) {
@@ -174,7 +187,7 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx) {
     return PageGuard(this, pinned_frame);
   }
 
-  disk_->ReadPage(pid, FrameSpan(frame), ctx);
+  TURBOBP_CHECK_OK(disk_->ReadPage(pid, FrameSpan(frame), ctx));
   ++stats_.disk_page_reads;
   VerifyFrameChecksum(frame, pid);
   InstallFrame(frame, pid, kind, ctx);
@@ -263,7 +276,7 @@ void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
   const uint32_t disk_count = static_cast<uint32_t>(pages[hi - 1] - disk_first + 1);
   static thread_local std::vector<uint8_t> scratch;
   scratch.resize(static_cast<size_t>(disk_count) * options_.page_bytes);
-  disk_->ReadPages(disk_first, disk_count, scratch, ctx);
+  TURBOBP_CHECK_OK(disk_->ReadPages(disk_first, disk_count, scratch, ctx));
   stats_.disk_page_reads += disk_count;
 
   for (size_t i = lo; i < hi; ++i) {
@@ -271,9 +284,11 @@ void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
     if (page_table_.contains(p)) continue;
     if (probes[i] == SsdProbe::kNewerCopy) {
       // The SSD holds a newer version (LC): the disk copy just read is
-      // stale and must be replaced via an extra SSD read.
-      const bool ok = read_via_ssd(p);
-      TURBOBP_CHECK(ok);  // newer copies must be served for correctness
+      // stale and must be replaced via an extra SSD read. If that read
+      // fails (lost page on a dying SSD), skip the page — installing the
+      // stale disk copy would corrupt the database; a later FetchPage
+      // surfaces the hard error.
+      read_via_ssd(p);
       continue;
     }
     const int32_t fr = AcquireFrame(ctx);
@@ -372,7 +387,8 @@ void BufferPool::EvictFrame(int32_t frame, IoContext& ctx) {
           ssd_->OnEvictDirty(pid, FrameSpan(frame), f.kind, page_lsn, write_ctx);
     }
     if (outcome.write_to_disk) {
-      disk_->WritePage(pid, FrameSpan(frame), write_ctx);
+      // The disk array is the durable home; its failure has no fallback.
+      TURBOBP_CHECK_OK(disk_->WritePage(pid, FrameSpan(frame), write_ctx).status);
     }
   }
   f = Frame{};  // reset metadata; frame data will be overwritten
@@ -398,7 +414,9 @@ Time BufferPool::WriteFrameToDisk(int32_t frame, IoContext& ctx) {
       log_ != nullptr ? log_->FlushTo(v.header().lsn, ctx) : ctx.now;
   IoContext write_ctx = ctx;
   write_ctx.now = std::max(ctx.now, log_done);
-  return disk_->WritePage(f.page_id, FrameSpan(frame), write_ctx);
+  const IoResult w = disk_->WritePage(f.page_id, FrameSpan(frame), write_ctx);
+  TURBOBP_CHECK_OK(w.status);
+  return w.time;
 }
 
 Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {

@@ -111,8 +111,12 @@ class BufferPool {
 
   // Fetches and pins a page. `kind` records how the caller reached the page
   // (random lookup vs. sequential read-ahead) — the SSD admission policy
-  // keys off it.
-  PageGuard FetchPage(PageId pid, AccessKind kind, IoContext& ctx);
+  // keys off it. When the page is unreadable (its only current copy sat in
+  // a dirty SSD frame that died with the device) the fetch cannot be served:
+  // with `out_error` set, the error is reported there and an invalid guard
+  // is returned; with `out_error == nullptr` the process panics.
+  PageGuard FetchPage(PageId pid, AccessKind kind, IoContext& ctx,
+                      Status* out_error = nullptr);
 
   // Allocates a frame for a brand-new page (no disk read) and formats it.
   // The page is born dirty (it exists nowhere else yet).

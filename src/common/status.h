@@ -23,6 +23,7 @@ class [[nodiscard]] Status {
     kIoError = 4,
     kFull = 5,
     kAborted = 6,
+    kUnavailable = 7,
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,11 +46,18 @@ class [[nodiscard]] Status {
   static Status Aborted(std::string msg = "") {
     return Status(Code::kAborted, std::move(msg));
   }
+  // A device (or service) that has permanently stopped answering; unlike
+  // kIoError this is not worth retrying.
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsFull() const { return code_ == Code::kFull; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -64,6 +72,7 @@ class [[nodiscard]] Status {
       case Code::kIoError: name = "IoError"; break;
       case Code::kFull: name = "Full"; break;
       case Code::kAborted: name = "Aborted"; break;
+      case Code::kUnavailable: name = "Unavailable"; break;
     }
     return message_.empty() ? std::string(name)
                             : std::string(name) + ": " + message_;

@@ -6,21 +6,20 @@ EvictionOutcome DualWriteCache::OnEvictDirty(PageId pid,
                                              std::span<const uint8_t> data,
                                              AccessKind kind, Lsn page_lsn,
                                              IoContext& ctx) {
+  MaybeDegrade(ctx);
   EvictionOutcome outcome;
   outcome.write_to_disk = true;  // always: write-through
+  if (degraded()) return outcome;
   if (AdmissionAllows(kind) && !ThrottleBlocks(ctx.now)) {
     // The disk write happens "simultaneously" (the buffer pool issues it on
     // return); since both copies are written, the SSD entry is *clean* —
     // identical to the disk version.
     outcome.cached_on_ssd =
         AdmitPage(pid, data, kind, /*dirty=*/false, page_lsn, ctx);
+  } else if (!AdmissionAllows(kind)) {
+    Counters::Bump(counters_.rejected_sequential);
   } else {
-    std::lock_guard slock(stats_mu_);
-    if (!AdmissionAllows(kind)) {
-      ++stats_counters_.rejected_sequential;
-    } else {
-      ++stats_counters_.throttled;
-    }
+    Counters::Bump(counters_.throttled);
   }
   return outcome;
 }

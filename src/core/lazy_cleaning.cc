@@ -18,10 +18,14 @@ EvictionOutcome LazyCleaningCache::OnEvictDirty(PageId pid,
                                                 std::span<const uint8_t> data,
                                                 AccessKind kind, Lsn page_lsn,
                                                 IoContext& ctx) {
+  MaybeDegrade(ctx);
   EvictionOutcome outcome;
+  // Degraded: behave exactly like NoSsdManager (the caller writes to disk).
+  if (degraded()) return outcome;
   // While a checkpoint runs, LC stops caching new dirty pages (Section 3.2).
+  const bool in_ckpt = in_checkpoint_.load(std::memory_order_acquire);
   const bool allowed =
-      !in_checkpoint_ && AdmissionAllows(kind) && !ThrottleBlocks(ctx.now);
+      !in_ckpt && AdmissionAllows(kind) && !ThrottleBlocks(ctx.now);
   if (allowed &&
       AdmitPage(pid, data, kind, /*dirty=*/true, page_lsn, ctx)) {
     // The SSD absorbed the page: no disk write now; the cleaner (or a
@@ -31,21 +35,21 @@ EvictionOutcome LazyCleaningCache::OnEvictDirty(PageId pid,
     MaybeWakeCleaner(ctx.now);
   } else {
     outcome.write_to_disk = true;
-    std::lock_guard slock(stats_mu_);
-    if (!in_checkpoint_ && !AdmissionAllows(kind)) {
-      ++stats_counters_.rejected_sequential;
-    } else if (!in_checkpoint_) {
-      ++stats_counters_.throttled;
+    if (!in_ckpt) {
+      if (!AdmissionAllows(kind)) {
+        Counters::Bump(counters_.rejected_sequential);
+      } else if (ThrottleBlocks(ctx.now)) {
+        Counters::Bump(counters_.throttled);
+      }
     }
   }
   return outcome;
 }
 
 void LazyCleaningCache::MaybeWakeCleaner(Time now) {
-  if (cleaner_running_) return;
   if (dirty_frames_.load() <= HighWatermark()) return;
-  cleaner_running_ = true;
-  ++cleaner_wakeups_;
+  if (cleaner_running_.exchange(true, std::memory_order_acq_rel)) return;
+  cleaner_wakeups_.fetch_add(1, std::memory_order_relaxed);
   if (executor_ != nullptr) {
     executor_->ScheduleAt(std::max(now, executor_->now()),
                           [this] { CleanerStep(); });
@@ -56,13 +60,13 @@ void LazyCleaningCache::MaybeWakeCleaner(Time now) {
     while (dirty_frames_.load() > LowWatermark()) {
       if (CleanOneGroup(ctx) == 0) break;
     }
-    cleaner_running_ = false;
+    cleaner_running_.store(false, std::memory_order_release);
   }
 }
 
 void LazyCleaningCache::CleanerStep() {
   if (dirty_frames_.load() <= LowWatermark()) {
-    cleaner_running_ = false;
+    cleaner_running_.store(false, std::memory_order_release);
     return;
   }
   IoContext ctx;
@@ -70,7 +74,7 @@ void LazyCleaningCache::CleanerStep() {
   ctx.executor = executor_;
   const Time done = CleanOneGroup(ctx);
   if (done == 0) {
-    cleaner_running_ = false;
+    cleaner_running_.store(false, std::memory_order_release);
     return;
   }
   // The cleaner processes one group at a time, paced by the disk write; this
@@ -99,6 +103,7 @@ bool LazyCleaningCache::OldestDirty(Partition** part, int32_t* rec) {
 }
 
 Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
+  if (degraded()) return 0;  // OnDegrade already drained what it could
   Partition* seed_part;
   int32_t seed_rec;
   if (!OldestDirty(&seed_part, &seed_rec)) return 0;
@@ -131,26 +136,44 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
       break;
     }
     // Pages cannot move between devices directly: read the dirty page from
-    // the SSD into memory first.
+    // the SSD into memory first — verified, so a corrupt frame is never
+    // copied over the disk's (older but intact) version of the page.
     buffer.resize(buffer.size() + page_bytes);
     IoContext read_ctx = ctx;
-    last_ssd_read = std::max(
-        last_ssd_read,
-        ReadFrame(part, rec,
-                  std::span<uint8_t>(buffer.data() + buffer.size() - page_bytes,
-                                     page_bytes),
-                  read_ctx));
+    const Status rs = ReadFrameVerified(
+        part, rec, pid,
+        std::span<uint8_t>(buffer.data() + buffer.size() - page_bytes,
+                           page_bytes),
+        read_ctx);
+    if (!rs.ok()) {
+      if (rs.IsCorruption()) {
+        // The only current copy is damaged beyond re-reading.
+        QuarantineFrameLocked(part, rec);
+        RecordLostPage(pid);
+      }
+      buffer.resize(buffer.size() - page_bytes);
+      if (i == 0 && group.empty()) {
+        // Nothing gathered; transient errors retry next step (quarantine
+        // above guarantees progress for persistent corruption).
+        return degraded() ? 0 : ctx.now + 1;
+      }
+      break;
+    }
+    last_ssd_read = std::max(last_ssd_read, read_ctx.now);
     group.emplace_back(&part, rec);
   }
-  TURBOBP_CHECK(!group.empty());
+  if (group.empty()) return degraded() ? 0 : ctx.now + 1;
 
   // One multi-page disk write for the whole group, arriving after the SSD
   // reads finished. (The WAL rule was satisfied when these pages were first
   // admitted: the buffer pool forces the log before any dirty-page write.)
   IoContext write_ctx = ctx;
   write_ctx.now = last_ssd_read;
-  const Time done = disk_->WritePages(
+  const IoResult wres = disk_->WritePages(
       seed_pid, static_cast<uint32_t>(group.size()), buffer, write_ctx);
+  // The disk array is the durable home; its failure has no fallback.
+  TURBOBP_CHECK_OK(wres.status);
+  const Time done = wres.time;
 
   // Mark the group clean: move records from the dirty heap to the clean heap.
   for (auto& [part, rec] : group) {
@@ -162,12 +185,41 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
     dirty_frames_.fetch_sub(1);
     part->heap.DirtyToClean(rec);
   }
-  {
-    std::lock_guard slock(stats_mu_);
-    stats_counters_.cleaner_disk_writes += static_cast<int64_t>(group.size());
-    ++stats_counters_.cleaner_io_requests;
-  }
+  Counters::Bump(counters_.cleaner_disk_writes,
+                 static_cast<int64_t>(group.size()));
+  Counters::Bump(counters_.cleaner_io_requests);
   return done;
+}
+
+void LazyCleaningCache::OnDegrade(IoContext& ctx) {
+  // Emergency cleaner flush: the SSD is being written off, but LC's dirty
+  // frames hold the *only* current copies of their pages. Salvage every
+  // frame that still reads back verifiably (bounded retries absorb
+  // transient errors) to disk; the rest become lost pages, served only by
+  // a hard error until WAL redo or a full rewrite supersedes them.
+  std::vector<uint8_t> buf(disk_->page_bytes());
+  for (auto& p : partitions_) {
+    std::lock_guard lock(p->mu);
+    for (int32_t rec = 0; rec < p->table.capacity(); ++rec) {
+      SsdFrameRecord& r = p->table.record(rec);
+      if (r.state != SsdFrameState::kDirty) continue;
+      const PageId pid = r.page_id;
+      const Status rs = ReadFrameVerified(*p, rec, pid, buf, ctx);
+      if (rs.ok()) {
+        const IoResult w = disk_->WritePage(pid, buf, ctx);
+        TURBOBP_CHECK_OK(w.status);
+        ctx.Wait(w.time);
+        r.state = SsdFrameState::kClean;
+        r.page_lsn = kInvalidLsn;
+        dirty_frames_.fetch_sub(1);
+        p->heap.DirtyToClean(rec);
+        Counters::Bump(counters_.emergency_cleaned);
+      } else {
+        QuarantineFrameLocked(*p, rec);
+        RecordLostPage(pid);
+      }
+    }
+  }
 }
 
 Time LazyCleaningCache::FlushAllDirty(IoContext& ctx) {

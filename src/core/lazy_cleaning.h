@@ -36,13 +36,17 @@ class LazyCleaningCache : public SsdCacheBase {
                                AccessKind kind, Lsn page_lsn,
                                IoContext& ctx) override;
 
-  void OnCheckpointBegin() override { in_checkpoint_ = true; }
-  void OnCheckpointEnd() override { in_checkpoint_ = false; }
+  void OnCheckpointBegin() override {
+    in_checkpoint_.store(true, std::memory_order_release);
+  }
+  void OnCheckpointEnd() override {
+    in_checkpoint_.store(false, std::memory_order_release);
+  }
   Time FlushAllDirty(IoContext& ctx) override;
 
   // Cleaner observability (Figure 7 reports the cleaner's disk IOPS).
-  int64_t cleaner_wakeups() const { return cleaner_wakeups_; }
-  bool cleaner_running() const { return cleaner_running_; }
+  int64_t cleaner_wakeups() const { return cleaner_wakeups_.load(); }
+  bool cleaner_running() const { return cleaner_running_.load(); }
 
   // Thresholds in frames.
   int64_t HighWatermark() const {
@@ -70,9 +74,15 @@ class LazyCleaningCache : public SsdCacheBase {
   // no dirty pages exist.
   bool OldestDirty(Partition** part, int32_t* rec);
 
-  bool in_checkpoint_ = false;
-  bool cleaner_running_ = false;
-  int64_t cleaner_wakeups_ = 0;
+  // Emergency cleaner flush (degradation, Section 2.3's safety argument):
+  // LC's dirty frames hold the only current copies, so before the cache
+  // goes silent every readable dirty frame is copied to disk; unreadable
+  // ones become lost pages.
+  void OnDegrade(IoContext& ctx) override;
+
+  std::atomic<bool> in_checkpoint_{false};
+  std::atomic<bool> cleaner_running_{false};
+  std::atomic<int64_t> cleaner_wakeups_{0};
 };
 
 }  // namespace turbobp

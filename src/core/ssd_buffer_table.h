@@ -12,9 +12,10 @@ class InvariantAuditor;
 
 enum class SsdFrameState : uint8_t {
   kFree = 0,
-  kClean = 1,    // valid; identical to the disk copy
-  kDirty = 2,    // valid; newer than the disk copy (LC only)
-  kInvalid = 3,  // logically invalidated but not reclaimed (TAC only)
+  kClean = 1,        // valid; identical to the disk copy
+  kDirty = 2,        // valid; newer than the disk copy (LC only)
+  kInvalid = 3,      // logically invalidated but not reclaimed (TAC only)
+  kQuarantined = 4,  // frame failed a read or checksum; never reused
 };
 
 // One record of the SSD buffer table (Section 3.1): the paper stores a page

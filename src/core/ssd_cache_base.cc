@@ -17,6 +17,7 @@ SsdCacheBase::SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
   TURBOBP_CHECK(ssd_device != nullptr);
   TURBOBP_CHECK(options.num_frames > 0);
   TURBOBP_CHECK(options.num_partitions > 0);
+  TURBOBP_CHECK(options.io_retry_limit > 0);
   TURBOBP_CHECK(ssd_device->num_pages() >=
                 static_cast<uint64_t>(options.num_frames));
   const int n = options.num_partitions;
@@ -37,10 +38,6 @@ SsdCacheBase::SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
     base += cap;
     partitions_.push_back(std::move(part));
   }
-  {
-    std::lock_guard lock(stats_mu_);
-    stats_counters_.capacity_frames = options.num_frames;
-  }
 }
 
 double SsdCacheBase::HeapKey(const Partition& part, int32_t rec) const {
@@ -48,6 +45,10 @@ double SsdCacheBase::HeapKey(const Partition& part, int32_t rec) const {
 }
 
 SsdProbe SsdCacheBase::Probe(PageId pid) const {
+  // A lost page still looks "newer than disk": the disk copy is stale and
+  // the prefetch/expansion paths must not install it.
+  if (IsLostPage(pid)) return SsdProbe::kNewerCopy;
+  if (degraded()) return SsdProbe::kAbsent;
   const Partition& part = PartitionFor(pid);
   std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
@@ -63,27 +64,37 @@ SsdProbe SsdCacheBase::Probe(PageId pid) const {
 }
 
 bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
-                               IoContext& ctx) {
+                               IoContext& ctx, Status* error) {
+  MaybeDegrade(ctx);
+  if (IsLostPage(pid)) {
+    // The only current copy died with its SSD frame; the disk copy is
+    // stale. Serving either would be silent corruption.
+    if (error != nullptr) {
+      *error = Status::IoError("newest copy of page lost with the ssd");
+    }
+    return false;
+  }
+  if (degraded()) {
+    Counters::Bump(counters_.probe_misses);
+    return false;
+  }
   Partition& part = PartitionFor(pid);
   std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.probe_misses;
+    Counters::Bump(counters_.probe_misses);
     return false;
   }
   SsdFrameRecord& r = part.table.record(rec);
   if (r.state != SsdFrameState::kClean && r.state != SsdFrameState::kDirty) {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.probe_misses;
+    Counters::Bump(counters_.probe_misses);
     return false;
   }
   const bool must_read = r.state == SsdFrameState::kDirty;
   // Throttle control (Section 3.3.2): when the SSD queue is saturated, read
   // from disk instead — unless the SSD copy is newer (correctness).
   if (!must_read && ThrottleBlocks(ctx.now)) {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.throttled;
+    Counters::Bump(counters_.throttled);
     return false;
   }
   if (r.ready_at > ctx.now) {
@@ -91,20 +102,40 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
     if (!must_read) return false;  // clean copy also lives on disk
     ctx.Wait(r.ready_at);          // dirty copy exists only here
   }
-  ReadFrame(part, rec, out, ctx);
-  r.Touch(ctx.now);
-  part.heap.UpdateKey(rec);
-  {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.hits;
+  const Status read = ReadFrameVerified(part, rec, pid, out, ctx);
+  if (read.ok()) {
+    r.Touch(ctx.now);
+    part.heap.UpdateKey(rec);
+    Counters::Bump(counters_.hits);
     // The paper attributes LC's TPC-C win to re-referenced dirty SSD pages
     // ("about 83% of the total SSD references are to dirty SSD pages").
-    if (must_read) ++stats_counters_.hits_dirty;
+    if (must_read) Counters::Bump(counters_.hits_dirty);
+    return true;
   }
-  return true;
+  if (read.IsCorruption()) {
+    // The frame itself is bad (latent corruption or an old torn write that
+    // survives re-reads): take it out of service for good.
+    QuarantineFrameLocked(part, rec);
+    if (must_read) RecordLostPage(pid);
+  }
+  if (must_read && error != nullptr) {
+    *error = read.IsCorruption()
+                 ? Status::IoError("newest copy of page lost with the ssd")
+                 : read;
+  }
+  // Clean copies fall back to the (identical) disk copy: no client-visible
+  // error, the read path simply misses.
+  return false;
 }
 
-void SsdCacheBase::OnPageDirtied(PageId pid) { Invalidate(pid); }
+void SsdCacheBase::OnPageDirtied(PageId pid) {
+  // A page being rewritten in the pool supersedes any lost SSD copy (the
+  // NewPage full-rewrite path; partial updates cannot reach a lost page
+  // because its fetch fails).
+  ClearLostPage(pid);
+  if (degraded()) return;
+  Invalidate(pid);
+}
 
 void SsdCacheBase::Invalidate(PageId pid) {
   Partition& part = PartitionFor(pid);
@@ -116,20 +147,19 @@ void SsdCacheBase::Invalidate(PageId pid) {
   DetachRecord(part, rec);
   part.table.PushFree(rec);
   used_frames_.fetch_sub(1);
-  std::lock_guard slock(stats_mu_);
-  ++stats_counters_.invalidations;
+  Counters::Bump(counters_.invalidations);
 }
 
 void SsdCacheBase::OnEvictClean(PageId pid, std::span<const uint8_t> data,
                                 AccessKind kind, IoContext& ctx) {
+  MaybeDegrade(ctx);
+  if (degraded()) return;
   if (!AdmissionAllows(kind)) {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.rejected_sequential;
+    Counters::Bump(counters_.rejected_sequential);
     return;
   }
   if (ThrottleBlocks(ctx.now)) {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.throttled;
+    Counters::Bump(counters_.throttled);
     return;
   }
   AdmitPage(pid, data, kind, /*dirty=*/false, kInvalidLsn, ctx);
@@ -156,13 +186,15 @@ int32_t SsdCacheBase::PickVictim(Partition& part) {
 }
 
 void SsdCacheBase::DetachRecord(Partition& part, int32_t rec) {
-  part.heap.Remove(rec);
+  if (part.heap.Contains(rec)) part.heap.Remove(rec);
   part.table.RemoveHash(rec);
 }
 
 bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
                              AccessKind kind, bool dirty, Lsn page_lsn,
                              IoContext& ctx) {
+  MaybeDegrade(ctx);
+  if (degraded()) return false;
   Partition& part = PartitionFor(pid);
   std::lock_guard lock(part.mu);
   int32_t rec = part.table.Lookup(pid);
@@ -173,6 +205,16 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
     if (r.state == SsdFrameState::kInvalid) return false;  // TAC handles
     r.Touch(ctx.now);
     if (dirty) {
+      const IoResult w = WriteFrame(part, rec, data, ctx);
+      if (!w.ok()) {
+        // The frame content is now suspect (possibly torn); drop the entry
+        // so the caller writes the page to disk instead.
+        if (r.state == SsdFrameState::kDirty) dirty_frames_.fetch_sub(1);
+        DetachRecord(part, rec);
+        part.table.PushFree(rec);
+        used_frames_.fetch_sub(1);
+        return false;
+      }
       if (r.state != SsdFrameState::kDirty) {
         r.state = SsdFrameState::kDirty;
         dirty_frames_.fetch_add(1);
@@ -182,7 +224,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
         }
       }
       r.page_lsn = page_lsn;
-      r.ready_at = WriteFrame(part, rec, data, ctx);
+      r.ready_at = w.time;
     } else {
       part.heap.UpdateKey(rec);
     }
@@ -198,12 +240,17 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
     DetachRecord(part, victim);
     part.table.PushFree(victim);
     used_frames_.fetch_sub(1);
-    {
-      std::lock_guard slock(stats_mu_);
-      ++stats_counters_.evictions;
-    }
+    Counters::Bump(counters_.evictions);
     rec = part.table.PopFree();
     TURBOBP_CHECK(rec != -1);
+  }
+
+  // Land the content before installing the mapping: a failed or torn write
+  // must leave no record claiming the frame holds `pid`.
+  const IoResult w = WriteFrame(part, rec, data, ctx);
+  if (!w.ok()) {
+    part.table.PushFree(rec);
+    return false;
   }
   used_frames_.fetch_add(1);
 
@@ -229,25 +276,137 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
   } else {
     part.heap.InsertClean(rec);
   }
-  r.ready_at = WriteFrame(part, rec, data, ctx);
-  {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.admissions;
-  }
+  r.ready_at = w.time;
+  Counters::Bump(counters_.admissions);
   return true;
 }
 
-Time SsdCacheBase::WriteFrame(Partition& part, int32_t rec,
-                              std::span<const uint8_t> data, IoContext& ctx) {
-  return ssd_device_->Write(FrameOf(part, rec), 1, data, ctx.now, ctx.charge);
+IoResult SsdCacheBase::WriteFrame(Partition& part, int32_t rec,
+                                  std::span<const uint8_t> data,
+                                  IoContext& ctx) {
+  IoResult res;
+  Time at = ctx.now;
+  for (int attempt = 0; attempt < options_.io_retry_limit; ++attempt) {
+    if (attempt > 0 && ctx.charge) at += options_.io_retry_backoff;
+    res = ssd_device_->Write(FrameOf(part, rec), 1, data, at, ctx.charge);
+    if (res.ok()) return res;
+    Counters::Bump(counters_.device_write_errors);
+    RecordDeviceError();
+    if (res.status.IsUnavailable()) break;  // dead device: retries are moot
+  }
+  return res;
 }
 
-Time SsdCacheBase::ReadFrame(Partition& part, int32_t rec,
-                             std::span<uint8_t> out, IoContext& ctx) {
-  const Time done =
+IoResult SsdCacheBase::ReadFrame(Partition& part, int32_t rec,
+                                 std::span<uint8_t> out, IoContext& ctx) {
+  IoResult res =
       ssd_device_->Read(FrameOf(part, rec), 1, out, ctx.now, ctx.charge);
-  ctx.Wait(done);
-  return done;
+  if (res.ok()) {
+    ctx.Wait(res.time);
+  } else {
+    Counters::Bump(counters_.device_read_errors);
+    RecordDeviceError();
+  }
+  return res;
+}
+
+Status SsdCacheBase::ReadFrameVerified(Partition& part, int32_t rec, PageId pid,
+                                       std::span<uint8_t> out, IoContext& ctx) {
+  Status last;
+  for (int attempt = 0; attempt < options_.io_retry_limit; ++attempt) {
+    if (attempt > 0) {
+      Counters::Bump(counters_.read_retries);
+      if (ctx.charge) ctx.now += options_.io_retry_backoff;
+    }
+    const IoResult res =
+        ssd_device_->Read(FrameOf(part, rec), 1, out, ctx.now, ctx.charge);
+    if (!res.ok()) {
+      last = res.status;
+      Counters::Bump(counters_.device_read_errors);
+      RecordDeviceError();
+      if (res.status.IsUnavailable()) break;
+      continue;
+    }
+    ctx.Wait(res.time);
+    const PageView v(out.data(), static_cast<uint32_t>(out.size()));
+    if (v.header().page_id == pid && v.VerifyChecksum()) return Status::Ok();
+    // A checksum mismatch may be a transient transfer flip (the medium is
+    // fine) — a re-read decides. Persistent mismatch means the frame holds
+    // damaged content.
+    last = Status::Corruption("ssd frame failed checksum verification");
+    Counters::Bump(counters_.frame_corruptions);
+    RecordDeviceError();
+  }
+  return last.ok() ? Status::IoError("ssd frame read failed") : last;
+}
+
+void SsdCacheBase::QuarantineFrameLocked(Partition& part, int32_t rec) {
+  SsdFrameRecord& r = part.table.record(rec);
+  TURBOBP_CHECK(r.state != SsdFrameState::kFree &&
+                r.state != SsdFrameState::kQuarantined);
+  if (r.state == SsdFrameState::kDirty) dirty_frames_.fetch_sub(1);
+  if (r.state == SsdFrameState::kInvalid) invalid_frames_.fetch_sub(1);
+  DetachRecord(part, rec);
+  // The record is deliberately NOT pushed onto the free list: the frame's
+  // flash cells are suspect and must never hold a page again. It still
+  // counts toward table.used() (the auditor's free+used==capacity balance),
+  // tracked separately by quarantined_frames_.
+  r.page_id = kInvalidPageId;
+  r.page_lsn = kInvalidLsn;
+  r.ready_at = 0;
+  r.state = SsdFrameState::kQuarantined;
+  used_frames_.fetch_sub(1);
+  quarantined_frames_.fetch_add(1);
+}
+
+void SsdCacheBase::RecordDeviceError() {
+  device_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SsdCacheBase::MaybeDegrade(IoContext& ctx) {
+  if (degraded_.load(std::memory_order_acquire)) return;
+  if (device_errors_.load(std::memory_order_relaxed) <
+      options_.degrade_error_limit) {
+    return;
+  }
+  EnterDegradedMode(ctx);
+}
+
+void SsdCacheBase::EnterDegradedMode(IoContext& ctx) {
+  bool expected = false;
+  if (!degraded_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  // Last rites while the device may still answer: LC salvages its dirty
+  // frames (the only newer copies) to disk before the cache goes silent.
+  OnDegrade(ctx);
+}
+
+bool SsdCacheBase::IsLostPage(PageId pid) const {
+  if (lost_live_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard lock(fault_mu_);
+  return lost_pages_.contains(pid);
+}
+
+std::vector<PageId> SsdCacheBase::LostPages() const {
+  std::lock_guard lock(fault_mu_);
+  return std::vector<PageId>(lost_pages_.begin(), lost_pages_.end());
+}
+
+void SsdCacheBase::RecordLostPage(PageId pid) {
+  std::lock_guard lock(fault_mu_);
+  if (lost_pages_.insert(pid).second) {
+    lost_live_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void SsdCacheBase::ClearLostPage(PageId pid) {
+  if (lost_live_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard lock(fault_mu_);
+  if (lost_pages_.erase(pid) > 0) {
+    lost_live_.fetch_sub(1, std::memory_order_release);
+  }
 }
 
 std::vector<SsdManager::CheckpointEntry> SsdCacheBase::SnapshotForCheckpoint()
@@ -284,9 +443,15 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
     const int32_t rec = static_cast<int32_t>(rec64);
     // Trust but verify: the frame may have been recycled after the
     // snapshot was taken. Read it back and check the page header. Reads
-    // are charged (restart-time work).
-    const Time done = ssd_device_->Read(e.frame, 1, buf, ctx.now, ctx.charge);
-    ctx.Wait(done);
+    // are charged (restart-time work). A device error drops the entry —
+    // restore is best-effort warming, never correctness-critical.
+    const IoResult rres = ssd_device_->Read(e.frame, 1, buf, ctx.now, ctx.charge);
+    if (!rres.ok()) {
+      Counters::Bump(counters_.device_read_errors);
+      RecordDeviceError();
+      continue;
+    }
+    ctx.Wait(rres.time);
     PageView v(buf.data(), ssd_device_->page_bytes());
     if (v.header().page_id != e.page_id || !v.VerifyChecksum() ||
         v.header().lsn != e.page_lsn) {
@@ -303,8 +468,9 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
       // the disk by a long stretch of skipped redo), and let redo roll the
       // page forward from there.
       if (e.dirty) {
-        const Time wdone = disk_->WritePage(e.page_id, buf, ctx);
-        ctx.Wait(wdone);
+        const IoResult w = disk_->WritePage(e.page_id, buf, ctx);
+        TURBOBP_CHECK_OK(w.status);
+        ctx.Wait(w.time);
       }
       if (covered_lsn != nullptr) {
         Lsn& cl = (*covered_lsn)[e.page_id];
@@ -354,15 +520,32 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
 }
 
 SsdManagerStats SsdCacheBase::stats() const {
+  const auto ld = [](const std::atomic<int64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
   SsdManagerStats s;
-  {
-    std::lock_guard slock(stats_mu_);
-    s = stats_counters_;
-  }
+  s.hits = ld(counters_.hits);
+  s.hits_dirty = ld(counters_.hits_dirty);
+  s.probe_misses = ld(counters_.probe_misses);
+  s.admissions = ld(counters_.admissions);
+  s.evictions = ld(counters_.evictions);
+  s.throttled = ld(counters_.throttled);
+  s.rejected_sequential = ld(counters_.rejected_sequential);
+  s.cleaner_disk_writes = ld(counters_.cleaner_disk_writes);
+  s.cleaner_io_requests = ld(counters_.cleaner_io_requests);
+  s.invalidations = ld(counters_.invalidations);
   s.used_frames = used_frames_.load();
   s.dirty_frames = dirty_frames_.load();
   s.invalid_frames = invalid_frames_.load();
   s.capacity_frames = options_.num_frames;
+  s.device_read_errors = ld(counters_.device_read_errors);
+  s.device_write_errors = ld(counters_.device_write_errors);
+  s.read_retries = ld(counters_.read_retries);
+  s.frame_corruptions = ld(counters_.frame_corruptions);
+  s.quarantined_frames = quarantined_frames_.load();
+  s.lost_pages = lost_live_.load();
+  s.emergency_cleaned = ld(counters_.emergency_cleaned);
+  s.degraded = degraded();
   return s;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "core/ssd_buffer_table.h"
@@ -19,7 +20,7 @@ class SimExecutor;
 class InvariantAuditor;
 struct AuditAccess;
 
-// Tuning parameters of Table 2.
+// Tuning parameters of Table 2, plus the fault-tolerance policy knobs.
 struct SsdCacheOptions {
   int64_t num_frames = 18350080;     // S: SSD buffer pool size in frames
   int num_partitions = 16;           // N: one per hardware context (3.3.4)
@@ -28,6 +29,14 @@ struct SsdCacheOptions {
   double lc_dirty_fraction = 0.5;    // lambda: LC cleaner high watermark
   int lc_group_pages = 32;           // alpha: max pages per cleaner write
   double lc_watermark_gap = 0.0001;  // clean to ~0.01% of S below lambda
+  // Fault tolerance (src/fault): transient SSD errors and checksum
+  // mismatches are retried up to io_retry_limit attempts with
+  // io_retry_backoff of virtual time between them; once the device has
+  // produced degrade_error_limit errors in total, the cache gives up on the
+  // SSD and flips to pass-through (NoSsdManager-equivalent) mode.
+  int io_retry_limit = 3;
+  Time io_retry_backoff = Micros(500);
+  int64_t degrade_error_limit = 8;
 };
 
 // Common machinery shared by the CW/DW/LC designs and TAC: the partitioned
@@ -43,7 +52,8 @@ class SsdCacheBase : public SsdManager {
   // --- SsdManager parts common to all designs -------------------------------
 
   SsdProbe Probe(PageId pid) const override;
-  bool TryReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx) override;
+  bool TryReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx,
+                   Status* error = nullptr) override;
   void OnPageDirtied(PageId pid) override;
   void OnEvictClean(PageId pid, std::span<const uint8_t> data, AccessKind kind,
                     IoContext& ctx) override;
@@ -60,6 +70,25 @@ class SsdCacheBase : public SsdManager {
   const SsdCacheOptions& options() const { return options_; }
   int64_t used_frames() const { return used_frames_.load(); }
   int64_t dirty_frames() const { return dirty_frames_.load(); }
+  int64_t quarantined_frames() const { return quarantined_frames_.load(); }
+
+  // --- graceful degradation (survive a flaky or dying SSD) ------------------
+
+  // True once the cache has flipped to pass-through mode: every SsdManager
+  // entry point then behaves like NoSsdManager.
+  bool degraded() const override {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  // Forces degradation now (tests/operator action); normally it triggers
+  // itself once device errors reach options().degrade_error_limit.
+  void Degrade(IoContext& ctx) { EnterDegradedMode(ctx); }
+
+  // Pages whose only current copy sat in a dirty SSD frame that could not
+  // be salvaged. Reads of these pages fail hard (disk would be stale);
+  // recovery (WAL redo) or a full page rewrite clears them.
+  bool IsLostPage(PageId pid) const;
+  std::vector<PageId> LostPages() const;
 
  protected:
   struct Partition {
@@ -110,12 +139,42 @@ class SsdCacheBase : public SsdManager {
     return static_cast<uint64_t>(part.frame_base + rec);
   }
 
-  // Asynchronous single-frame SSD write; returns completion time.
-  Time WriteFrame(Partition& part, int32_t rec, std::span<const uint8_t> data,
-                  IoContext& ctx);
+  // Asynchronous single-frame SSD write with bounded retry for transients;
+  // returns the completion result. On failure the frame content is suspect
+  // (possibly torn) — the caller must not serve reads from it.
+  IoResult WriteFrame(Partition& part, int32_t rec,
+                      std::span<const uint8_t> data, IoContext& ctx);
   // Blocking single-frame SSD read into out; advances ctx.now.
-  Time ReadFrame(Partition& part, int32_t rec, std::span<uint8_t> out,
-                 IoContext& ctx);
+  IoResult ReadFrame(Partition& part, int32_t rec, std::span<uint8_t> out,
+                     IoContext& ctx);
+  // ReadFrame plus verification that `out` really holds `pid` at a valid
+  // checksum, retrying (re-reading) transient errors and corruptions up to
+  // options().io_retry_limit attempts. kCorruption after the last attempt
+  // means the frame itself is bad (candidate for quarantine).
+  Status ReadFrameVerified(Partition& part, int32_t rec, PageId pid,
+                           std::span<uint8_t> out, IoContext& ctx);
+
+  // Takes `rec` out of service permanently: detached from hash and heap,
+  // never returned to the free list (the flash cells are bad), state
+  // kQuarantined. Partition lock must be held.
+  void QuarantineFrameLocked(Partition& part, int32_t rec);
+
+  // Counts one device error and, past the threshold, flips to pass-through
+  // mode. Must be called WITHOUT any partition lock held (LC's emergency
+  // flush takes them all). The deferred flag set by RecordDeviceError is
+  // consumed by MaybeDegrade at the next safe point.
+  void RecordDeviceError();
+  void MaybeDegrade(IoContext& ctx);
+  void EnterDegradedMode(IoContext& ctx);
+
+  // Design-specific last rites before pass-through mode; LC overrides this
+  // with the emergency cleaner flush of its dirty frames.
+  virtual void OnDegrade(IoContext& ctx) {}
+
+  // Records that the only current copy of `pid` is gone.
+  void RecordLostPage(PageId pid);
+  // A full-page rewrite (NewPage) or redo supersedes the lost copy.
+  void ClearLostPage(PageId pid);
 
   // Drops every cached page (used between benchmark runs and by tests).
   void Invalidate(PageId pid);
@@ -129,10 +188,45 @@ class SsdCacheBase : public SsdManager {
   std::atomic<int64_t> used_frames_{0};
   std::atomic<int64_t> dirty_frames_{0};
   std::atomic<int64_t> invalid_frames_{0};
+  std::atomic<int64_t> quarantined_frames_{0};
 
-  // Stats (mutated under partition locks; read racily for reporting).
-  mutable TrackedMutex<LatchClass::kSsdStats> stats_mu_;
-  SsdManagerStats stats_counters_;
+  // Degradation state. device_errors_ counts every failed SSD attempt;
+  // degraded_ is checked (acquire) at every entry point before any
+  // partition lock is taken.
+  std::atomic<int64_t> device_errors_{0};
+  std::atomic<bool> degraded_{false};
+
+  // Lost pages (dirty copies that died with the device). lost_live_ is a
+  // lock-free emptiness guard so the hot read path skips fault_mu_ while
+  // nothing has been lost (the overwhelmingly common case).
+  mutable TrackedMutex<LatchClass::kSsdFault> fault_mu_;
+  std::unordered_set<PageId> lost_pages_;
+  std::atomic<int64_t> lost_live_{0};
+
+  // Stats counters: relaxed atomics, incremented from any thread (often
+  // under a partition lock) and snapshotted by stats() without one.
+  struct Counters {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> hits_dirty{0};
+    std::atomic<int64_t> probe_misses{0};
+    std::atomic<int64_t> admissions{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> throttled{0};
+    std::atomic<int64_t> rejected_sequential{0};
+    std::atomic<int64_t> cleaner_disk_writes{0};
+    std::atomic<int64_t> cleaner_io_requests{0};
+    std::atomic<int64_t> invalidations{0};
+    std::atomic<int64_t> device_read_errors{0};
+    std::atomic<int64_t> device_write_errors{0};
+    std::atomic<int64_t> read_retries{0};
+    std::atomic<int64_t> frame_corruptions{0};
+    std::atomic<int64_t> emergency_cleaned{0};
+
+    static void Bump(std::atomic<int64_t>& c, int64_t by = 1) {
+      c.fetch_add(by, std::memory_order_relaxed);
+    }
+  };
+  mutable Counters counters_;
 
  private:
   friend class InvariantAuditor;  // read-only structural audits (src/debug)

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/io_context.h"
 
@@ -42,6 +43,15 @@ struct SsdManagerStats {
   int64_t dirty_frames = 0;
   int64_t invalid_frames = 0;   // TAC: logically invalidated, space wasted
   int64_t capacity_frames = 0;
+  // Fault handling (src/fault): device failures seen and survived.
+  int64_t device_read_errors = 0;   // failed SSD read attempts
+  int64_t device_write_errors = 0;  // failed SSD write attempts
+  int64_t read_retries = 0;         // extra attempts after transient errors
+  int64_t frame_corruptions = 0;    // checksum/page-id mismatches on frames
+  int64_t quarantined_frames = 0;   // frames taken out of service
+  int64_t lost_pages = 0;           // dirty pages whose only copy is gone
+  int64_t emergency_cleaned = 0;    // LC: dirty frames salvaged at degrade
+  bool degraded = false;            // cache flipped to pass-through
 };
 
 // The SSD manager of Figure 1: the component this paper contributes.
@@ -70,8 +80,14 @@ class SsdManager {
   // true. Honors throttle control: may refuse when the SSD queue is long,
   // unless the SSD copy is newer than disk (then it must serve the read for
   // correctness, Section 3.3.2).
-  virtual bool TryReadPage(PageId pid, std::span<uint8_t> out,
-                           IoContext& ctx) = 0;
+  //
+  // Returns false on any miss or refusal; the caller then reads from disk.
+  // If `error` is non-null it distinguishes the one unservable case: the
+  // SSD held the *only* current copy (a dirty LC frame) and that copy is
+  // unreadable — disk fallback would silently serve stale data, so the
+  // caller must surface `*error` instead.
+  virtual bool TryReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx,
+                           Status* error = nullptr) = 0;
 
   // --- notifications from the buffer manager --------------------------------
 
@@ -161,6 +177,10 @@ class SsdManager {
   virtual Time LatchBusyUntil(PageId pid, Time now) { return 0; }
 
   virtual SsdManagerStats stats() const { return {}; }
+
+  // True once the manager has given up on the SSD and behaves like
+  // NoSsdManager (graceful degradation after repeated device errors).
+  virtual bool degraded() const { return false; }
 };
 
 // Baseline: the stock buffer manager with no SSD.
@@ -168,7 +188,8 @@ class NoSsdManager : public SsdManager {
  public:
   SsdDesign design() const override { return SsdDesign::kNoSsd; }
   SsdProbe Probe(PageId pid) const override { return SsdProbe::kAbsent; }
-  bool TryReadPage(PageId, std::span<uint8_t>, IoContext&) override {
+  bool TryReadPage(PageId, std::span<uint8_t>, IoContext&,
+                   Status* = nullptr) override {
     return false;
   }
   void OnPageDirtied(PageId) override {}

@@ -39,6 +39,8 @@ void TacCache::OnBufferPoolMiss(PageId pid, AccessKind kind, IoContext& ctx) {
 void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
                           AccessKind kind, IoContext& ctx) {
   if (!ctx.charge) return;  // loader traffic never populates the cache
+  MaybeDegrade(ctx);
+  if (degraded()) return;
   const double temp = ExtentTemperature(pid);
   Partition& part = PartitionFor(pid);
   {
@@ -61,8 +63,7 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
   }
 
   if (ThrottleBlocks(ctx.now)) {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.throttled;
+    Counters::Bump(counters_.throttled);
     return;
   }
 
@@ -114,19 +115,23 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
 void TacCache::OnPageDirtied(PageId pid) {
   // Cancel any scheduled admission write: its buffered image is now stale.
   pending_admissions_.erase(pid);
+  ClearLostPage(pid);  // the rewrite supersedes any lost SSD copy
+  if (degraded()) return;
   Partition& part = PartitionFor(pid);
   std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return;
   SsdFrameRecord& r = part.table.record(rec);
-  if (r.state == SsdFrameState::kInvalid) return;
+  if (r.state == SsdFrameState::kInvalid ||
+      r.state == SsdFrameState::kQuarantined) {
+    return;
+  }
   // Logical invalidation (Section 2.5): mark invalid but keep the frame,
   // wasting SSD space until the page is re-written.
   r.state = SsdFrameState::kInvalid;
   part.heap.Remove(rec);
   invalid_frames_.fetch_add(1);
-  std::lock_guard slock(stats_mu_);
-  ++stats_counters_.invalidations;
+  Counters::Bump(counters_.invalidations);
 }
 
 void TacCache::OnEvictClean(PageId pid, std::span<const uint8_t> data,
@@ -138,8 +143,10 @@ EvictionOutcome TacCache::OnEvictDirty(PageId pid,
                                        std::span<const uint8_t> data,
                                        AccessKind kind, Lsn page_lsn,
                                        IoContext& ctx) {
+  MaybeDegrade(ctx);
   EvictionOutcome outcome;
   outcome.write_to_disk = true;  // write-through, as in a traditional DBMS
+  if (degraded()) return outcome;
   Partition& part = PartitionFor(pid);
   std::lock_guard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
@@ -147,23 +154,21 @@ EvictionOutcome TacCache::OnEvictDirty(PageId pid,
   SsdFrameRecord& r = part.table.record(rec);
   if (r.state != SsdFrameState::kInvalid) return outcome;
   if (ThrottleBlocks(ctx.now)) {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.throttled;
+    Counters::Bump(counters_.throttled);
     return outcome;
   }
-  // Re-validate the frame with the fresh content (both copies written, so
-  // the SSD version equals the disk version again).
+  // Re-validate with the fresh content — but only once the write succeeded
+  // (a failed write leaves possibly-torn bytes; the frame stays invalid).
+  const IoResult w = WriteFrame(part, rec, data, ctx);
+  if (!w.ok()) return outcome;
   r.state = SsdFrameState::kClean;
   r.Touch(ctx.now);
   r.key_snapshot = ExtentTemperature(pid);
   part.heap.InsertClean(rec);
   invalid_frames_.fetch_sub(1);
-  r.ready_at = WriteFrame(part, rec, data, ctx);
+  r.ready_at = w.time;
   outcome.cached_on_ssd = true;
-  {
-    std::lock_guard slock(stats_mu_);
-    ++stats_counters_.admissions;
-  }
+  Counters::Bump(counters_.admissions);
   return outcome;
 }
 

@@ -125,6 +125,7 @@ AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
   int64_t used_total = 0;
   int64_t dirty_total = 0;
   int64_t invalid_total = 0;
+  int64_t quarantined_total = 0;
   for (size_t pi = 0; pi < cache.partitions_.size(); ++pi) {
     const auto& part = *cache.partitions_[pi];
     const std::string where = "partition " + std::to_string(pi);
@@ -273,6 +274,24 @@ AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
             report.Add("ssd.heap", who + ": invalid but present in a heap");
           }
           break;
+        case SsdFrameState::kQuarantined:
+          // A quarantined frame is out of service for good: never hashed,
+          // never on the free list (the flash cells are bad), in no heap.
+          // It still counts toward table.used(), so free + used == capacity
+          // keeps holding.
+          ++quarantined_total;
+          if (hashed) {
+            report.Add("ssd.table", who + ": quarantined but still hashed");
+          }
+          if (freed) {
+            report.Add("ssd.table",
+                       who + ": quarantined but on the free list (a bad frame"
+                             " must never be reused)");
+          }
+          if (heap.Contains(rec)) {
+            report.Add("ssd.heap", who + ": quarantined but present in a heap");
+          }
+          break;
       }
     }
 
@@ -302,12 +321,22 @@ AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
     used_total += table.used();
   }
 
-  // Aggregate counters vs ground truth.
-  if (used_total != cache.used_frames_.load()) {
+  // Aggregate counters vs ground truth. Quarantined records stay allocated
+  // in the table (used() includes them) but the used_frames_ gauge counts
+  // only frames still serving pages.
+  if (used_total != cache.used_frames_.load() + quarantined_total) {
     report.Add("ssd.counters",
                "used_frames counter " +
-                   std::to_string(cache.used_frames_.load()) +
-                   " != table total " + std::to_string(used_total));
+                   std::to_string(cache.used_frames_.load()) + " + " +
+                   std::to_string(quarantined_total) +
+                   " quarantined != table total " + std::to_string(used_total));
+  }
+  if (quarantined_total != cache.quarantined_frames_.load()) {
+    report.Add("ssd.counters",
+               "quarantined_frames counter " +
+                   std::to_string(cache.quarantined_frames_.load()) +
+                   " != quarantined-record total " +
+                   std::to_string(quarantined_total));
   }
   if (dirty_total != cache.dirty_frames_.load()) {
     report.Add("ssd.counters",
@@ -366,14 +395,20 @@ bool InvariantAuditor::IsLegalTransition(SsdFrameState from, SsdFrameState to) {
       return to == SsdFrameState::kClean || to == SsdFrameState::kDirty;
     case SsdFrameState::kClean:
       return to == SsdFrameState::kDirty || to == SsdFrameState::kFree ||
-             to == SsdFrameState::kInvalid;
+             to == SsdFrameState::kInvalid ||
+             to == SsdFrameState::kQuarantined;
     case SsdFrameState::kDirty:
       // A dirty frame holds the only up-to-date copy: it may only become
-      // clean (after the cleaner's disk write) or be dropped when the page
-      // is re-dirtied in memory; logical invalidation would strand it.
-      return to == SsdFrameState::kClean || to == SsdFrameState::kFree;
+      // clean (after the cleaner's disk write), be dropped when the page
+      // is re-dirtied in memory, or be quarantined when the flash cells
+      // fail (the page is then recorded as lost).
+      return to == SsdFrameState::kClean || to == SsdFrameState::kFree ||
+             to == SsdFrameState::kQuarantined;
     case SsdFrameState::kInvalid:
-      return to == SsdFrameState::kClean || to == SsdFrameState::kFree;
+      return to == SsdFrameState::kClean || to == SsdFrameState::kFree ||
+             to == SsdFrameState::kQuarantined;
+    case SsdFrameState::kQuarantined:
+      return false;  // terminal: bad flash cells never return to service
   }
   return false;
 }

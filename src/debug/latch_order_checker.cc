@@ -23,8 +23,9 @@ const char* ToString(LatchClass c) {
     case LatchClass::kBufferPool: return "buffer-pool";
     case LatchClass::kWal: return "wal";
     case LatchClass::kSsdPartition: return "ssd-partition";
-    case LatchClass::kSsdStats: return "ssd-stats";
+    case LatchClass::kSsdFault: return "ssd-fault";
     case LatchClass::kTacLatch: return "tac-latch";
+    case LatchClass::kFaultDevice: return "fault-device";
     case LatchClass::kDevice: return "device";
   }
   return "?";

@@ -18,18 +18,20 @@ namespace turbobp {
 //   kBufferPool   BufferPool::mu_ (outermost: the page-fetch/evict path)
 //   kWal          LogManager::mu_ (WAL rule runs under the pool latch)
 //   kSsdPartition SsdCacheBase::Partition::mu
-//   kSsdStats     SsdCacheBase::stats_mu_
+//   kSsdFault     SsdCacheBase::fault_mu_ (lost-page set, degradation state)
 //   kTacLatch     TacCache::latch_mu_ (pending-admission latch table)
+//   kFaultDevice  FaultInjectingDevice::mu_ (held across the base device)
 //   kDevice       storage-device internals (innermost)
 enum class LatchClass : uint8_t {
   kBufferPool = 0,
   kWal = 1,
   kSsdPartition = 2,
-  kSsdStats = 3,
+  kSsdFault = 3,
   kTacLatch = 4,
-  kDevice = 5,
+  kFaultDevice = 5,
+  kDevice = 6,
 };
-inline constexpr int kNumLatchClasses = 6;
+inline constexpr int kNumLatchClasses = 7;
 
 const char* ToString(LatchClass c);
 

@@ -10,7 +10,7 @@ namespace turbobp {
 namespace {
 
 std::unique_ptr<SsdManager> BuildSsdManager(const SystemConfig& config,
-                                            SimDevice* ssd_device,
+                                            StorageDevice* ssd_device,
                                             DiskManager* disk,
                                             SimExecutor* executor) {
   if (config.design == SsdDesign::kNoSsd || ssd_device == nullptr) {
@@ -57,13 +57,21 @@ DbSystem::DbSystem(const SystemConfig& config)
                             static_cast<uint64_t>(config_.ssd_frames),
                             config_.page_bytes,
                             std::make_unique<SsdModel>(config_.ssd_params))),
+      ssd_fault_device_(config_.inject_ssd_faults && ssd_device_ != nullptr
+                            ? std::make_unique<FaultInjectingDevice>(
+                                  ssd_device_.get(), config_.ssd_fault_plan)
+                            : nullptr),
       log_device_(std::make_unique<SimDevice>(
           config_.log_device_pages, config_.page_bytes,
           std::make_unique<HddModel>(config_.log_params))),
       disk_manager_(disk_array_.get()),
       log_(log_device_.get()),
-      ssd_manager_(BuildSsdManager(config_, ssd_device_.get(), &disk_manager_,
-                                   &executor_)),
+      ssd_manager_(BuildSsdManager(config_,
+                                   ssd_fault_device_ != nullptr
+                                       ? static_cast<StorageDevice*>(
+                                             ssd_fault_device_.get())
+                                       : ssd_device_.get(),
+                                   &disk_manager_, &executor_)),
       buffer_pool_(std::make_unique<BufferPool>(config_.bp_options,
                                                 &disk_manager_, &log_,
                                                 ssd_manager_.get())),
@@ -74,9 +82,14 @@ void DbSystem::Crash() {
   buffer_pool_->Reset();
   log_.DropUnflushed();
   // A restart reformats the SSD buffer pool: no design to date reuses its
-  // contents across restarts (paper, Section 6).
-  ssd_manager_ =
-      BuildSsdManager(config_, ssd_device_.get(), &disk_manager_, &executor_);
+  // contents across restarts (paper, Section 6). The fault wrapper (and its
+  // op clock / offline state) survives the restart: a dying SSD stays dying.
+  ssd_manager_ = BuildSsdManager(config_,
+                                 ssd_fault_device_ != nullptr
+                                     ? static_cast<StorageDevice*>(
+                                           ssd_fault_device_.get())
+                                     : ssd_device_.get(),
+                                 &disk_manager_, &executor_);
   buffer_pool_->set_ssd_manager(ssd_manager_.get());
   checkpoint_->set_ssd_manager(ssd_manager_.get());
 }

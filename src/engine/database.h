@@ -12,6 +12,8 @@
 #include "core/lazy_cleaning.h"
 #include "core/ssd_manager.h"
 #include "core/tac.h"
+#include "fault/fault_injecting_device.h"
+#include "fault/fault_plan.h"
 #include "sim/sim_executor.h"
 #include "storage/disk_manager.h"
 #include "storage/sim_device.h"
@@ -67,6 +69,13 @@ struct SystemConfig {
   SsdCacheOptions ssd_options;     // tau/mu/N/alpha/lambda (Table 2)
   BufferPool::Options bp_options;  // page_bytes/num_frames overwritten
   int tac_extent_pages = 32;
+  // Fault injection (src/fault): when enabled, the SSD device is wrapped in
+  // a FaultInjectingDevice driven by `ssd_fault_plan`. The disk array and
+  // the log device are never wrapped — the paper's safety argument (and
+  // this subsystem) is about surviving the *SSD*, the non-redundant
+  // commodity part of the stack.
+  bool inject_ssd_faults = false;
+  FaultPlan ssd_fault_plan = FaultPlan::Healthy();
 };
 
 class DbSystem {
@@ -79,6 +88,8 @@ class DbSystem {
   SimExecutor& executor() { return executor_; }
   StripedDiskArray& disk_array() { return *disk_array_; }
   SimDevice* ssd_device() { return ssd_device_.get(); }  // null for noSSD
+  // Non-null iff config.inject_ssd_faults and the design uses an SSD.
+  FaultInjectingDevice* ssd_fault() { return ssd_fault_device_.get(); }
   DiskManager& disk_manager() { return disk_manager_; }
   LogManager& log() { return log_; }
   SsdManager& ssd_manager() { return *ssd_manager_; }
@@ -114,6 +125,7 @@ class DbSystem {
   SimExecutor executor_;
   std::unique_ptr<StripedDiskArray> disk_array_;
   std::unique_ptr<SimDevice> ssd_device_;
+  std::unique_ptr<FaultInjectingDevice> ssd_fault_device_;
   std::unique_ptr<SimDevice> log_device_;
   DiskManager disk_manager_;
   LogManager log_;

@@ -1,0 +1,64 @@
+#ifndef TURBOBP_FAULT_FAULT_INJECTING_DEVICE_H_
+#define TURBOBP_FAULT_FAULT_INJECTING_DEVICE_H_
+
+#include "common/rng.h"
+#include "debug/latch_order_checker.h"
+#include "fault/fault_plan.h"
+#include "storage/storage_device.h"
+
+namespace turbobp {
+
+// Decorator that injects the faults of a FaultPlan into an underlying
+// StorageDevice. Wraps the SSD (or any device) transparently: data movement
+// and timing are delegated to the base device, and the plan decides — one
+// deterministic draw sequence per operation — whether this operation fails,
+// tears, corrupts, lags, or kills the device outright.
+//
+// Thread safety: mu_ (class kFaultDevice, ordered before kDevice) is held
+// for the whole operation so the (op index, rng draw) sequence is a single
+// deterministic stream even under concurrent callers.
+class FaultInjectingDevice : public StorageDevice {
+ public:
+  FaultInjectingDevice(StorageDevice* base, const FaultPlan& plan);
+
+  uint64_t num_pages() const override { return base_->num_pages(); }
+  uint32_t page_bytes() const override { return base_->page_bytes(); }
+
+  IoResult Read(uint64_t first_page, uint32_t num_pages,
+                std::span<uint8_t> out, Time now, bool charge = true) override;
+  IoResult Write(uint64_t first_page, uint32_t num_pages,
+                 std::span<const uint8_t> data, Time now,
+                 bool charge = true) override;
+
+  int QueueLength(Time now) override { return base_->QueueLength(now); }
+  Time EstimateReadTime(AccessKind kind) const override {
+    return base_->EstimateReadTime(kind);
+  }
+
+  // Kills the device immediately (benchmarks/tests pulling the plug
+  // mid-workload, independent of the plan's offline_at_op).
+  void ForceOffline();
+
+  bool offline() const;
+  FaultStats fault_stats() const;
+  StorageDevice* base() { return base_; }
+
+ private:
+  // Decides the fault for the next operation and advances the op counter.
+  // `charge == false` ops (the loader) pass through unfaulted and undrawn,
+  // keeping population traffic out of the deterministic stream.
+  FaultKind NextFault(IoOp op);
+
+  StorageDevice* const base_;
+  const FaultPlan plan_;
+
+  mutable TrackedMutex<LatchClass::kFaultDevice> mu_;
+  Rng rng_;
+  int64_t op_index_ = 0;
+  bool offline_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace turbobp
+
+#endif  // TURBOBP_FAULT_FAULT_INJECTING_DEVICE_H_

@@ -8,34 +8,59 @@ DiskManager::DiskManager(StorageDevice* data) : data_(data) {
   TURBOBP_CHECK(data != nullptr);
 }
 
-void DiskManager::ReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx) {
-  ReadPages(pid, 1, out, ctx);
+Status DiskManager::ReadPage(PageId pid, std::span<uint8_t> out,
+                             IoContext& ctx) {
+  return ReadPages(pid, 1, out, ctx);
 }
 
-void DiskManager::ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
-                            IoContext& ctx) {
-  const Time completion = data_->Read(first, n, out, ctx.now, ctx.charge);
+Status DiskManager::ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
+                              IoContext& ctx) {
+  IoResult res;
+  for (int attempt = 0; attempt < kRetryLimit; ++attempt) {
+    if (attempt > 0) {
+      ++io_retries_;
+      if (ctx.charge) ctx.now += kRetryBackoff;
+    }
+    res = data_->Read(first, n, out, ctx.now, ctx.charge);
+    if (res.ok() || res.status.IsUnavailable()) break;
+  }
   if (ctx.charge) {
     ++reads_;
     pages_read_ += n;
     ctx.disk_reads += n;
   }
-  ctx.Wait(completion);
+  if (!res.ok()) {
+    ++io_errors_;
+    return res.status;
+  }
+  ctx.Wait(res.time);
+  return Status::Ok();
 }
 
-Time DiskManager::WritePage(PageId pid, std::span<const uint8_t> data,
-                            IoContext& ctx) {
+IoResult DiskManager::WritePage(PageId pid, std::span<const uint8_t> data,
+                                IoContext& ctx) {
   return WritePages(pid, 1, data, ctx);
 }
 
-Time DiskManager::WritePages(PageId first, uint32_t n,
-                             std::span<const uint8_t> data, IoContext& ctx) {
-  const Time completion = data_->Write(first, n, data, ctx.now, ctx.charge);
+IoResult DiskManager::WritePages(PageId first, uint32_t n,
+                                 std::span<const uint8_t> data,
+                                 IoContext& ctx) {
+  IoResult res;
+  Time at = ctx.now;
+  for (int attempt = 0; attempt < kRetryLimit; ++attempt) {
+    if (attempt > 0) {
+      ++io_retries_;
+      if (ctx.charge) at += kRetryBackoff;
+    }
+    res = data_->Write(first, n, data, at, ctx.charge);
+    if (res.ok() || res.status.IsUnavailable()) break;
+  }
   if (ctx.charge) {
     ++writes_;
     pages_written_ += n;
   }
-  return completion;
+  if (!res.ok()) ++io_errors_;
+  return res;
 }
 
 }  // namespace turbobp

@@ -14,8 +14,18 @@ namespace turbobp {
 // one device request per call — including multi-page vectored reads, which
 // the read-ahead path relies on ("the disk can handle a single large I/O
 // request more efficiently than multiple small I/O requests", Section 3.3.3).
+//
+// The disk array is the durable home of every page, so transient device
+// errors are absorbed here with a bounded retry/backoff loop; a request
+// that still fails is surfaced to the caller, for whom a dead disk array
+// (unlike a dead SSD cache) is fatal.
 class DiskManager {
  public:
+  // Transient-error policy: retry up to kRetryLimit attempts, charging
+  // kRetryBackoff of virtual time between attempts.
+  static constexpr int kRetryLimit = 3;
+  static constexpr Time kRetryBackoff = Millis(1);
+
   explicit DiskManager(StorageDevice* data);
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
@@ -25,17 +35,17 @@ class DiskManager {
   StorageDevice* device() { return data_; }
 
   // Blocking single-page read; advances ctx.now to completion.
-  void ReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx);
+  Status ReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx);
 
   // Blocking contiguous multi-page read as one device request.
-  void ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
-                 IoContext& ctx);
+  Status ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
+                   IoContext& ctx);
 
   // Asynchronous writes: consume device time, return the completion time,
   // leave ctx.now unchanged.
-  Time WritePage(PageId pid, std::span<const uint8_t> data, IoContext& ctx);
-  Time WritePages(PageId first, uint32_t n, std::span<const uint8_t> data,
-                  IoContext& ctx);
+  IoResult WritePage(PageId pid, std::span<const uint8_t> data, IoContext& ctx);
+  IoResult WritePages(PageId first, uint32_t n, std::span<const uint8_t> data,
+                      IoContext& ctx);
 
   Time EstimateReadTime(AccessKind kind) const {
     return data_->EstimateReadTime(kind);
@@ -45,6 +55,8 @@ class DiskManager {
   int64_t writes_issued() const { return writes_; }
   int64_t pages_read() const { return pages_read_; }
   int64_t pages_written() const { return pages_written_; }
+  int64_t io_retries() const { return io_retries_; }
+  int64_t io_errors() const { return io_errors_; }
 
  private:
   StorageDevice* data_;
@@ -52,6 +64,8 @@ class DiskManager {
   int64_t writes_ = 0;
   int64_t pages_read_ = 0;
   int64_t pages_written_ = 0;
+  int64_t io_retries_ = 0;
+  int64_t io_errors_ = 0;
 };
 
 }  // namespace turbobp

@@ -46,35 +46,45 @@ Status FileDevice::Open(const std::string& path, uint32_t page_bytes,
   return Status::Ok();
 }
 
-Time FileDevice::Read(uint64_t first_page, uint32_t num_pages,
-                      std::span<uint8_t> out, Time now, bool charge) {
+IoResult FileDevice::Read(uint64_t first_page, uint32_t num_pages,
+                          std::span<uint8_t> out, Time now, bool charge) {
   const size_t nbytes = static_cast<size_t>(num_pages) * page_bytes_;
   size_t done = 0;
   while (done < nbytes) {
     const ssize_t n = ::pread(fd_, out.data() + done, nbytes - done,
                               static_cast<off_t>(first_page * page_bytes_ + done));
-    if (n <= 0) {
+    if (n == 0) {
       // Reading past materialized extents of a sparse file yields zeros via
-      // ftruncate; a short read here means hard I/O failure.
+      // ftruncate; EOF short-reads mean never-written tail, not failure.
       std::memset(out.data() + done, 0, nbytes - done);
       break;
     }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoResult{now, Status::IoError(std::string("pread: ") +
+                                           std::strerror(errno))};
+    }
     done += static_cast<size_t>(n);
   }
-  return now;
+  return IoResult{now, Status::Ok()};
 }
 
-Time FileDevice::Write(uint64_t first_page, uint32_t num_pages,
-                       std::span<const uint8_t> data, Time now, bool charge) {
+IoResult FileDevice::Write(uint64_t first_page, uint32_t num_pages,
+                           std::span<const uint8_t> data, Time now,
+                           bool charge) {
   const size_t nbytes = static_cast<size_t>(num_pages) * page_bytes_;
   size_t done = 0;
   while (done < nbytes) {
     const ssize_t n = ::pwrite(fd_, data.data() + done, nbytes - done,
                                static_cast<off_t>(first_page * page_bytes_ + done));
-    if (n <= 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return IoResult{now, Status::IoError(std::string("pwrite: ") +
+                                           std::strerror(errno))};
+    }
     done += static_cast<size_t>(n);
   }
-  return now;
+  return IoResult{now, Status::Ok()};
 }
 
 Status FileDevice::Sync() {

@@ -28,11 +28,11 @@ class FileDevice : public StorageDevice {
   uint64_t num_pages() const override { return num_pages_; }
   uint32_t page_bytes() const override { return page_bytes_; }
 
-  Time Read(uint64_t first_page, uint32_t num_pages, std::span<uint8_t> out,
-            Time now, bool charge = true) override;
-  Time Write(uint64_t first_page, uint32_t num_pages,
-             std::span<const uint8_t> data, Time now,
-             bool charge = true) override;
+  IoResult Read(uint64_t first_page, uint32_t num_pages,
+                std::span<uint8_t> out, Time now, bool charge = true) override;
+  IoResult Write(uint64_t first_page, uint32_t num_pages,
+                 std::span<const uint8_t> data, Time now,
+                 bool charge = true) override;
 
   Status Sync();
 

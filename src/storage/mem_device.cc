@@ -22,8 +22,8 @@ void MemDevice::ReadOne(uint64_t page, std::span<uint8_t> out) {
   }
 }
 
-Time MemDevice::Read(uint64_t first_page, uint32_t num_pages,
-                     std::span<uint8_t> out, Time now, bool charge) {
+IoResult MemDevice::Read(uint64_t first_page, uint32_t num_pages,
+                         std::span<uint8_t> out, Time now, bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
   TURBOBP_CHECK(out.size() >= static_cast<size_t>(num_pages) * page_bytes_);
   std::lock_guard lock(mu_);
@@ -31,11 +31,12 @@ Time MemDevice::Read(uint64_t first_page, uint32_t num_pages,
     ReadOne(first_page + i,
             out.subspan(static_cast<size_t>(i) * page_bytes_, page_bytes_));
   }
-  return now;
+  return IoResult{now, Status::Ok()};
 }
 
-Time MemDevice::Write(uint64_t first_page, uint32_t num_pages,
-                      std::span<const uint8_t> data, Time now, bool charge) {
+IoResult MemDevice::Write(uint64_t first_page, uint32_t num_pages,
+                          std::span<const uint8_t> data, Time now,
+                          bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
   TURBOBP_CHECK(data.size() >= static_cast<size_t>(num_pages) * page_bytes_);
   std::lock_guard lock(mu_);
@@ -44,7 +45,7 @@ Time MemDevice::Write(uint64_t first_page, uint32_t num_pages,
     stored.assign(data.begin() + static_cast<size_t>(i) * page_bytes_,
                   data.begin() + static_cast<size_t>(i + 1) * page_bytes_);
   }
-  return now;
+  return IoResult{now, Status::Ok()};
 }
 
 bool MemDevice::IsMaterialized(uint64_t page) const {

@@ -10,19 +10,23 @@ SimDevice::SimDevice(uint64_t num_pages, uint32_t page_bytes,
       model_(std::move(model)),
       timeline_(model_.get(), page_bytes) {}
 
-Time SimDevice::Read(uint64_t first_page, uint32_t num_pages,
-                     std::span<uint8_t> out, Time now, bool charge) {
-  store_.Read(first_page, num_pages, out, now, charge);
-  if (!charge) return now;
-  return timeline_.Schedule(IoRequest{IoOp::kRead, first_page, num_pages}, now);
+IoResult SimDevice::Read(uint64_t first_page, uint32_t num_pages,
+                         std::span<uint8_t> out, Time now, bool charge) {
+  IoResult res = store_.Read(first_page, num_pages, out, now, charge);
+  if (!charge || !res.ok()) return res;
+  res.time =
+      timeline_.Schedule(IoRequest{IoOp::kRead, first_page, num_pages}, now);
+  return res;
 }
 
-Time SimDevice::Write(uint64_t first_page, uint32_t num_pages,
-                      std::span<const uint8_t> data, Time now, bool charge) {
-  store_.Write(first_page, num_pages, data, now, charge);
-  if (!charge) return now;
-  return timeline_.Schedule(IoRequest{IoOp::kWrite, first_page, num_pages},
-                            now);
+IoResult SimDevice::Write(uint64_t first_page, uint32_t num_pages,
+                          std::span<const uint8_t> data, Time now,
+                          bool charge) {
+  IoResult res = store_.Write(first_page, num_pages, data, now, charge);
+  if (!charge || !res.ok()) return res;
+  res.time =
+      timeline_.Schedule(IoRequest{IoOp::kWrite, first_page, num_pages}, now);
+  return res;
 }
 
 }  // namespace turbobp

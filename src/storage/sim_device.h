@@ -20,11 +20,11 @@ class SimDevice : public StorageDevice {
   uint64_t num_pages() const override { return store_.num_pages(); }
   uint32_t page_bytes() const override { return store_.page_bytes(); }
 
-  Time Read(uint64_t first_page, uint32_t num_pages, std::span<uint8_t> out,
-            Time now, bool charge = true) override;
-  Time Write(uint64_t first_page, uint32_t num_pages,
-             std::span<const uint8_t> data, Time now,
-             bool charge = true) override;
+  IoResult Read(uint64_t first_page, uint32_t num_pages,
+                std::span<uint8_t> out, Time now, bool charge = true) override;
+  IoResult Write(uint64_t first_page, uint32_t num_pages,
+                 std::span<const uint8_t> data, Time now,
+                 bool charge = true) override;
 
   int QueueLength(Time now) override { return timeline_.QueueLength(now); }
   Time EstimateReadTime(AccessKind kind) const override {

@@ -4,9 +4,25 @@
 #include <cstdint>
 #include <span>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace turbobp {
+
+// Outcome of one device request: the virtual-time completion instant plus
+// an error channel. A request can fail (flaky flash, a dead device); the
+// fault-tolerance layer (src/fault, SsdCacheBase quarantine/degradation)
+// turns these statuses into retries, disk fallbacks, or pass-through mode.
+// Not [[nodiscard]]: the data movement has already happened by the time the
+// result is returned, so fire-and-forget callers on devices that cannot
+// fail (MemDevice, SimDevice) may legitimately drop it; paths that touch a
+// possibly-faulty device must check `status`.
+struct IoResult {
+  Time time = 0;     // completion instant of the request
+  Status status;     // kOk, kIoError (transient), kUnavailable (dead), ...
+
+  bool ok() const { return status.ok(); }
+};
 
 // A page-addressed block device in virtual time.
 //
@@ -29,14 +45,18 @@ class StorageDevice {
   virtual uint32_t page_bytes() const = 0;
 
   // Reads `num_pages` pages starting at `first_page` into `out`
-  // (num_pages * page_bytes() bytes) as one device request.
-  virtual Time Read(uint64_t first_page, uint32_t num_pages,
-                    std::span<uint8_t> out, Time now, bool charge = true) = 0;
+  // (num_pages * page_bytes() bytes) as one device request. On error the
+  // contents of `out` are unspecified.
+  virtual IoResult Read(uint64_t first_page, uint32_t num_pages,
+                        std::span<uint8_t> out, Time now,
+                        bool charge = true) = 0;
 
   // Writes `num_pages` pages starting at `first_page` as one device request.
-  virtual Time Write(uint64_t first_page, uint32_t num_pages,
-                     std::span<const uint8_t> data, Time now,
-                     bool charge = true) = 0;
+  // On error the write may have landed partially (torn); callers that care
+  // must re-write or fall back to another copy.
+  virtual IoResult Write(uint64_t first_page, uint32_t num_pages,
+                         std::span<const uint8_t> data, Time now,
+                         bool charge = true) = 0;
 
   // Number of requests pending (issued but not completed) at `now`. The SSD
   // throttle-control optimization (Section 3.3.2) keys off this.

@@ -46,37 +46,41 @@ void StripedDiskArray::ForEachRun(uint64_t first, uint32_t n, Fn&& fn) const {
   }
 }
 
-Time StripedDiskArray::Read(uint64_t first_page, uint32_t num_pages,
-                            std::span<uint8_t> out, Time now, bool charge) {
+IoResult StripedDiskArray::Read(uint64_t first_page, uint32_t num_pages,
+                                std::span<uint8_t> out, Time now, bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
-  Time completion = now;
+  // Sub-requests proceed in parallel: completion is the latest
+  // sub-completion, and the first failing spindle reports for the stripe.
+  IoResult agg{now, Status::Ok()};
   ForEachRun(first_page, num_pages,
              [&](int spindle, uint64_t local, uint32_t count, uint32_t off) {
-               const Time t = spindles_[spindle]->Read(
+               const IoResult r = spindles_[spindle]->Read(
                    local, count,
                    out.subspan(static_cast<size_t>(off) * page_bytes_,
                                static_cast<size_t>(count) * page_bytes_),
                    now, charge);
-               completion = std::max(completion, t);
+               agg.time = std::max(agg.time, r.time);
+               if (agg.ok() && !r.ok()) agg.status = r.status;
              });
-  return completion;
+  return agg;
 }
 
-Time StripedDiskArray::Write(uint64_t first_page, uint32_t num_pages,
-                             std::span<const uint8_t> data, Time now,
-                             bool charge) {
+IoResult StripedDiskArray::Write(uint64_t first_page, uint32_t num_pages,
+                                 std::span<const uint8_t> data, Time now,
+                                 bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
-  Time completion = now;
+  IoResult agg{now, Status::Ok()};
   ForEachRun(first_page, num_pages,
              [&](int spindle, uint64_t local, uint32_t count, uint32_t off) {
-               const Time t = spindles_[spindle]->Write(
+               const IoResult r = spindles_[spindle]->Write(
                    local, count,
                    data.subspan(static_cast<size_t>(off) * page_bytes_,
                                 static_cast<size_t>(count) * page_bytes_),
                    now, charge);
-               completion = std::max(completion, t);
+               agg.time = std::max(agg.time, r.time);
+               if (agg.ok() && !r.ok()) agg.status = r.status;
              });
-  return completion;
+  return agg;
 }
 
 int StripedDiskArray::QueueLength(Time now) {

@@ -17,6 +17,8 @@
 #include "engine/bplus_tree.h"      // persisted B+-tree index
 #include "engine/database.h"        // DbSystem assembly + catalog
 #include "engine/heap_file.h"       // fixed-record heap tables
+#include "fault/fault_injecting_device.h"  // deterministic SSD fault injection
+#include "fault/fault_plan.h"       // fault plans and kinds
 #include "sim/sim_executor.h"       // discrete-event executor
 #include "storage/file_device.h"    // real-file backend
 #include "storage/striped_array.h"  // 8-spindle simulated disk array

@@ -74,9 +74,13 @@ Time LogManager::FlushToLocked(Lsn lsn, IoContext& ctx) {
   static thread_local std::vector<uint8_t> zeros;
   const size_t need = static_cast<size_t>(n) * page_bytes;
   if (zeros.size() < need) zeros.assign(need, 0);
-  const Time completion =
+  const IoResult res =
       device_->Write(first, n, std::span<const uint8_t>(zeros.data(), need),
                      ctx.now, ctx.charge);
+  // A failed log write means durability can no longer be promised; unlike
+  // the SSD cache there is no degraded mode to fall back to.
+  TURBOBP_CHECK_OK(res.status);
+  const Time completion = res.time;
   device_offset_pages_ = (first + n) % std::max<uint64_t>(1, device_->num_pages());
   durable_lsn_ = lsn;
   if (ctx.charge) ++flushes_;

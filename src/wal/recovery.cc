@@ -69,7 +69,7 @@ RecoveryStats RecoveryManager::Recover(
       }
     }
 
-    disk_->ReadPage(rec.page_id, buf, ctx);
+    TURBOBP_CHECK_OK(disk_->ReadPage(rec.page_id, buf, ctx));
     ++stats.pages_read;
     PageView v(buf.data(), page_bytes);
 
@@ -82,8 +82,9 @@ RecoveryStats RecoveryManager::Recover(
     std::memcpy(buf.data() + rec.offset, rec.bytes.data(), rec.bytes.size());
     v.header().lsn = rec.lsn;
     v.SealChecksum();
-    const Time done = disk_->WritePage(rec.page_id, buf, ctx);
-    ctx.Wait(done);  // recovery is single-threaded and synchronous
+    const IoResult w = disk_->WritePage(rec.page_id, buf, ctx);
+    TURBOBP_CHECK_OK(w.status);
+    ctx.Wait(w.time);  // recovery is single-threaded and synchronous
     ++stats.records_applied;
     ++stats.pages_written;
   }

@@ -1,0 +1,199 @@
+// Boundary-precise tests for throttle control (Section 3.3.2) and
+// aggressive filling (Section 3.3.1): the queue limit mu blocks strictly
+// above the threshold, newer-than-disk LC copies are exempt from the
+// throttle (correctness), and the fill threshold tau flips the admission
+// policy at exactly tau * num_frames used frames.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "core/clean_write.h"
+#include "core/dual_write.h"
+#include "core/lazy_cleaning.h"
+#include "sim/sim_executor.h"
+#include "storage/page.h"
+#include "storage/sim_device.h"
+
+namespace turbobp {
+namespace {
+
+constexpr uint32_t kPage = 512;
+
+class ThrottleFillTest : public ::testing::TestWithParam<SsdDesign> {
+ protected:
+  void SetUp() override {
+    executor_ = std::make_unique<SimExecutor>();
+    ssd_dev_ = std::make_unique<SimDevice>(64, kPage,
+                                           std::make_unique<SsdModel>());
+    disk_dev_ = std::make_unique<SimDevice>(1 << 12, kPage,
+                                            std::make_unique<HddModel>());
+    disk_ = std::make_unique<DiskManager>(disk_dev_.get());
+    opts_.num_frames = 16;
+    opts_.num_partitions = 2;
+    opts_.aggressive_fill = 0.75;  // tau boundary at 12 used frames
+    opts_.throttle_queue_limit = 1000;
+    opts_.lc_dirty_fraction = 0.5;
+    opts_.lc_group_pages = 4;
+  }
+
+  void Rebuild() {
+    switch (GetParam()) {
+      case SsdDesign::kCleanWrite:
+        cache_ = std::make_unique<CleanWriteCache>(ssd_dev_.get(), disk_.get(),
+                                                   opts_, executor_.get());
+        break;
+      case SsdDesign::kDualWrite:
+        cache_ = std::make_unique<DualWriteCache>(ssd_dev_.get(), disk_.get(),
+                                                  opts_, executor_.get());
+        break;
+      case SsdDesign::kLazyCleaning:
+        cache_ = std::make_unique<LazyCleaningCache>(
+            ssd_dev_.get(), disk_.get(), opts_, executor_.get());
+        break;
+      default:
+        FAIL() << "unsupported design for this fixture";
+    }
+  }
+
+  std::vector<uint8_t> MakePage(PageId pid, uint8_t fill) {
+    std::vector<uint8_t> buf(kPage, fill);
+    PageView v(buf.data(), kPage);
+    v.Format(pid, PageType::kRaw);
+    std::memset(v.payload(), fill, v.payload_bytes());
+    v.SealChecksum();
+    return buf;
+  }
+
+  IoContext Ctx(Time now = 0) {
+    IoContext ctx;
+    ctx.now = std::max(now, executor_->now());
+    ctx.executor = executor_.get();
+    return ctx;
+  }
+
+  void AdmitClean(PageId pid, Time now = 0,
+                  AccessKind kind = AccessKind::kRandom) {
+    IoContext ctx = Ctx(now);
+    auto page = MakePage(pid, static_cast<uint8_t>(pid));
+    cache_->OnEvictClean(pid, page, kind, ctx);
+  }
+
+  std::unique_ptr<SimExecutor> executor_;
+  std::unique_ptr<SimDevice> ssd_dev_;
+  std::unique_ptr<SimDevice> disk_dev_;
+  std::unique_ptr<DiskManager> disk_;
+  SsdCacheOptions opts_;
+  std::unique_ptr<SsdManager> cache_;
+};
+
+TEST_P(ThrottleFillTest, ThrottleBlocksStrictlyAboveMu) {
+  opts_.throttle_queue_limit = 4;  // mu
+  Rebuild();
+  // All at t=0, so every issued write is still pending: admission i sees a
+  // queue of exactly i requests. The throttle fires only when the queue
+  // EXCEEDS mu, so admissions 0..4 pass (queues 0..4) and 5..7 are skipped.
+  for (PageId p = 0; p < 8; ++p) AdmitClean(p, 0);
+  const SsdManagerStats s = cache_->stats();
+  EXPECT_EQ(s.admissions, 5);
+  EXPECT_EQ(s.throttled, 3);
+  EXPECT_EQ(cache_->Probe(4), SsdProbe::kCleanCopy);  // queue == mu: admitted
+  EXPECT_EQ(cache_->Probe(5), SsdProbe::kAbsent);     // queue == mu+1: skipped
+}
+
+TEST_P(ThrottleFillTest, ThrottledCleanReadRecoversWhenQueueDrains) {
+  opts_.throttle_queue_limit = 0;  // any pending request blocks
+  Rebuild();
+  AdmitClean(1, 0);  // queue was empty; admitted
+  std::vector<uint8_t> out(kPage);
+  // While the admission write is still in flight the clean read is refused
+  // (the disk copy is identical, so this costs nothing but latency)...
+  IoContext busy = Ctx(0);
+  EXPECT_FALSE(cache_->TryReadPage(1, out, busy));
+  EXPECT_EQ(busy.now, 0);  // refusal is free
+  EXPECT_GE(cache_->stats().throttled, 1);
+  // ...and once the queue drains the same read is served from the SSD.
+  IoContext idle = Ctx(Seconds(1));
+  EXPECT_TRUE(cache_->TryReadPage(1, out, idle));
+  EXPECT_EQ(cache_->stats().hits, 1);
+}
+
+TEST_P(ThrottleFillTest, AggressiveFillFlipsExactlyAtTau) {
+  Rebuild();
+  // tau * N = 12: the first 12 sequential admissions each observe
+  // used < 12 and are cached...
+  for (PageId p = 0; p < 12; ++p) {
+    AdmitClean(p, 0, AccessKind::kSequential);
+  }
+  EXPECT_EQ(cache_->stats().used_frames, 12);
+  EXPECT_EQ(cache_->stats().rejected_sequential, 0);
+  // ...the 13th observes used == 12 and is rejected: only random pages beat
+  // the striped disks once the SSD is tau full.
+  AdmitClean(100, 0, AccessKind::kSequential);
+  EXPECT_EQ(cache_->Probe(100), SsdProbe::kAbsent);
+  EXPECT_EQ(cache_->stats().rejected_sequential, 1);
+  AdmitClean(101, 0, AccessKind::kRandom);
+  EXPECT_EQ(cache_->Probe(101), SsdProbe::kCleanCopy);
+  EXPECT_EQ(cache_->stats().used_frames, 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ThrottleFillTest,
+                         ::testing::Values(SsdDesign::kCleanWrite,
+                                           SsdDesign::kDualWrite,
+                                           SsdDesign::kLazyCleaning),
+                         [](const auto& param_info) {
+                           return std::string(ToString(param_info.param));
+                         });
+
+// LC's forced read: a dirty SSD frame is the only current copy of its page,
+// so the throttle must NOT refuse it no matter how long the queue is
+// (Section 3.3.2's correctness carve-out).
+TEST(LcForcedReadTest, NewerThanDiskCopyIgnoresThrottle) {
+  SimExecutor executor;
+  SimDevice ssd_dev(64, kPage, std::make_unique<SsdModel>());
+  SimDevice disk_dev(1 << 12, kPage, std::make_unique<HddModel>());
+  DiskManager disk(&disk_dev);
+  SsdCacheOptions opts;
+  opts.num_frames = 16;
+  opts.num_partitions = 2;
+  opts.throttle_queue_limit = 0;  // everything throttles
+  opts.lc_dirty_fraction = 0.5;
+  opts.lc_group_pages = 4;
+  LazyCleaningCache lc(&ssd_dev, &disk, opts, &executor);
+
+  auto make_page = [](PageId pid, uint8_t fill) {
+    std::vector<uint8_t> buf(kPage, fill);
+    PageView v(buf.data(), kPage);
+    v.Format(pid, PageType::kRaw);
+    std::memset(v.payload(), fill, v.payload_bytes());
+    v.SealChecksum();
+    return buf;
+  };
+
+  IoContext ctx;
+  ctx.executor = &executor;
+  auto dirty = make_page(5, 0x5A);
+  const EvictionOutcome out =
+      lc.OnEvictDirty(5, dirty, AccessKind::kRandom, kInvalidLsn, ctx);
+  ASSERT_TRUE(out.cached_on_ssd);
+  ASSERT_FALSE(out.write_to_disk);
+  IoContext c2 = ctx;
+  c2.now = Seconds(1);
+  auto clean = make_page(6, 0x66);
+  lc.OnEvictClean(6, clean, AccessKind::kRandom, c2);  // queue busy again
+
+  // Same instant: the clean copy of page 5's neighbour would be refused,
+  // but page 5 itself MUST be served — the disk copy is stale.
+  std::vector<uint8_t> buf(kPage);
+  IoContext read_ctx = ctx;
+  read_ctx.now = Seconds(1);
+  ASSERT_TRUE(lc.TryReadPage(5, buf, read_ctx));
+  PageView v(buf.data(), kPage);
+  EXPECT_EQ(v.header().page_id, 5u);
+  EXPECT_EQ(v.payload()[0], 0x5A);
+  EXPECT_EQ(lc.stats().hits_dirty, 1);
+}
+
+}  // namespace
+}  // namespace turbobp

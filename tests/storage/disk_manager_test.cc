@@ -15,7 +15,7 @@ TEST(DiskManagerTest, BlockingReadAdvancesClientClock) {
   DiskManager dm(&dev);
   IoContext ctx;
   std::vector<uint8_t> buf(8192);
-  dm.ReadPage(5, buf, ctx);
+  ASSERT_TRUE(dm.ReadPage(5, buf, ctx).ok());
   EXPECT_GT(ctx.now, Millis(5));  // paid a random-read seek
   EXPECT_EQ(dm.reads_issued(), 1);
   EXPECT_EQ(ctx.disk_reads, 1);
@@ -26,9 +26,10 @@ TEST(DiskManagerTest, AsyncWriteLeavesClientClockAlone) {
   DiskManager dm(&dev);
   IoContext ctx;
   std::vector<uint8_t> buf(8192);
-  const Time completion = dm.WritePage(5, buf, ctx);
+  const IoResult completion = dm.WritePage(5, buf, ctx);
+  ASSERT_TRUE(completion.ok());
   EXPECT_EQ(ctx.now, 0);
-  EXPECT_GT(completion, Millis(5));
+  EXPECT_GT(completion.time, Millis(5));
   EXPECT_EQ(dm.writes_issued(), 1);
 }
 
@@ -37,7 +38,7 @@ TEST(DiskManagerTest, MultiPageReadIsOneRequest) {
   DiskManager dm(&dev);
   IoContext ctx;
   std::vector<uint8_t> buf(8 * 8192);
-  dm.ReadPages(0, 8, buf, ctx);
+  ASSERT_TRUE(dm.ReadPages(0, 8, buf, ctx).ok());
   EXPECT_EQ(dm.reads_issued(), 1);
   EXPECT_EQ(dm.pages_read(), 8);
   // One request = one seek, far cheaper than eight.
@@ -50,8 +51,8 @@ TEST(DiskManagerTest, LoaderModeIsFree) {
   IoContext ctx;
   ctx.charge = false;
   std::vector<uint8_t> buf(8192);
-  dm.ReadPage(1, buf, ctx);
-  dm.WritePage(2, buf, ctx);
+  ASSERT_TRUE(dm.ReadPage(1, buf, ctx).ok());
+  ASSERT_TRUE(dm.WritePage(2, buf, ctx).ok());
   EXPECT_EQ(ctx.now, 0);
   EXPECT_EQ(dm.reads_issued(), 0);
   EXPECT_EQ(dm.writes_issued(), 0);

@@ -60,8 +60,8 @@ TEST(MemDeviceTest, MultiPageTransfers) {
 TEST(MemDeviceTest, ZeroServiceTime) {
   MemDevice dev(16, 256);
   std::vector<uint8_t> buf(256);
-  EXPECT_EQ(dev.Read(0, 1, buf, 1234), 1234);
-  EXPECT_EQ(dev.Write(0, 1, buf, 99), 99);
+  EXPECT_EQ(dev.Read(0, 1, buf, 1234).time, 1234);
+  EXPECT_EQ(dev.Write(0, 1, buf, 99).time, 99);
 }
 
 TEST(MemDeviceTest, ClearDropsContent) {

@@ -10,7 +10,7 @@ namespace {
 TEST(SimDeviceTest, DataMovesImmediatelyTimeIsModeled) {
   SimDevice dev(64, 512, std::make_unique<SsdModel>());
   std::vector<uint8_t> in(512, 0x5A), out(512);
-  const Time wc = dev.Write(3, 1, in, Millis(10));
+  const Time wc = dev.Write(3, 1, in, Millis(10)).time;
   EXPECT_GT(wc, Millis(10));
   // Content is visible immediately (DES separates data from timing).
   dev.Read(3, 1, out, 0, /*charge=*/false);
@@ -20,8 +20,8 @@ TEST(SimDeviceTest, DataMovesImmediatelyTimeIsModeled) {
 TEST(SimDeviceTest, BackToBackRequestsQueue) {
   SimDevice dev(64, 512, std::make_unique<SsdModel>());
   std::vector<uint8_t> buf(512);
-  const Time c1 = dev.Read(1, 1, buf, 0);
-  const Time c2 = dev.Read(50, 1, buf, 0);
+  const Time c1 = dev.Read(1, 1, buf, 0).time;
+  const Time c2 = dev.Read(50, 1, buf, 0).time;
   EXPECT_GT(c2, c1);
   EXPECT_EQ(dev.QueueLength(0), 2);
   EXPECT_EQ(dev.QueueLength(c2), 0);
@@ -31,11 +31,11 @@ TEST(SimDeviceTest, GapFillingUsesIdleTime) {
   SimDevice dev(1 << 12, 8192, std::make_unique<HddModel>());
   std::vector<uint8_t> buf(8192);
   // A request booked far in the future leaves the device idle before it.
-  const Time far = dev.Read(100, 1, buf, Seconds(10));
+  const Time far = dev.Read(100, 1, buf, Seconds(10)).time;
   EXPECT_GT(far, Seconds(10));
   // An earlier arrival must use the idle time, not queue behind the future
   // booking (work conservation / NCQ reordering).
-  const Time early = dev.Read(200, 1, buf, Millis(1));
+  const Time early = dev.Read(200, 1, buf, Millis(1)).time;
   EXPECT_LT(early, Seconds(1));
 }
 
@@ -43,11 +43,11 @@ TEST(SimDeviceTest, GapMustFitServiceTime) {
   SimDevice dev(1 << 12, 8192, std::make_unique<HddModel>());
   std::vector<uint8_t> buf(8192);
   // Two bookings with a gap smaller than one random read between them.
-  const Time a = dev.Read(1, 1, buf, 0);            // [~0, ~7.9ms)
-  const Time b = dev.Read(500, 1, buf, a + Micros(100));  // right after
+  const Time a = dev.Read(1, 1, buf, 0).time;            // [~0, ~7.9ms)
+  const Time b = dev.Read(500, 1, buf, a + Micros(100)).time;  // right after
   // A request arriving inside the first service interval cannot fit in the
   // 100us gap; it lands after the second booking.
-  const Time c = dev.Read(900, 1, buf, Micros(10));
+  const Time c = dev.Read(900, 1, buf, Micros(10)).time;
   EXPECT_GT(c, b);
 }
 
@@ -76,7 +76,7 @@ TEST(SimDeviceTest, TimelineCoalescingKeepsSchedulingCorrect) {
   std::vector<uint8_t> buf(512);
   Time prev = 0;
   for (int i = 0; i < 5000; ++i) {
-    const Time c = dev.Read(static_cast<uint64_t>(i) % 1024, 1, buf, 0);
+    const Time c = dev.Read(static_cast<uint64_t>(i) % 1024, 1, buf, 0).time;
     EXPECT_GE(c, prev);
     prev = c;
   }

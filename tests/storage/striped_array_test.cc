@@ -49,12 +49,12 @@ TEST(StripedArrayTest, MultiPageReadUsesSpindlesInParallel) {
   // A 64-page request split over 8 spindles pays one seek plus 8 pages of
   // transfer per spindle, in parallel — well under the single-spindle cost
   // of one seek plus 64 transfers.
-  const Time parallel = disks.Read(0, 64, buf, 0);
+  const Time parallel = disks.Read(0, 64, buf, 0).time;
   StripedDiskArray::Options one;
   one.num_spindles = 1;
   one.stripe_pages = 8;
   StripedDiskArray single(1 << 12, 8192, one);
-  const Time serial = single.Read(0, 64, buf, 0);
+  const Time serial = single.Read(0, 64, buf, 0).time;
   EXPECT_LT(parallel, serial / 2);
   // And the parallel cost is within 10% of the analytic seek + 8 transfers.
   HddParams hdd;
@@ -89,7 +89,7 @@ TEST(StripedArrayTest, QueueLengthAggregates) {
 TEST(StripedArrayTest, UnchargedIoConsumesNoDeviceTime) {
   StripedDiskArray disks(64, 256, SmallOptions());
   std::vector<uint8_t> buf(256);
-  const Time t = disks.Read(0, 1, buf, 50, /*charge=*/false);
+  const Time t = disks.Read(0, 1, buf, 50, /*charge=*/false).time;
   EXPECT_EQ(t, 50);
   EXPECT_EQ(disks.TotalBusyTime(), 0);
 }

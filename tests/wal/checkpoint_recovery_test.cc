@@ -54,7 +54,7 @@ class CheckpointRecoveryTest : public ::testing::TestWithParam<SsdDesign> {
     for (const auto& [key, value] : shadow_) {
       const auto& [pid, slot] = key;
       IoContext read_ctx = ctx;
-      disk.ReadPage(pid, buf, read_ctx);
+      ASSERT_TRUE(disk.ReadPage(pid, buf, read_ctx).ok());
       PageView v(buf.data(), kPage);
       ASSERT_EQ(v.payload()[slot], value)
           << "page " << pid << " slot " << slot << " design "
