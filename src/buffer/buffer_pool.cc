@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
 
@@ -379,6 +380,9 @@ void BufferPool::EvictFrame(int32_t frame, IoContext& ctx) {
     // LSN before the page is written to the SSD or the disk. The page
     // write's arrival time is therefore the log flush's completion.
     const Time log_done = log_ != nullptr ? log_->FlushTo(page_lsn, ctx) : ctx.now;
+    // WAL obligation discharged, page not yet written anywhere (the window
+    // where the log alone carries the update). Buffer-pool latch is held.
+    TURBOBP_CRASH_POINT("bp/evict-after-wal");
     IoContext write_ctx = ctx;
     write_ctx.now = std::max(ctx.now, log_done);
     EvictionOutcome outcome;  // loader mode: straight to disk
@@ -389,6 +393,8 @@ void BufferPool::EvictFrame(int32_t frame, IoContext& ctx) {
     if (outcome.write_to_disk) {
       // The disk array is the durable home; its failure has no fallback.
       TURBOBP_CHECK_OK(disk_->WritePage(pid, FrameSpan(frame), write_ctx).status);
+      // The dirty eviction reached the disk (write-through designs).
+      TURBOBP_CRASH_POINT("bp/evict-disk-write");
     }
   }
   f = Frame{};  // reset metadata; frame data will be overwritten
@@ -428,6 +434,9 @@ Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {
     const int32_t frame = static_cast<int32_t>(i);
     const Time done = WriteFrameToDisk(frame, ctx);
     last = std::max(last, done);
+    // One dirty frame flushed (checkpoint or shutdown), others may still be
+    // dirty in memory only. Buffer-pool latch is held.
+    TURBOBP_CRASH_POINT("bp/flush-page");
     if (for_checkpoint) {
       PageView v(FrameSpan(frame));
       IoContext ck_ctx = ctx;

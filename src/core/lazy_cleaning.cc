@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
 
@@ -164,6 +165,11 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   }
   if (group.empty()) return degraded() ? 0 : ctx.now + 1;
 
+  // The group is staged in memory; nothing has reached the disk yet. A
+  // crash here loses no durability (the SSD still holds the dirty copies,
+  // and the log covers them from the previous checkpoint).
+  TURBOBP_CRASH_POINT("lc/clean-read");
+
   // One multi-page disk write for the whole group, arriving after the SSD
   // reads finished. (The WAL rule was satisfied when these pages were first
   // admitted: the buffer pool forces the log before any dirty-page write.)
@@ -174,6 +180,9 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   // The disk array is the durable home; its failure has no fallback.
   TURBOBP_CHECK_OK(wres.status);
   const Time done = wres.time;
+  // The SSD→disk copy landed but the frames are still marked dirty: a crash
+  // here must be harmless in either direction (the copy is idempotent).
+  TURBOBP_CRASH_POINT("lc/clean-disk-write");
 
   // Mark the group clean: move records from the dirty heap to the clean heap.
   for (auto& [part, rec] : group) {
@@ -188,6 +197,8 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   Counters::Bump(counters_.cleaner_disk_writes,
                  static_cast<int64_t>(group.size()));
   Counters::Bump(counters_.cleaner_io_requests);
+  // Group fully cleaned and accounted (dirty counters decremented).
+  TURBOBP_CRASH_POINT("lc/clean-marked");
   return done;
 }
 
@@ -222,20 +233,44 @@ void LazyCleaningCache::OnDegrade(IoContext& ctx) {
   }
 }
 
-Time LazyCleaningCache::FlushAllDirty(IoContext& ctx) {
+IoResult LazyCleaningCache::FlushAllDirty(IoContext& ctx) {
   Time last = ctx.now;
+  const int64_t lost_before = lost_live_.load(std::memory_order_acquire);
+  int stalls = 0;
   while (dirty_frames_.load() > 0) {
+    const int64_t dirty_before = dirty_frames_.load();
     IoContext step_ctx = ctx;
     step_ctx.now = ctx.now;
     const Time done = CleanOneGroup(step_ctx);
-    if (done == 0) break;
+    if (done == 0) break;  // degraded mid-drain; OnDegrade salvaged the rest
     last = std::max(last, done);
     // The checkpoint drains the SSD as fast as the devices allow; each
     // group's I/O lands on the device timelines, so the elapsed time is
     // captured by the returned completion times.
     ctx.now = std::max(ctx.now, step_ctx.now);
+    if (dirty_frames_.load() >= dirty_before) {
+      // A CleanOneGroup round that cleaned nothing (transient read errors
+      // retry forever from the cleaner's point of view). Bound the stall:
+      // a checkpoint must fail rather than spin on a flaky device.
+      if (++stalls > options_.io_retry_limit) break;
+    } else {
+      stalls = 0;
+    }
   }
-  return last;
+  // Failure is atomic for the caller: any dirty frame left on the SSD — or
+  // quarantined mid-drain (its updates are stranded above the disk copy) —
+  // means the disk is NOT current, and the checkpoint must keep the old
+  // recovery LSN so redo from the previous checkpoint heals those pages.
+  Status status = Status::Ok();
+  if (dirty_frames_.load() > 0) {
+    status = degraded()
+                 ? Status::Unavailable("SSD degraded mid checkpoint flush")
+                 : Status::IoError("dirty SSD frames not drained");
+  } else if (lost_live_.load(std::memory_order_acquire) > lost_before) {
+    status = Status::IoError("dirty SSD frame lost during checkpoint flush");
+  }
+  if (!status.ok()) Counters::Bump(counters_.checkpoint_flush_failures);
+  return IoResult{last, status};
 }
 
 }  // namespace turbobp

@@ -42,7 +42,11 @@ class LazyCleaningCache : public SsdCacheBase {
   void OnCheckpointEnd() override {
     in_checkpoint_.store(false, std::memory_order_release);
   }
-  Time FlushAllDirty(IoContext& ctx) override;
+  // Drains every dirty SSD frame to disk for the sharp checkpoint. Failure
+  // is atomic from the checkpoint's point of view: a non-kOk status (device
+  // errors past the bounded retry, degradation, or a dirty frame lost
+  // mid-drain) means the checkpoint must not advance the recovery LSN.
+  IoResult FlushAllDirty(IoContext& ctx) override;
 
   // Cleaner observability (Figure 7 reports the cleaner's disk IOPS).
   int64_t cleaner_wakeups() const { return cleaner_wakeups_.load(); }

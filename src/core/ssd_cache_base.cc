@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 #include "storage/page.h"
 
 namespace turbobp {
@@ -278,6 +279,9 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
   }
   r.ready_at = w.time;
   Counters::Bump(counters_.admissions);
+  // Mapping installed over freshly-landed frame content. For LC dirty
+  // admissions this is the moment the SSD becomes the page's newest copy.
+  TURBOBP_CRASH_POINT("ssd/admit");
   return true;
 }
 
@@ -289,6 +293,9 @@ IoResult SsdCacheBase::WriteFrame(Partition& part, int32_t rec,
   for (int attempt = 0; attempt < options_.io_retry_limit; ++attempt) {
     if (attempt > 0 && ctx.charge) at += options_.io_retry_backoff;
     res = ssd_device_->Write(FrameOf(part, rec), 1, data, at, ctx.charge);
+    // The frame content just landed on the SSD medium (the partition latch
+    // is held; the observer must not re-enter the cache).
+    TURBOBP_CRASH_POINT("ssd/frame-write");
     if (res.ok()) return res;
     Counters::Bump(counters_.device_write_errors);
     RecordDeviceError();
@@ -545,6 +552,7 @@ SsdManagerStats SsdCacheBase::stats() const {
   s.quarantined_frames = quarantined_frames_.load();
   s.lost_pages = lost_live_.load();
   s.emergency_cleaned = ld(counters_.emergency_cleaned);
+  s.checkpoint_flush_failures = ld(counters_.checkpoint_flush_failures);
   s.degraded = degraded();
   return s;
 }

@@ -221,6 +221,7 @@ class SsdCacheBase : public SsdManager {
     std::atomic<int64_t> read_retries{0};
     std::atomic<int64_t> frame_corruptions{0};
     std::atomic<int64_t> emergency_cleaned{0};
+    std::atomic<int64_t> checkpoint_flush_failures{0};
 
     static void Bump(std::atomic<int64_t>& c, int64_t by = 1) {
       c.fetch_add(by, std::memory_order_relaxed);

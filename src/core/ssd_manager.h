@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/io_context.h"
+#include "storage/storage_device.h"
 
 namespace turbobp {
 
@@ -51,6 +52,7 @@ struct SsdManagerStats {
   int64_t quarantined_frames = 0;   // frames taken out of service
   int64_t lost_pages = 0;           // dirty pages whose only copy is gone
   int64_t emergency_cleaned = 0;    // LC: dirty frames salvaged at degrade
+  int64_t checkpoint_flush_failures = 0;  // FlushAllDirty calls that failed
   bool degraded = false;            // cache flipped to pass-through
 };
 
@@ -129,8 +131,14 @@ class SsdManager {
                                  IoContext& ctx) {}
 
   // Flushes every dirty SSD page to disk (LC; no-op elsewhere). Returns the
-  // completion time of the last disk write.
-  virtual Time FlushAllDirty(IoContext& ctx) { return ctx.now; }
+  // completion time of the last disk write plus an error channel: a
+  // non-kOk status means dirty pages remain (the device failed past the
+  // bounded retry, or a dirty frame's only copy was lost mid-flush). The
+  // caller — the sharp checkpoint — must then NOT advance the recovery LSN:
+  // redo from the previous checkpoint is what heals the stranded pages.
+  virtual IoResult FlushAllDirty(IoContext& ctx) {
+    return IoResult{ctx.now, Status::Ok()};
+  }
 
   // --- restart extension (the paper's Section 6 future work) ----------------
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
 
@@ -219,6 +220,9 @@ std::pair<PageId, uint64_t> BPlusTree::SplitNode(PageGuard& guard,
   const uint64_t split_key = right.key_at(0);
   LogWholeNode(guard, node, txn_id, ctx);
   LogWholeNode(right_guard, right, txn_id, ctx);
+  // Both halves are logged but the parent's separator is not yet: redo must
+  // replay all three whole-node records together or not at all.
+  TURBOBP_CRASH_POINT("btree/split");
   return {right_pid, split_key};
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
 
@@ -55,6 +56,9 @@ Rid HeapFile::Append(std::span<const uint8_t> row, uint64_t txn_id,
   } else {
     guard.MarkDirtyUnlogged();
   }
+  // The row and slot count are logged (not yet durable) and live only in
+  // the buffer pool; the catalog's row_count is about to advance.
+  TURBOBP_CRASH_POINT("heap/append");
   ++t.row_count;
   return rid;
 }
@@ -82,6 +86,9 @@ void HeapFile::Update(Rid rid, std::span<const uint8_t> row, uint64_t txn_id,
   } else {
     guard.MarkDirtyUnlogged();
   }
+  // In-place row update logged; the page write happens at eviction or
+  // checkpoint time under the WAL rule.
+  TURBOBP_CRASH_POINT("heap/update");
 }
 
 void HeapFile::ScanAll(

@@ -1,0 +1,541 @@
+#include "fault/crash_harness.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "debug/invariant_auditor.h"
+#include "engine/bplus_tree.h"
+#include "engine/database.h"
+#include "engine/heap_file.h"
+#include "fault/crash_point.h"
+#include "storage/page.h"
+#include "storage/striped_array.h"
+
+namespace turbobp {
+namespace {
+
+// The top of the data volume is reserved for the oracle's raw slot pages;
+// the heap table and the B+-tree grow from the bottom and must never reach
+// it (checked after every allocating operation).
+constexpr uint64_t kSlotRegionPages = 64;
+constexpr uint32_t kHeapRowBytes = 40;
+constexpr uint64_t kHeapCapacityRows = 700;
+constexpr int kBtreePreloadKeys = 56;  // near-fills leaves so inserts split
+
+constexpr char kEndPoint[] = "end-of-workload";
+constexpr char kRedoPoint[] = "recovery/redo-apply";
+
+SystemConfig MakeConfig(const CrashHarnessOptions& o) {
+  SystemConfig config;
+  config.page_bytes = o.page_bytes;
+  config.db_pages = o.db_pages;
+  config.bp_frames = o.bp_frames;
+  config.ssd_frames = o.ssd_frames;
+  config.design = o.design;
+  config.ssd_options.num_partitions = 2;
+  config.ssd_options.lc_dirty_fraction = 0.6;
+  config.ssd_options.lc_group_pages = 4;
+  return config;
+}
+
+// The durable state a power cut at one crash instant leaves behind: the
+// disk array's platter contents plus the log's records and durable horizon.
+// The SSD is deliberately absent — every design reformats it at restart
+// (paper, Section 6), which DbSystem's construction models.
+struct CrashCapture {
+  std::string point;
+  int hit = 0;
+  StripedDiskArray::Content disk;
+  LogManager::CrashSnapshot log;
+};
+
+// Captures crash snapshots at requested (point, hit) pairs. OnCrashPoint
+// runs synchronously inside the engine, possibly with latches held: it only
+// touches the lock-free LogManager::SnapshotForCrash and the device-class
+// latches (ordered after every engine latch), and never re-enters the
+// engine.
+class SnapshotObserver : public CrashPointObserver {
+ public:
+  explicit SnapshotObserver(DbSystem* system) : system_(system) {}
+
+  void Request(const std::string& point, int hit) {
+    requests_[point].insert(hit);
+  }
+  void set_capture_first_hits(bool v) { capture_first_hits_ = v; }
+
+  const std::map<std::string, int>& hits() const { return hits_; }
+  std::map<std::pair<std::string, int>, CrashCapture>& captures() {
+    return captures_;
+  }
+  const CrashCapture* Find(const std::string& point, int hit) const {
+    auto it = captures_.find({point, hit});
+    return it == captures_.end() ? nullptr : &it->second;
+  }
+
+  // Quiescent capture (no crash point involved), used for the
+  // end-of-workload pseudo-point.
+  void CaptureNow(const char* name, int hit) { Store(name, hit); }
+
+  void OnCrashPoint(const char* name) override {
+    const int n = ++hits_[name];
+    bool want = capture_first_hits_ && n == 1;
+    if (!want) {
+      auto it = requests_.find(name);
+      want = it != requests_.end() && it->second.contains(n);
+    }
+    if (want) Store(name, n);
+  }
+
+ private:
+  void Store(const char* name, int n) {
+    CrashCapture cap;
+    cap.point = name;
+    cap.hit = n;
+    cap.disk = system_->disk_array().SnapshotContent();
+    cap.log = system_->log().SnapshotForCrash();
+    captures_[{cap.point, n}] = std::move(cap);
+  }
+
+  DbSystem* system_;
+  bool capture_first_hits_ = false;
+  std::map<std::string, int> hits_;
+  std::map<std::string, std::set<int>> requests_;
+  std::map<std::pair<std::string, int>, CrashCapture> captures_;
+};
+
+struct OracleWrite {
+  Lsn lsn = kInvalidLsn;  // LSN of the update record that wrote the value
+  uint32_t value = 0;
+};
+
+// One seeded workload execution plus everything needed to judge any crash
+// instant within it.
+struct WorkloadRun {
+  Catalog catalog;  // as of setup; table extents never move afterwards
+  std::map<std::pair<PageId, uint32_t>, std::vector<OracleWrite>> oracle;
+  std::map<std::string, int> hits;
+  std::map<std::pair<std::string, int>, CrashCapture> captures;
+};
+
+void Sync(DbSystem& system, IoContext& ctx) {
+  system.executor().RunUntil(ctx.now);
+  ctx.now = std::max(ctx.now, system.executor().now());
+}
+
+void WriteSlot(DbSystem& system, WorkloadRun& run, PageId pid, uint32_t slot,
+               uint32_t value, uint64_t txn, bool commit, IoContext& ctx) {
+  {
+    PageGuard g =
+        system.buffer_pool().FetchPage(pid, AccessKind::kRandom, ctx);
+    // next_lsn before the append is exactly the LSN the record receives;
+    // nothing else appends between here and LogUpdate (single-threaded run).
+    const Lsn lsn = system.log().current_lsn();
+    std::memcpy(g.view().payload() + 4 * slot, &value, 4);
+    g.LogUpdate(txn, kPageHeaderSize + 4 * slot, 4);
+    run.oracle[{pid, slot}].push_back({lsn, value});
+  }
+  if (commit) {
+    system.log().AppendCommit(txn);
+    system.log().CommitForce(ctx);
+  }
+}
+
+// Runs the mixed workload once. `requests` / `capture_first_hits` drive the
+// observer; `capture_end` additionally snapshots the quiescent end state
+// (maximal redo tail, used by the idempotence sweep).
+WorkloadRun RunWorkload(const CrashHarnessOptions& o,
+                        const std::map<std::string, std::set<int>>& requests,
+                        bool capture_first_hits, bool capture_end) {
+  WorkloadRun run;
+  DbSystem system(MakeConfig(o));
+  Database db(&system);
+  if (o.break_lc_checkpoint) {
+    system.checkpoint().set_skip_ssd_flush_for_test(true);
+  }
+  IoContext ctx = system.MakeContext();
+
+  // Setup (not subject to crashes): a heap table, and a B+-tree pre-loaded
+  // to near-full leaves so workload inserts trigger splits. One group
+  // commit makes the setup durable.
+  HeapFile heap = HeapFile::Create(&db, "torture_rows", kHeapRowBytes,
+                                   kHeapCapacityRows);
+  BPlusTree tree = BPlusTree::Create(&db, "torture_idx", ctx);
+  uint64_t next_txn = 1;
+  for (int i = 0; i < kBtreePreloadKeys; ++i) {
+    tree.Insert(static_cast<uint64_t>(i + 1) * 1000,
+                static_cast<uint64_t>(i), next_txn, ctx);
+  }
+  system.log().AppendCommit(next_txn);
+  system.log().CommitForce(ctx);
+  ++next_txn;
+  Sync(system, ctx);
+  run.catalog = db.catalog();
+
+  const PageId slot_first = o.db_pages - kSlotRegionPages;
+  TURBOBP_CHECK(run.catalog.next_free_page + 8 <= slot_first);
+  const uint32_t slots_per_page = (o.page_bytes - kPageHeaderSize) / 4;
+
+  SnapshotObserver obs(&system);
+  for (const auto& [point, hit_set] : requests) {
+    for (int hit : hit_set) obs.Request(point, hit);
+  }
+  obs.set_capture_first_hits(capture_first_hits);
+
+  Rng rng(o.seed * 7919 + static_cast<uint64_t>(o.design));
+  uint32_t counter = 0;
+  uint64_t heap_rows = 0;
+  uint64_t tree_values = 0;
+  {
+    ScopedCrashArm arm(&obs);
+    for (int i = 0; i < o.num_ops; ++i) {
+      if (o.checkpoint_every > 0 && i > 0 && i % o.checkpoint_every == 0) {
+        Sync(system, ctx);
+        const Time end = system.checkpoint().RunCheckpoint(ctx);
+        ctx.now = std::max(ctx.now, end);
+      }
+      const uint64_t r = rng.Uniform(100);
+      if (r < 50) {
+        WriteSlot(system, run,
+                  slot_first + rng.Uniform(kSlotRegionPages),
+                  static_cast<uint32_t>(rng.Uniform(slots_per_page)),
+                  ++counter, next_txn++, /*commit=*/true, ctx);
+      } else if (r < 64) {
+        // Logged but never forced: the crash-tail case. A later group
+        // commit can still make it durable — the oracle keys on LSNs, not
+        // on commit intent, which is exact under redo-only recovery.
+        WriteSlot(system, run,
+                  slot_first + rng.Uniform(kSlotRegionPages),
+                  static_cast<uint32_t>(rng.Uniform(slots_per_page)),
+                  ++counter, next_txn++, /*commit=*/false, ctx);
+      } else if (r < 72 || (r < 78 && heap_rows == 0)) {
+        std::vector<uint8_t> row(kHeapRowBytes);
+        for (size_t j = 0; j < row.size(); ++j) {
+          row[j] = static_cast<uint8_t>(heap_rows + j);
+        }
+        heap.Append(row, next_txn, ctx);
+        ++heap_rows;
+        if (rng.Bernoulli(0.5)) {
+          system.log().AppendCommit(next_txn);
+          system.log().CommitForce(ctx);
+        }
+        ++next_txn;
+      } else if (r < 78) {
+        std::vector<uint8_t> row(kHeapRowBytes);
+        for (size_t j = 0; j < row.size(); ++j) {
+          row[j] = static_cast<uint8_t>(counter + j);
+        }
+        heap.Update(heap.RidOfRow(rng.Uniform(heap_rows)), row, next_txn,
+                    ctx);
+        if (rng.Bernoulli(0.5)) {
+          system.log().AppendCommit(next_txn);
+          system.log().CommitForce(ctx);
+        }
+        ++next_txn;
+      } else if (r < 86) {
+        // Lands between the pre-loaded keys, so near-full leaves split.
+        tree.Insert(1 + rng.Uniform(kBtreePreloadKeys * 1000), ++tree_values,
+                    next_txn, ctx);
+        TURBOBP_CHECK(db.catalog().next_free_page <= slot_first);
+        if (rng.Bernoulli(0.5)) {
+          system.log().AppendCommit(next_txn);
+          system.log().CommitForce(ctx);
+        }
+        ++next_txn;
+      } else {
+        // Read-only fetch: drives SSD admissions and hits.
+        PageGuard g = system.buffer_pool().FetchPage(
+            slot_first + rng.Uniform(kSlotRegionPages), AccessKind::kRandom,
+            ctx);
+      }
+      if (i % 4 == 3) Sync(system, ctx);
+    }
+    Sync(system, ctx);
+    if (capture_end) obs.CaptureNow(kEndPoint, 1);
+  }
+  run.hits = obs.hits();
+  run.captures = std::move(obs.captures());
+  return run;
+}
+
+struct RecoveredDb {
+  std::unique_ptr<DbSystem> system;
+  std::unique_ptr<Database> db;
+  RecoveryStats stats;
+  bool torn_injected = false;
+};
+
+// Builds a fresh system over the capture's surviving bytes, as a restart
+// after the crash would find them. In torn mode the first *non-durable*
+// record is materialized with a corrupted body and its stale checksum —
+// the partially-written block an interrupted log flush leaves behind — and
+// the durable horizon is extended over it, as a naive header scan of the
+// log device would conclude. Recovery must then truncate it instead of
+// replaying garbage.
+RecoveredDb MakeRestoredSystem(const CrashHarnessOptions& o,
+                               const Catalog& catalog,
+                               const CrashCapture& cap, bool torn) {
+  RecoveredDb out;
+  out.system = std::make_unique<DbSystem>(MakeConfig(o));
+  out.db = std::make_unique<Database>(out.system.get());
+  out.db->RestoreCatalog(catalog);
+  out.system->disk_array().RestoreContent(cap.disk);
+
+  std::vector<LogRecord> records;
+  Lsn durable = cap.log.durable_lsn;
+  for (const LogRecord& rec : cap.log.records) {
+    if (rec.lsn <= cap.log.durable_lsn) records.push_back(rec);
+  }
+  if (torn) {
+    for (const LogRecord& rec : cap.log.records) {
+      if (rec.lsn <= cap.log.durable_lsn) continue;
+      LogRecord bad = rec;  // keeps the now-stale checksum
+      if (!bad.bytes.empty()) {
+        bad.bytes[0] = static_cast<uint8_t>(bad.bytes[0] ^ 0xFF);
+      } else {
+        bad.txn_id = ~bad.txn_id;
+      }
+      durable = bad.lsn;
+      records.push_back(std::move(bad));
+      out.torn_injected = true;
+      break;
+    }
+  }
+  out.system->log().RestoreDurableState(std::move(records), durable);
+  return out;
+}
+
+RecoveryStats RecoverNow(DbSystem& system) {
+  IoContext rctx = system.MakeContext();
+  return system.Recover(rctx);
+}
+
+// Byte-compares the full data volume of two recovered systems (synthesized
+// never-written pages included). Returns "" when identical.
+std::string ComparePages(DbSystem& a, DbSystem& b,
+                         const CrashHarnessOptions& o) {
+  std::vector<uint8_t> pa(o.page_bytes);
+  std::vector<uint8_t> pb(o.page_bytes);
+  for (PageId pid = 0; pid < o.db_pages; ++pid) {
+    IoContext ca = a.MakeContext();
+    IoContext cb = b.MakeContext();
+    const Status sa = a.disk_manager().ReadPage(pid, pa, ca);
+    const Status sb = b.disk_manager().ReadPage(pid, pb, cb);
+    if (!sa.ok() || !sb.ok()) {
+      return "page " + std::to_string(pid) + " unreadable: " +
+             (sa.ok() ? sb.ToString() : sa.ToString());
+    }
+    if (std::memcmp(pa.data(), pb.data(), o.page_bytes) != 0) {
+      return "page " + std::to_string(pid) + " differs after re-recovery";
+    }
+  }
+  return "";
+}
+
+std::string Label(const CrashHarnessOptions& o, const std::string& point,
+                  int hit, bool torn) {
+  return std::string("[design=") + ToString(o.design) +
+         " seed=" + std::to_string(o.seed) + " point=" + point +
+         " hit=" + std::to_string(hit) + " torn=" + (torn ? "1" : "0") + "]";
+}
+
+CrashScenarioResult VerifyCapture(const CrashHarnessOptions& o,
+                                  const WorkloadRun& run,
+                                  const CrashCapture& cap, bool torn) {
+  CrashScenarioResult result;
+  result.triggered = true;
+  const std::string label = Label(o, cap.point, cap.hit, torn);
+
+  RecoveredDb b = MakeRestoredSystem(o, run.catalog, cap, torn);
+  b.stats = RecoverNow(*b.system);
+  result.recovery = b.stats;
+  if (torn && b.torn_injected && b.stats.records_truncated < 1) {
+    result.failures.push_back(label + " torn tail record was not truncated");
+  }
+
+  // 1. Oracle exactness: every cell equals its last durable update. The
+  // torn block is non-durable — a correct recovery truncates it, so the
+  // horizon is the pre-torn durable LSN in both modes.
+  const Lsn horizon = cap.log.durable_lsn;
+  std::vector<uint8_t> buf(o.page_bytes);
+  for (const auto& [cell, writes] : run.oracle) {
+    uint32_t expected = 0;
+    for (const OracleWrite& w : writes) {
+      if (w.lsn <= horizon) expected = w.value;
+    }
+    IoContext rctx = b.system->MakeContext();
+    const Status s = b.system->disk_manager().ReadPage(cell.first, buf, rctx);
+    if (!s.ok()) {
+      result.failures.push_back(label + " oracle read of page " +
+                                std::to_string(cell.first) +
+                                " failed: " + s.ToString());
+      continue;
+    }
+    uint32_t got = 0;
+    std::memcpy(&got, PageView(buf.data(), o.page_bytes).payload() +
+                          4 * cell.second, 4);
+    ++result.oracle_cells;
+    if (got != expected) {
+      result.failures.push_back(
+          label + " oracle: page " + std::to_string(cell.first) + " slot " +
+          std::to_string(cell.second) + " expected " +
+          std::to_string(expected) + " got " + std::to_string(got));
+      if (result.failures.size() >= 8) break;  // one scenario, bounded noise
+    }
+  }
+
+  // 2. The recovered system's structures are internally consistent.
+  const AuditReport report = InvariantAuditor::AuditSystem(
+      b.system->buffer_pool(), &b.system->ssd_manager());
+  if (!report.ok()) {
+    result.failures.push_back(label + " audit: " + report.ToString());
+  }
+
+  // 3. Recovery converged: a second pass applies nothing.
+  const RecoveryStats second = RecoverNow(*b.system);
+  if (second.records_applied != 0) {
+    result.failures.push_back(label + " second recovery applied " +
+                              std::to_string(second.records_applied) +
+                              " records");
+  }
+
+  // 4. Idempotence: crash *recovery itself* halfway through its redo pass,
+  // recover once more, and require the final image to be byte-identical to
+  // the single-pass reference.
+  if (b.stats.records_applied >= 2) {
+    const int k = 1 + static_cast<int>(b.stats.records_applied / 2);
+    RecoveredDb c = MakeRestoredSystem(o, run.catalog, cap, torn);
+    SnapshotObserver cobs(c.system.get());
+    cobs.Request(kRedoPoint, k);
+    {
+      ScopedCrashArm arm(&cobs);
+      c.stats = RecoverNow(*c.system);
+    }
+    const CrashCapture* mid = cobs.Find(kRedoPoint, k);
+    if (mid == nullptr) {
+      result.failures.push_back(label + " mid-redo crash point never hit " +
+                                std::to_string(k) + " times");
+    } else {
+      RecoveredDb d = MakeRestoredSystem(o, run.catalog, *mid,
+                                         /*torn=*/false);
+      d.stats = RecoverNow(*d.system);
+      const std::string diff = ComparePages(*b.system, *d.system, o);
+      if (!diff.empty()) {
+        result.failures.push_back(label + " idempotence: " + diff);
+      }
+      result.idempotence_checked = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::map<std::string, int> CrashHarness::ProbeCrashPoints() {
+  return RunWorkload(options_, {}, /*capture_first_hits=*/false,
+                     /*capture_end=*/false)
+      .hits;
+}
+
+CrashScenarioResult CrashHarness::RunScenario(const std::string& point,
+                                              int hit, bool torn_tail) {
+  std::map<std::string, std::set<int>> requests;
+  requests[point].insert(hit);
+  WorkloadRun run = RunWorkload(options_, requests,
+                                /*capture_first_hits=*/false,
+                                /*capture_end=*/point == kEndPoint);
+  const auto it = run.captures.find({point, hit});
+  if (it == run.captures.end()) return CrashScenarioResult{};
+  return VerifyCapture(options_, run, it->second, torn_tail);
+}
+
+CrashMatrixResult CrashHarness::RunMatrix(bool quick) {
+  CrashMatrixResult m;
+  // Pass 1: one workload run captures the first hit of every point that
+  // fires, plus the quiescent end state.
+  WorkloadRun first = RunWorkload(options_, {}, /*capture_first_hits=*/true,
+                                  /*capture_end=*/true);
+  // Pass 2: middle (and, in full mode, last) hits, from observed counts.
+  std::map<std::string, std::set<int>> requests;
+  for (const auto& [point, count] : first.hits) {
+    if (count >= 3) requests[point].insert(1 + count / 2);
+    if (!quick && count >= 2) requests[point].insert(count);
+  }
+  WorkloadRun second;
+  if (!requests.empty()) {
+    second = RunWorkload(options_, requests, /*capture_first_hits=*/false,
+                         /*capture_end=*/false);
+  }
+
+  std::set<std::string> points;
+  const auto sweep = [&](const WorkloadRun& run) {
+    for (const auto& [key, cap] : run.captures) {
+      if (cap.point != kEndPoint) points.insert(cap.point);
+      for (const bool torn : {false, true}) {
+        const CrashScenarioResult r = VerifyCapture(options_, run, cap, torn);
+        ++m.scenarios_run;
+        m.failures.insert(m.failures.end(), r.failures.begin(),
+                          r.failures.end());
+      }
+    }
+  };
+  sweep(first);
+  sweep(second);
+  m.points_covered = static_cast<int>(points.size());
+  return m;
+}
+
+std::vector<std::string> CrashHarness::RunRedoIdempotenceSweep(int max_steps) {
+  std::vector<std::string> failures;
+  WorkloadRun run = RunWorkload(options_, {}, /*capture_first_hits=*/false,
+                                /*capture_end=*/true);
+  const auto it = run.captures.find({std::string(kEndPoint), 1});
+  TURBOBP_CHECK(it != run.captures.end());
+  const CrashCapture& cap = it->second;
+
+  RecoveredDb ref = MakeRestoredSystem(options_, run.catalog, cap,
+                                       /*torn=*/false);
+  ref.stats = RecoverNow(*ref.system);
+  const int64_t applied = ref.stats.records_applied;
+  if (applied == 0) {
+    failures.push_back(Label(options_, kEndPoint, 1, false) +
+                       " workload produced no redo work — sweep is vacuous");
+    return failures;
+  }
+  const int64_t steps =
+      max_steps > 0 ? std::min<int64_t>(applied, max_steps) : applied;
+  for (int64_t k = 1; k <= steps; ++k) {
+    RecoveredDb c = MakeRestoredSystem(options_, run.catalog, cap,
+                                       /*torn=*/false);
+    SnapshotObserver cobs(c.system.get());
+    cobs.Request(kRedoPoint, static_cast<int>(k));
+    {
+      ScopedCrashArm arm(&cobs);
+      c.stats = RecoverNow(*c.system);
+    }
+    const std::string label =
+        Label(options_, kRedoPoint, static_cast<int>(k), false);
+    const CrashCapture* mid = cobs.Find(kRedoPoint, static_cast<int>(k));
+    if (mid == nullptr) {
+      failures.push_back(label + " redo crash point did not fire");
+      continue;
+    }
+    RecoveredDb d = MakeRestoredSystem(options_, run.catalog, *mid,
+                                       /*torn=*/false);
+    d.stats = RecoverNow(*d.system);
+    const std::string diff = ComparePages(*ref.system, *d.system, options_);
+    if (!diff.empty()) failures.push_back(label + " " + diff);
+    const RecoveryStats again = RecoverNow(*d.system);
+    if (again.records_applied != 0) {
+      failures.push_back(label + " re-recovery applied " +
+                         std::to_string(again.records_applied) + " records");
+    }
+  }
+  return failures;
+}
+
+}  // namespace turbobp

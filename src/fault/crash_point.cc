@@ -1,0 +1,21 @@
+#include "fault/crash_point.h"
+
+namespace turbobp {
+
+namespace detail {
+std::atomic<CrashPointObserver*> g_crash_observer{nullptr};
+}  // namespace detail
+
+void ArmCrashPoints(CrashPointObserver* observer) {
+  detail::g_crash_observer.store(observer, std::memory_order_release);
+}
+
+bool CrashPointsCompiledIn() {
+#ifdef TURBOBP_CRASH_POINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace turbobp

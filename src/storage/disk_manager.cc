@@ -1,6 +1,7 @@
 #include "storage/disk_manager.h"
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
 
@@ -60,6 +61,9 @@ IoResult DiskManager::WritePages(PageId first, uint32_t n,
     pages_written_ += n;
   }
   if (!res.ok()) ++io_errors_;
+  // The page content has reached the durable disk array (heap, B+-tree,
+  // checkpoint and redo writes all funnel through here).
+  TURBOBP_CRASH_POINT("disk/write-pages");
   return res;
 }
 

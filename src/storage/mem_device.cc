@@ -63,4 +63,16 @@ void MemDevice::Clear() {
   pages_.clear();
 }
 
+std::unordered_map<uint64_t, std::vector<uint8_t>> MemDevice::SnapshotContent()
+    const {
+  std::lock_guard lock(mu_);
+  return pages_;
+}
+
+void MemDevice::RestoreContent(
+    std::unordered_map<uint64_t, std::vector<uint8_t>> pages) {
+  std::lock_guard lock(mu_);
+  pages_ = std::move(pages);
+}
+
 }  // namespace turbobp

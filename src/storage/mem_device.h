@@ -42,6 +42,12 @@ class MemDevice : public StorageDevice {
   // Drops all written content (simulates reformatting the device).
   void Clear();
 
+  // Crash simulation (src/fault/crash_harness): copies of the materialized
+  // page map, capturing exactly the bytes a power cut at this instant would
+  // leave on the medium. Restore replaces the whole map.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> SnapshotContent() const;
+  void RestoreContent(std::unordered_map<uint64_t, std::vector<uint8_t>> pages);
+
  private:
   void ReadOne(uint64_t page, std::span<uint8_t> out);
 

@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "debug/invariant_auditor.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
 
@@ -40,12 +41,18 @@ Time CheckpointManager::RunCheckpoint(IoContext& ctx) {
   AuditAtCheckpointBoundary(pool_, ssd_, "begin");
   const Lsn begin_lsn = log_->AppendBeginCheckpoint();
   if (ssd_ != nullptr) ssd_->OnCheckpointBegin();
+  // Begin record appended (not yet durable), LC admission of new dirty
+  // pages stopped. A crash here leaves a begin with no end: the previous
+  // completed checkpoint still governs recovery.
+  TURBOBP_CRASH_POINT("ckpt/begin");
 
   const int64_t dirty_before = pool_->DirtyFrameCount();
   // Flush all dirty memory pages (sharp checkpoint); DW also pushes
   // checkpointed random pages into the SSD via OnCheckpointWrite.
   Time end = pool_->FlushAllDirty(ctx, /*for_checkpoint=*/true);
   stats_.pages_flushed_memory += dirty_before;
+  // Every memory-dirty page is on disk; the SSD drain has not run yet.
+  TURBOBP_CRASH_POINT("ckpt/after-pool-flush");
 
   if (ssd_ != nullptr && ssd_table_mode_) {
     // Restart extension: instead of draining the SSD's dirty pages, persist
@@ -64,14 +71,41 @@ Time CheckpointManager::RunCheckpoint(IoContext& ctx) {
   } else if (ssd_ != nullptr) {
     // LC: the SSD may hold the newest copy of pages; they must reach disk.
     const int64_t ssd_dirty_before = ssd_->stats().dirty_frames;
-    const Time ssd_end = ssd_->FlushAllDirty(ctx);
-    end = std::max(end, ssd_end);
+    IoResult ssd_res{end, Status::Ok()};
+    if (!skip_ssd_flush_for_test_) {
+      ssd_res = ssd_->FlushAllDirty(ctx);
+    }
+    if (ssd_res.ok() && ssd_->stats().lost_pages > 0) {
+      // Lost pages (dirty copies that died with the SSD) are healed by redo
+      // from the previous completed checkpoint; advancing the recovery LSN
+      // past their updates would strand them forever.
+      ssd_res.status = Status::IoError("lost pages outstanding at checkpoint");
+    }
+    if (!ssd_res.ok()) {
+      // Failed checkpoint, atomically: no end record is written, the
+      // previous begin-LSN keeps governing recovery, and the error is
+      // surfaced through checkpoints_failed here and
+      // SsdManagerStats::checkpoint_flush_failures on the cache.
+      ++stats_.checkpoints_failed;
+      ssd_->OnCheckpointEnd();
+      AuditAtCheckpointBoundary(pool_, ssd_, "abort");
+      return std::max(end, ssd_res.time);
+    }
+    end = std::max(end, ssd_res.time);
     stats_.pages_flushed_ssd += ssd_dirty_before;
   }
+  // The disk now holds every pre-checkpoint update (LC included); the end
+  // record does not exist yet, so recovery would still redo the full tail.
+  TURBOBP_CRASH_POINT("ckpt/after-ssd-flush");
 
   log_->AppendEndCheckpoint();
+  // End record appended but not durable: the checkpoint must not count yet.
+  TURBOBP_CRASH_POINT("ckpt/before-end-flush");
   // The end-checkpoint record must be durable for the checkpoint to count.
   end = std::max(end, log_->FlushTo(log_->current_lsn(), ctx));
+  // The checkpoint's commit edge: from here on, recovery starts at this
+  // begin record and everything older must already be on disk.
+  TURBOBP_CRASH_POINT("ckpt/end-durable");
 
   if (ssd_ != nullptr) ssd_->OnCheckpointEnd();
   ++stats_.checkpoints_taken;

@@ -13,6 +13,12 @@ namespace turbobp {
 
 struct CheckpointStats {
   int64_t checkpoints_taken = 0;
+  // Checkpoints aborted because the SSD dirty-drain failed (device errors
+  // past the bounded retry, degradation, or a lost dirty page). A failed
+  // checkpoint writes no end record and does not advance last_checkpoint_lsn:
+  // recovery redoes from the previous completed checkpoint, which is exactly
+  // what heals the pages the drain could not land on disk.
+  int64_t checkpoints_failed = 0;
   Time total_duration = 0;
   Time max_duration = 0;
   int64_t pages_flushed_memory = 0;
@@ -56,6 +62,12 @@ class CheckpointManager {
   // whose end record is durable).
   const std::vector<Lsn>& completed() const { return completed_; }
 
+  // Negative-test backdoor (crash harness): deliberately SKIP the LC
+  // SSD-dirty drain while still writing the end-checkpoint record — the
+  // WAL-compliance bug the torture harness must be able to catch. Never set
+  // outside tests.
+  void set_skip_ssd_flush_for_test(bool v) { skip_ssd_flush_for_test_ = v; }
+
   // --- restart extension (Section 6 future work) ----------------------------
 
   // When enabled, checkpoints stop draining the SSD's dirty pages; instead
@@ -79,6 +91,7 @@ class CheckpointManager {
   SimExecutor* executor_;
   bool periodic_ = false;
   bool ssd_table_mode_ = false;
+  bool skip_ssd_flush_for_test_ = false;
   SsdTableSnapshot snapshot_;
   CheckpointStats stats_;
   std::vector<Lsn> completed_;

@@ -2,9 +2,22 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
 #include "common/status.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
+
+uint32_t LogRecord::ComputeChecksum() const {
+  uint32_t crc = Crc32c(&lsn, sizeof(lsn));
+  const uint8_t type_byte = static_cast<uint8_t>(type);
+  crc = Crc32c(&type_byte, sizeof(type_byte), crc);
+  crc = Crc32c(&txn_id, sizeof(txn_id), crc);
+  crc = Crc32c(&page_id, sizeof(page_id), crc);
+  crc = Crc32c(&offset, sizeof(offset), crc);
+  if (!bytes.empty()) crc = Crc32c(bytes.data(), bytes.size(), crc);
+  return crc;
+}
 
 LogManager::LogManager(StorageDevice* log_device) : device_(log_device) {
   TURBOBP_CHECK(log_device != nullptr);
@@ -13,8 +26,12 @@ LogManager::LogManager(StorageDevice* log_device) : device_(log_device) {
 Lsn LogManager::Append(LogRecord rec) {
   std::lock_guard lock(mu_);
   rec.lsn = next_lsn_;
+  rec.SealChecksum();
   next_lsn_ += rec.SizeOnDisk();
   records_.push_back(std::move(rec));
+  // The record exists in the log buffer but is not durable yet: a crash
+  // here loses it (and everything after it) unless a later flush lands.
+  TURBOBP_CRASH_POINT("wal/append");
   return records_.back().lsn;
 }
 
@@ -58,6 +75,8 @@ Time LogManager::FlushToLocked(Lsn lsn, IoContext& ctx) {
   // record beginning at lsn durable. Clamp to the last appended record.
   lsn = std::min(lsn, records_.empty() ? Lsn{0} : records_.back().lsn);
   if (lsn <= durable_lsn_) return ctx.now;
+  // About to force the log: nothing new is durable yet.
+  TURBOBP_CRASH_POINT("wal/flush-begin");
   const uint64_t pending_bytes = lsn - durable_lsn_;
   const uint32_t page_bytes = device_->page_bytes();
   const uint32_t npages = static_cast<uint32_t>(
@@ -82,7 +101,13 @@ Time LogManager::FlushToLocked(Lsn lsn, IoContext& ctx) {
   TURBOBP_CHECK_OK(res.status);
   const Time completion = res.time;
   device_offset_pages_ = (first + n) % std::max<uint64_t>(1, device_->num_pages());
+  // The device accepted the write but durability has not been acknowledged:
+  // this is the torn-tail window — a crash here may leave the final log
+  // block partially on the medium.
+  TURBOBP_CRASH_POINT("wal/flush-device");
   durable_lsn_ = lsn;
+  // The flushed prefix is now durable; pages covered by it may be written.
+  TURBOBP_CRASH_POINT("wal/flush-durable");
   if (ctx.charge) ++flushes_;
   return completion;
 }
@@ -93,6 +118,9 @@ void LogManager::CommitForce(IoContext& ctx) {
     std::lock_guard lock(mu_);
     completion = FlushToLocked(next_lsn_, ctx);
   }
+  // The commit's durability edge: the group-commit flush has been issued
+  // and accounted; the client has not yet been released.
+  TURBOBP_CRASH_POINT("wal/commit-force");
   ctx.Wait(completion);
 }
 
@@ -104,6 +132,41 @@ size_t LogManager::DropUnflushed() {
     ++dropped;
   }
   return dropped;
+}
+
+size_t LogManager::TruncateTornTail() {
+  std::lock_guard lock(mu_);
+  size_t bad = records_.size();
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].lsn > durable_lsn_) {
+      // Past the durable prefix: a crash already discards these (see
+      // DropUnflushed); truncate here too so replay sees one clean prefix.
+      bad = i;
+      break;
+    }
+    if (!records_[i].VerifyChecksum()) {
+      bad = i;
+      break;
+    }
+  }
+  if (bad == records_.size()) return 0;
+  const size_t dropped = records_.size() - bad;
+  const Lsn new_durable = bad == 0 ? Lsn{0} : records_[bad - 1].lsn;
+  next_lsn_ = records_[bad].lsn;  // reclaim the torn record's LSN space
+  records_.resize(bad);
+  durable_lsn_ = std::min(durable_lsn_, new_durable);
+  TURBOBP_CRASH_POINT("wal/truncate-tail");
+  return dropped;
+}
+
+void LogManager::RestoreDurableState(std::vector<LogRecord> records,
+                                     Lsn durable_lsn) {
+  std::lock_guard lock(mu_);
+  records_ = std::move(records);
+  durable_lsn_ = durable_lsn;
+  next_lsn_ = records_.empty()
+                  ? Lsn{1}
+                  : records_.back().lsn + records_.back().SizeOnDisk();
 }
 
 }  // namespace turbobp

@@ -28,9 +28,19 @@ struct LogRecord {
   uint64_t txn_id = 0;
   PageId page_id = kInvalidPageId;
   uint32_t offset = 0;
+  // CRC32-C over every other field, sealed at append time. A record in the
+  // durable prefix whose stored checksum no longer matches its content is a
+  // torn tail block: replay truncates the log there instead of applying
+  // (or asserting on) garbage.
+  uint32_t checksum = 0;
   std::vector<uint8_t> bytes;
 
-  size_t SizeOnDisk() const { return 32 + bytes.size(); }
+  // 32-byte header + 4-byte checksum + after-image payload.
+  size_t SizeOnDisk() const { return 36 + bytes.size(); }
+
+  uint32_t ComputeChecksum() const;
+  void SealChecksum() { checksum = ComputeChecksum(); }
+  bool VerifyChecksum() const { return checksum == ComputeChecksum(); }
 };
 
 // Write-ahead log over a dedicated log device (the paper's setup uses one
@@ -90,6 +100,36 @@ class LogManager {
   // Simulates a crash: discards records that were never forced to the log
   // device. Returns the number of records lost.
   size_t DropUnflushed();
+
+  // Torn-tail hardening (replay path): verifies the per-record checksum of
+  // every record in the durable prefix, in order, and truncates the log at
+  // the first bad record — that record and everything after it are dropped,
+  // the durable LSN retreats to the last intact record, and new appends
+  // reuse the reclaimed LSN space. A torn final log block is thereby
+  // *recovered from* instead of asserted on. Idempotent; returns the number
+  // of records dropped (0 on a clean log).
+  size_t TruncateTornTail();
+
+  // --- crash-harness interface (src/fault/crash_harness) --------------------
+
+  // The durable-at-this-instant view of the log. Taken WITHOUT the WAL
+  // latch: crash points inside FlushToLocked fire while mu_ is held, so the
+  // observer cannot use the locking accessors. The simulation is
+  // single-threaded per system; the harness is the only caller.
+  struct CrashSnapshot {
+    std::vector<LogRecord> records;
+    Lsn durable_lsn = 0;
+    Lsn next_lsn = 1;
+  };
+  CrashSnapshot SnapshotForCrash() const {
+    return CrashSnapshot{records_, durable_lsn_, next_lsn_};
+  }
+
+  // Rebuilds a fresh LogManager's state from a crash snapshot, as if the
+  // records were read back from the log device at restart. The caller may
+  // have corrupted a record body (keeping its stale checksum) to model a
+  // torn tail block; TruncateTornTail() then prunes it during replay.
+  void RestoreDurableState(std::vector<LogRecord> records, Lsn durable_lsn);
 
  private:
   Lsn Append(LogRecord rec);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 #include "storage/page.h"
 
 namespace turbobp {
@@ -37,6 +38,11 @@ RecoveryStats RecoveryManager::Recover(
     const std::unordered_map<PageId, Lsn>* covered_by_ssd) {
   RecoveryStats stats;
   const Time start = ctx.now;
+  // Torn-tail hardening: a crash mid-flush can leave the final log block
+  // partially written. Per-record checksums find the first damaged record
+  // and the log is truncated there — those records were never acknowledged
+  // durable to any client, so dropping them is the correct recovery.
+  stats.records_truncated = static_cast<int64_t>(log_->TruncateTornTail());
   stats.redo_start_lsn = FindRedoStart();
   if (redo_start_override != kInvalidLsn &&
       (stats.redo_start_lsn == kInvalidLsn ||
@@ -87,6 +93,10 @@ RecoveryStats RecoveryManager::Recover(
     ctx.Wait(w.time);  // recovery is single-threaded and synchronous
     ++stats.records_applied;
     ++stats.pages_written;
+    // One redo step landed on disk. Crashing here and recovering again must
+    // converge to the same state (idempotence: the page-LSN redo test skips
+    // the already-applied prefix on the next pass).
+    TURBOBP_CRASH_POINT("recovery/redo-apply");
   }
   stats.elapsed = ctx.now - start;
   return stats;

@@ -15,6 +15,7 @@ struct RecoveryStats {
   int64_t records_applied = 0;
   int64_t records_skipped_lsn = 0;  // page already newer (redo test failed)
   int64_t records_skipped_ssd = 0;  // covered by a restored SSD copy
+  int64_t records_truncated = 0;    // torn-tail records pruned before redo
   int64_t pages_read = 0;
   int64_t pages_written = 0;
   Time elapsed = 0;

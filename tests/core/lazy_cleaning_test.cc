@@ -161,8 +161,9 @@ TEST_F(LazyCleaningTest, FlushAllDirtyDrainsEverything) {
   IoContext ctx;
   ctx.now = executor_->now();
   ctx.executor = executor_.get();
-  const Time done = cache_->FlushAllDirty(ctx);
-  EXPECT_GT(done, 0);
+  const IoResult done = cache_->FlushAllDirty(ctx);
+  EXPECT_TRUE(done.ok());
+  EXPECT_GT(done.time, 0);
   EXPECT_EQ(cache_->stats().dirty_frames, 0);
   // All pages remain cached as clean copies.
   for (PageId p = 0; p < 7; ++p) {

@@ -194,7 +194,7 @@ TEST_F(TacTest, NeverHoldsDirtySsdPages) {
   auto page = MakePage(2, 2);
   cache_->OnEvictDirty(2, page, AccessKind::kRandom, 1, ctx);
   EXPECT_EQ(cache_->stats().dirty_frames, 0);
-  EXPECT_EQ(cache_->FlushAllDirty(ctx), ctx.now);  // nothing to flush
+  EXPECT_EQ(cache_->FlushAllDirty(ctx).time, ctx.now);  // nothing to flush
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+// Satellite of the crash-torture PR: a sharp checkpoint whose LC SSD-dirty
+// drain fails (device dead past the bounded retry, or dirty copies lost
+// mid-drain) must fail ATOMICALLY — no end-checkpoint record, no recovery
+// LSN advance — and surface the failure in both CheckpointStats and
+// SsdManagerStats. Recovery from the previous (here: nonexistent)
+// checkpoint is then what heals the pages the drain could not land.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+
+namespace turbobp {
+namespace {
+
+constexpr uint32_t kPage = 512;
+constexpr PageId kUserPages = 128;
+
+class CheckpointFlushFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemConfig config;
+    config.page_bytes = kPage;
+    config.db_pages = kUserPages;
+    config.bp_frames = 16;
+    config.ssd_frames = 48;
+    config.design = SsdDesign::kLazyCleaning;
+    config.ssd_options.num_partitions = 2;
+    config.ssd_options.lc_dirty_fraction = 0.6;
+    config.ssd_options.lc_group_pages = 4;
+    config.inject_ssd_faults = true;
+    config.ssd_fault_plan = FaultPlan::Healthy();  // dies only on command
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+  }
+
+  void CommittedWrite(PageId pid, uint8_t value, IoContext& ctx) {
+    {
+      PageGuard g =
+          system_->buffer_pool().FetchPage(pid, AccessKind::kRandom, ctx);
+      g.view().payload()[0] = value;
+      g.LogUpdate(next_txn_, kPageHeaderSize, 1);
+    }
+    system_->log().AppendCommit(next_txn_);
+    system_->log().CommitForce(ctx);
+    ++next_txn_;
+    shadow_[pid] = value;
+  }
+
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+  std::map<PageId, uint8_t> shadow_;
+  uint64_t next_txn_ = 1;
+};
+
+TEST_F(CheckpointFlushFailureTest, FailedDrainDoesNotAdvanceRecoveryLsn) {
+  IoContext ctx = system_->MakeContext();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    CommittedWrite(rng.Uniform(kUserPages), static_cast<uint8_t>(1 + i % 200),
+                   ctx);
+    system_->executor().RunUntil(ctx.now);
+    ctx.now = std::max(ctx.now, system_->executor().now());
+  }
+  // LC has absorbed dirty evictions whose newest copy now lives only on
+  // the SSD; the checkpoint's drain is the only path taking them to disk.
+  ASSERT_GT(system_->ssd_manager().stats().dirty_frames, 0);
+
+  // Pull the SSD's plug, then checkpoint: the drain cannot succeed.
+  system_->ssd_fault()->ForceOffline();
+  const Time end = system_->checkpoint().RunCheckpoint(ctx);
+  ctx.now = std::max(ctx.now, end);
+
+  const CheckpointStats& cs = system_->checkpoint().stats();
+  EXPECT_EQ(cs.checkpoints_taken, 0);
+  EXPECT_EQ(cs.checkpoints_failed, 1);
+  EXPECT_EQ(cs.last_checkpoint_lsn, kInvalidLsn);
+  EXPECT_TRUE(system_->checkpoint().completed().empty());
+  EXPECT_GE(system_->ssd_manager().stats().checkpoint_flush_failures, 1);
+
+  // The begin record exists but no end record does: recovery must ignore
+  // the aborted checkpoint, redo from the log's start, and reconstruct
+  // every committed update — including the ones stranded on the dead SSD.
+  system_->Crash();
+  IoContext rctx = system_->MakeContext();
+  const RecoveryStats stats = system_->Recover(rctx);
+  EXPECT_EQ(stats.redo_start_lsn, kInvalidLsn);  // no completed checkpoint
+  std::vector<uint8_t> buf(kPage);
+  for (const auto& [pid, value] : shadow_) {
+    IoContext read_ctx = rctx;
+    ASSERT_TRUE(system_->disk_manager().ReadPage(pid, buf, read_ctx).ok());
+    EXPECT_EQ(PageView(buf.data(), kPage).payload()[0], value) << pid;
+  }
+}
+
+TEST_F(CheckpointFlushFailureTest, LaterHealthyCheckpointStillCompletes) {
+  // A failed checkpoint must not wedge the manager: once the cleaner (or
+  // degradation salvage) has no dirty SSD pages left, checkpoints work
+  // again. Here the SSD stays healthy, so this is the plain positive path
+  // guarding the new failure branches.
+  IoContext ctx = system_->MakeContext();
+  Rng rng(4);
+  for (int i = 0; i < 120; ++i) {
+    CommittedWrite(rng.Uniform(kUserPages), static_cast<uint8_t>(1 + i), ctx);
+    system_->executor().RunUntil(ctx.now);
+    ctx.now = std::max(ctx.now, system_->executor().now());
+  }
+  const Time end = system_->checkpoint().RunCheckpoint(ctx);
+  ctx.now = std::max(ctx.now, end);
+  const CheckpointStats& cs = system_->checkpoint().stats();
+  EXPECT_EQ(cs.checkpoints_taken, 1);
+  EXPECT_EQ(cs.checkpoints_failed, 0);
+  EXPECT_EQ(system_->ssd_manager().stats().dirty_frames, 0);
+  EXPECT_EQ(system_->ssd_manager().stats().checkpoint_flush_failures, 0);
+}
+
+}  // namespace
+}  // namespace turbobp

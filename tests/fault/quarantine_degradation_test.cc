@@ -366,13 +366,18 @@ TEST_F(LcFaultTest, CleanerQuarantinesCorruptFrameInsteadOfPropagating) {
   ASSERT_EQ(lc_->dirty_frames(), 2);
 
   IoContext ctx = Ctx(Seconds(1));
-  const Time done = lc_->FlushAllDirty(ctx);
-  EXPECT_GE(done, ctx.now);
+  const IoResult done = lc_->FlushAllDirty(ctx);
+  EXPECT_GE(done.time, ctx.now);
   EXPECT_EQ(lc_->dirty_frames(), 0);
+  // A page was lost mid-drain: the flush must report failure so the
+  // checkpoint does not advance the recovery LSN past the only log records
+  // able to heal the lost page.
+  EXPECT_FALSE(done.ok());
 
   const SsdManagerStats s = lc_->stats();
   EXPECT_EQ(s.quarantined_frames, 1);
   EXPECT_EQ(s.lost_pages, 1);
+  EXPECT_EQ(s.checkpoint_flush_failures, 1);
   EXPECT_TRUE(lc_->IsLostPage(31));
   EXPECT_FALSE(lc_->IsLostPage(32));
 

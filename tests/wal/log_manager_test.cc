@@ -110,5 +110,52 @@ TEST_F(LogManagerTest, CheckpointRecordTypes) {
   EXPECT_EQ(log_.records()[1].type, LogRecordType::kEndCheckpoint);
 }
 
+TEST_F(LogManagerTest, RecordChecksumsSealAtAppendAndCatchCorruption) {
+  std::vector<uint8_t> bytes = {1, 2, 3, 4};
+  log_.AppendUpdate(1, 5, 0, bytes);
+  LogRecord rec = log_.records().back();
+  EXPECT_TRUE(rec.VerifyChecksum());
+  rec.bytes[2] = static_cast<uint8_t>(rec.bytes[2] ^ 0x40);
+  EXPECT_FALSE(rec.VerifyChecksum());  // body damage
+  rec.bytes[2] = static_cast<uint8_t>(rec.bytes[2] ^ 0x40);
+  EXPECT_TRUE(rec.VerifyChecksum());
+  rec.page_id = 6;
+  EXPECT_FALSE(rec.VerifyChecksum());  // header damage
+}
+
+TEST_F(LogManagerTest, TruncateTornTailIsNoopOnCleanDurableLog) {
+  std::vector<uint8_t> bytes(10, 1);
+  log_.AppendUpdate(1, 5, 0, bytes);
+  log_.AppendCommit(1);
+  IoContext ctx;
+  log_.CommitForce(ctx);
+  EXPECT_EQ(log_.TruncateTornTail(), 0u);
+  EXPECT_EQ(log_.num_records(), 2);
+  // A non-durable append never reached the device; replay must not see it,
+  // so truncation drops it exactly like a crash (DropUnflushed) would.
+  log_.AppendUpdate(1, 6, 0, bytes);
+  EXPECT_EQ(log_.TruncateTornTail(), 1u);
+  EXPECT_EQ(log_.num_records(), 2);
+}
+
+TEST_F(LogManagerTest, TruncateTornTailDropsCorruptRecordAndSuffix) {
+  std::vector<uint8_t> bytes(10, 1);
+  for (int i = 0; i < 4; ++i) log_.AppendUpdate(1, 5 + i, 0, bytes);
+  IoContext ctx;
+  log_.FlushTo(log_.current_lsn(), ctx);
+  // Model a torn log block: record 2's body was only partially written but
+  // the device acked the flush, so its stored checksum is stale.
+  std::vector<LogRecord> records(log_.records().begin(), log_.records().end());
+  records[2].bytes[0] = static_cast<uint8_t>(records[2].bytes[0] ^ 0xFF);
+  const Lsn torn_lsn = records[2].lsn;
+  LogManager replay(&dev_);  // a restart reading the log device back
+  replay.RestoreDurableState(records, log_.durable_lsn());
+  EXPECT_EQ(replay.TruncateTornTail(), 2u);  // torn record and its suffix
+  EXPECT_EQ(replay.num_records(), 2);
+  EXPECT_EQ(replay.durable_lsn(), replay.records().back().lsn);
+  // Appends reuse the reclaimed LSN space, as a real log rewrite would.
+  EXPECT_EQ(replay.AppendUpdate(9, 9, 0, bytes), torn_lsn);
+}
+
 }  // namespace
 }  // namespace turbobp
