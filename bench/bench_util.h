@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "engine/database.h"
@@ -143,6 +144,90 @@ DriverResult RunOltp(SsdDesign design, const ConfigT& wl_config,
   }
   Driver driver(&system, &workload, driver_opts);
   return driver.Run();
+}
+
+// ---------------------------------------------------------------- JSON out
+//
+// Each bench emits machine-readable evidence next to its text tables:
+// WriteJson("ablation_latch_waits", items) writes BENCH_ablation_latch_waits
+// .json in the working directory, one JSON object per item. CI asserts the
+// file exists and is non-empty; A/B comparisons diff two such files.
+
+inline void JsonAdd(std::string& j, const char* key, const std::string& val,
+                    bool quote) {
+  if (j.size() > 1) j += ",";
+  j += "\"";
+  j += key;
+  j += quote ? "\":\"" : "\":";
+  j += val;
+  if (quote) j += "\"";
+}
+
+inline void JsonAdd(std::string& j, const char* key, double val) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", val);
+  JsonAdd(j, key, buf, false);
+}
+
+inline void JsonAdd(std::string& j, const char* key, int64_t val) {
+  JsonAdd(j, key, std::to_string(val), false);
+}
+
+// Adds the shard-latch contention counters where the stats struct has them.
+// A template so the `if constexpr` branch is genuinely discarded against a
+// BufferPoolStats that predates the counters — the same bench source then
+// compiles in a pre-change checkout for A/B latch-wait comparisons.
+template <typename Stats>
+void AddPoolLatchFields(std::string& j, const Stats& bp) {
+  if constexpr (requires { bp.pool_latch_wait_ns; }) {
+    JsonAdd(j, "pool_latch_waits", bp.pool_latch_waits);
+    JsonAdd(j, "pool_latch_wait_ms",
+            static_cast<double>(bp.pool_latch_wait_ns) / 1e6);
+  }
+}
+
+// Renders one driver run. Compiles against both the current BufferPoolStats
+// and older ones without the shard-latch counters, so the same bench source
+// can be dropped into a pre-change checkout for A/B comparisons.
+inline std::string ResultJson(const DriverResult& r) {
+  std::string j = "{";
+  JsonAdd(j, "workload", r.workload, true);
+  JsonAdd(j, "design", r.design, true);
+  JsonAdd(j, "total_txns", r.total_txns);
+  JsonAdd(j, "metric_txns", r.metric_txns);
+  JsonAdd(j, "steady_rate", r.steady_rate);
+  JsonAdd(j, "overall_rate", r.overall_rate);
+  JsonAdd(j, "total_latch_wait_ms", ToMillis(r.total_latch_wait));
+  JsonAdd(j, "bp_hits", r.bp.hits);
+  JsonAdd(j, "bp_misses", r.bp.misses);
+  JsonAdd(j, "bp_hit_rate",
+          static_cast<double>(r.bp.hits) /
+              std::max<int64_t>(1, r.bp.hits + r.bp.misses));
+  JsonAdd(j, "ssd_hit_rate",
+          static_cast<double>(r.bp.ssd_hits) /
+              std::max<int64_t>(1, r.bp.misses));
+  JsonAdd(j, "bp_latch_wait_ms", ToMillis(r.bp.latch_wait_time));
+  AddPoolLatchFields(j, r.bp);
+  j += "}";
+  return j;
+}
+
+inline void WriteJson(const std::string& name,
+                      const std::vector<std::string>& items) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", items[i].c_str(),
+                 i + 1 < items.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("JSON evidence written to %s\n", path.c_str());
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {

@@ -1,6 +1,7 @@
 #include "buffer/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/status.h"
@@ -64,11 +65,43 @@ BufferPool::BufferPool(const Options& options, DiskManager* disk,
   TURBOBP_CHECK(options.page_bytes == disk->page_bytes());
   if (ssd_ == nullptr) ssd_ = &fallback_ssd_;
   arena_.resize(options.num_frames * static_cast<size_t>(options.page_bytes));
-  frames_.resize(options.num_frames);
-  free_list_.reserve(options.num_frames);
-  for (int64_t i = static_cast<int64_t>(options.num_frames) - 1; i >= 0; --i) {
-    free_list_.push_back(static_cast<int32_t>(i));
+  frames_ = std::make_unique<Frame[]>(options.num_frames);
+  frame_sync_ = std::make_unique<FrameSync[]>(options.num_frames);
+
+  uint64_t shards = options.num_shards;
+  if (shards == 0) {
+    shards = std::clamp<uint64_t>(options.num_frames / 16, 1, 16);
   }
+  shards = std::min<uint64_t>(shards, options.num_frames);
+  shards_.reserve(shards);
+  for (uint64_t s = 0; s < shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->frame_begin = static_cast<int32_t>(options.num_frames * s / shards);
+    sh->frame_end = static_cast<int32_t>(options.num_frames * (s + 1) / shards);
+    // Descending push so the lowest-numbered frame of the shard pops first
+    // (the unit tests pin the frame-0-first fill order).
+    for (int32_t i = sh->frame_end - 1; i >= sh->frame_begin; --i) {
+      sh->free_list.push_back(i);
+      frames_[i].shard = static_cast<int32_t>(s);
+    }
+    shards_.push_back(std::move(sh));
+  }
+  free_frames_.store(static_cast<int64_t>(options.num_frames),
+                     std::memory_order_relaxed);
+}
+
+BufferPool::ShardLock BufferPool::LockShard(const Shard& sh) const {
+  ShardLock lock(sh.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    lock.lock();
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    StatCounters::Bump(counters_.pool_latch_waits);
+    StatCounters::Bump(
+        counters_.pool_latch_wait_ns,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  }
+  return lock;
 }
 
 void BufferPool::Touch(Frame& f, Time now) {
@@ -78,9 +111,7 @@ void BufferPool::Touch(Frame& f, Time now) {
 }
 
 void BufferPool::VerifyFrameChecksum(int32_t frame, PageId pid) const {
-  const PageView v(const_cast<uint8_t*>(arena_.data()) +
-                       static_cast<size_t>(frame) * options_.page_bytes,
-                   options_.page_bytes);
+  const PageView v(FrameSpan(frame));
   const PageHeader& h = v.header();
   if (h.page_id != pid && h.page_id != kInvalidPageId) {
     Panic(__FILE__, __LINE__, "device returned the wrong page");
@@ -90,51 +121,242 @@ void BufferPool::VerifyFrameChecksum(int32_t frame, PageId pid) const {
   }
 }
 
+void BufferPool::BumpEpochAndNotify(int32_t frame) {
+  frames_[frame].io_epoch.fetch_add(1, std::memory_order_seq_cst);
+  FrameSync& s = frame_sync_[frame];
+  if (s.waiters.load(std::memory_order_seq_cst) > 0) {
+    // The empty critical section orders the bump against a waiter that is
+    // between its predicate check and the sleep.
+    { std::lock_guard sync_lock(s.mu); }
+    s.cv.notify_all();
+  }
+}
+
+void BufferPool::NotifyAvail(Shard& sh) {
+  ++sh.avail_signals;
+  if (sh.claim_waiters > 0) sh.avail_cv.notify_all();
+}
+
+void BufferPool::WaitForFrame(int32_t frame, ShardLock& lock, IoContext& ctx,
+                              int* spins) {
+  Frame& f = frames_[frame];
+  const uint64_t epoch = f.io_epoch.load(std::memory_order_seq_cst);
+  const Time ready = f.ready_at;
+  lock.unlock();
+  if (ctx.executor != nullptr) {
+    // Sim mode: executor events run to completion, so an in-flight frame is
+    // only observable across a client's own re-entry; waiting in virtual
+    // time suffices. The spin guard catches a frame that never settles.
+    ctx.Wait(ready);
+    if (++*spins > 1000) {
+      Panic(__FILE__, __LINE__, "in-flight frame failed to settle (sim)");
+    }
+    return;
+  }
+  FrameSync& s = frame_sync_[frame];
+  std::unique_lock sync_lock(s.mu);
+  s.waiters.fetch_add(1, std::memory_order_seq_cst);
+  s.cv.wait(sync_lock, [&f, epoch] {
+    return f.io_epoch.load(std::memory_order_seq_cst) != epoch;
+  });
+  s.waiters.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void BufferPool::WaitWhileWriting(int32_t frame, ShardLock& lock) {
+  Frame& f = frames_[frame];
+  while (f.state.load(std::memory_order_relaxed) == FrameState::kWriting) {
+    // The epoch cannot move while we hold the shard latch (completions
+    // re-latch), so capturing it here cannot miss the wakeup.
+    const uint64_t epoch = f.io_epoch.load(std::memory_order_seq_cst);
+    lock.unlock();
+    FrameSync& s = frame_sync_[frame];
+    {
+      std::unique_lock sync_lock(s.mu);
+      s.waiters.fetch_add(1, std::memory_order_seq_cst);
+      s.cv.wait(sync_lock, [&f, epoch] {
+        return f.io_epoch.load(std::memory_order_seq_cst) != epoch;
+      });
+      s.waiters.fetch_sub(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+  }
+}
+
+void BufferPool::ResetFrameLocked(Frame& f) {
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  f.pin_count = 0;
+  f.kind = AccessKind::kRandom;
+  f.access_history[0] = f.access_history[1] = 0;
+  f.touch_stamp = 0;
+  f.ready_at = 0;
+  f.state.store(FrameState::kFree, std::memory_order_relaxed);
+}
+
+void BufferPool::ReleaseClaimedLocked(Shard& sh, int32_t frame) {
+  ResetFrameLocked(frames_[frame]);
+  sh.free_list.push_back(frame);
+  free_frames_.fetch_add(1, std::memory_order_relaxed);
+  --sh.transient;
+  NotifyAvail(sh);
+}
+
+PageGuard BufferPool::FinishRead(Shard& sh, int32_t frame, PageId pid,
+                                 AccessKind kind, IoContext& ctx) {
+  ShardLock lock = LockShard(sh);
+  Frame& f = frames_[frame];
+  TURBOBP_DCHECK(f.state.load(std::memory_order_relaxed) ==
+                 FrameState::kReading);
+  TURBOBP_DCHECK(f.page_id == pid);
+  f.dirty = false;
+  f.pin_count = 1;
+  f.kind = kind;
+  f.access_history[0] = f.access_history[1] = 0;
+  Touch(f, ctx.now);
+  f.ready_at = ctx.now;
+  f.state.store(FrameState::kResident, std::memory_order_relaxed);
+  --sh.transient;
+  BumpEpochAndNotify(frame);
+  NotifyAvail(sh);
+  return PageGuard(this, frame);
+}
+
+void BufferPool::FinishPrefetch(int32_t frame, PageId pid, IoContext& ctx) {
+  Shard& sh = ShardOfFrame(frame);
+  ShardLock lock = LockShard(sh);
+  Frame& f = frames_[frame];
+  TURBOBP_DCHECK(f.state.load(std::memory_order_relaxed) ==
+                 FrameState::kReading);
+  TURBOBP_DCHECK(f.page_id == pid);
+  f.dirty = false;
+  f.pin_count = 0;
+  f.kind = AccessKind::kSequential;
+  f.access_history[0] = f.access_history[1] = 0;
+  Touch(f, ctx.now);
+  f.ready_at = ctx.now;
+  f.state.store(FrameState::kResident, std::memory_order_relaxed);
+  --sh.transient;
+  BumpEpochAndNotify(frame);
+  NotifyAvail(sh);
+}
+
+void BufferPool::AbortRead(int32_t frame, PageId pid) {
+  Shard& sh = ShardOfFrame(frame);
+  ShardLock lock = LockShard(sh);
+  Frame& f = frames_[frame];
+  const auto it = sh.page_table.find(pid);
+  if (it != sh.page_table.end() && it->second == frame) {
+    sh.page_table.erase(it);
+  }
+  ResetFrameLocked(f);
+  sh.free_list.push_back(frame);
+  free_frames_.fetch_add(1, std::memory_order_relaxed);
+  --sh.transient;
+  BumpEpochAndNotify(frame);
+  NotifyAvail(sh);
+}
+
+void BufferPool::InstallExpandedPage(PageId p, const uint8_t* bytes,
+                                     IoContext& ctx) {
+  Shard& sh = *shards_[ShardOf(p)];
+  ShardLock lock = LockShard(sh);
+  if (sh.page_table.contains(p)) return;
+  if (sh.free_list.empty()) return;  // speculative pages only: never evict
+  const int32_t fr = sh.free_list.back();
+  sh.free_list.pop_back();
+  free_frames_.fetch_sub(1, std::memory_order_relaxed);
+  std::memcpy(FrameData(fr), bytes, options_.page_bytes);
+  VerifyFrameChecksum(fr, p);
+  Frame& f = frames_[fr];
+  f.page_id = p;
+  f.dirty = false;
+  f.pin_count = 0;
+  // Speculative neighbours arrive via one big I/O: treat as sequential so
+  // they do not pollute the SSD admission policy.
+  f.kind = AccessKind::kSequential;
+  f.access_history[0] = f.access_history[1] = 0;
+  Touch(f, ctx.now);
+  f.state.store(FrameState::kResident, std::memory_order_relaxed);
+  sh.page_table.emplace(p, fr);
+  StatCounters::Bump(counters_.expanded_pages);
+}
+
 PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx,
                                 Status* out_error) {
-  std::lock_guard lock(mu_);
   if (ctx.charge) ctx.now += options_.hit_cpu;
-
-  auto it = page_table_.find(pid);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    // TAC pathology (Section 2.5): a pending SSD admission write holds the
-    // page latch; forward processing waits for it.
-    const Time busy = ssd_->LatchBusyUntil(pid, ctx.now);
-    if (busy > ctx.now && ctx.charge) {
-      stats_.latch_wait_time += busy - ctx.now;
-      ctx.latch_wait += busy - ctx.now;
-      ctx.Wait(busy);
+  Shard& sh = *shards_[ShardOf(pid)];
+  int32_t frame = -1;
+  int spins = 0;
+  for (;;) {
+    ShardLock lock = LockShard(sh);
+    const auto it = sh.page_table.find(pid);
+    if (it != sh.page_table.end()) {
+      const int32_t found = it->second;
+      Frame& f = frames_[found];
+      const FrameState st = f.state.load(std::memory_order_relaxed);
+      if (st == FrameState::kReading || st == FrameState::kEvicting) {
+        // Another client's I/O is in flight on this page: wait on that
+        // frame alone (the shard stays available to everyone else), then
+        // re-probe — the page is resident after a read, gone after an evict.
+        WaitForFrame(found, lock, ctx, &spins);
+        continue;
+      }
+      Touch(f, ctx.now);
+      f.kind = kind;
+      ++f.pin_count;
+      StatCounters::Bump(counters_.hits);
+      ++ctx.bp_hits;
+      lock.unlock();
+      // TAC pathology (Section 2.5): a pending SSD admission write holds the
+      // page latch; only the client touching that page waits for it — with
+      // every pool latch released.
+      const Time busy = ssd_->LatchBusyUntil(pid, ctx.now);
+      if (busy > ctx.now && ctx.charge) {
+        counters_.latch_wait_time.fetch_add(busy - ctx.now,
+                                            std::memory_order_relaxed);
+        ctx.latch_wait += busy - ctx.now;
+        ctx.Wait(busy);
+      }
+      return PageGuard(this, found);
     }
-    Touch(f, ctx.now);
+
+    frame = ClaimFrame(sh, lock, ctx, /*may_wait=*/true);
+    if (sh.page_table.contains(pid)) {
+      // The claim dropped the latch (eviction or wait) and another client
+      // published this page meanwhile; retry as a hit.
+      ReleaseClaimedLocked(sh, frame);
+      continue;
+    }
+    // Publish the read-pending placeholder: a concurrent fetch of this page
+    // now waits on the frame instead of issuing a second device read.
+    Frame& f = frames_[frame];
+    f.page_id = pid;
     f.kind = kind;
-    ++f.pin_count;
-    ++stats_.hits;
-    ++ctx.bp_hits;
-    return PageGuard(this, it->second);
+    f.ready_at = ctx.now;
+    f.state.store(FrameState::kReading, std::memory_order_relaxed);
+    sh.page_table.emplace(pid, frame);
+    // Commitment point: this call is a miss (counted exactly once even if
+    // the claim retried above).
+    StatCounters::Bump(counters_.misses);
+    ++ctx.bp_misses;
+    break;
   }
 
-  // Miss path, Section 2.2.
-  ++stats_.misses;
-  ++ctx.bp_misses;
+  // Miss path, Section 2.2 — no pool latch held across any of the I/O below.
   ssd_->OnBufferPoolMiss(pid, kind, ctx);
 
-  const int32_t frame = AcquireFrame(ctx);
   Status ssd_error;
   if (ssd_->TryReadPage(pid, FrameSpan(frame), ctx, &ssd_error)) {
-    ++stats_.ssd_hits;
+    StatCounters::Bump(counters_.ssd_hits);
     ++ctx.ssd_hits;
     VerifyFrameChecksum(frame, pid);
-    InstallFrame(frame, pid, kind, ctx);
-    Frame& f = frames_[frame];
-    ++f.pin_count;
-    return PageGuard(this, frame);
+    return FinishRead(sh, frame, pid, kind, ctx);
   }
   if (!ssd_error.ok()) {
     // The only current copy of this page sat in a dirty SSD frame that
     // could not be salvaged; the disk version is stale, so serving it would
     // silently corrupt the database. Surface a hard error instead.
-    free_list_.push_back(frame);
+    AbortRead(frame, pid);
     if (out_error != nullptr) {
       *out_error = ssd_error;
       return PageGuard();
@@ -145,9 +367,11 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx,
   // Read from disk. While the pool still has free frames SQL Server 2008 R2
   // expands every single-page read into an aligned multi-page read.
   const uint32_t expand = options_.expand_read_pages;
-  const bool can_expand = options_.expand_reads_until_warm && !warmed_up_ &&
-                          expand > 1 &&
-                          free_list_.size() >= static_cast<size_t>(expand);
+  const bool can_expand =
+      options_.expand_reads_until_warm &&
+      !warmed_up_.load(std::memory_order_relaxed) && expand > 1 &&
+      free_frames_.load(std::memory_order_relaxed) >=
+          static_cast<int64_t>(expand);
   if (can_expand) {
     const PageId block_first = pid - pid % expand;
     const uint32_t count = static_cast<uint32_t>(
@@ -155,105 +379,130 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx,
     static thread_local std::vector<uint8_t> scratch;
     scratch.resize(static_cast<size_t>(count) * options_.page_bytes);
     TURBOBP_CHECK_OK(disk_->ReadPages(block_first, count, scratch, ctx));
-    stats_.disk_page_reads += count;
-    int32_t pinned_frame = -1;
+    StatCounters::Bump(counters_.disk_page_reads, count);
     for (uint32_t i = 0; i < count; ++i) {
       const PageId p = block_first + i;
-      if (p != pid && page_table_.contains(p)) continue;
+      if (p == pid) continue;  // the requested page lands in our claim below
       // Never install a speculative disk copy that the SSD supersedes (a
       // restored dirty SSD page after a warm restart): the disk version is
       // stale; a future fetch must take the SSD path.
-      if (p != pid && ssd_->Probe(p) == SsdProbe::kNewerCopy) continue;
-      int32_t fr;
-      if (p == pid) {
-        fr = frame;
-      } else {
-        if (free_list_.empty()) continue;  // speculative pages only
-        fr = free_list_.back();
-        free_list_.pop_back();
-      }
-      std::memcpy(FrameData(fr),
-                  scratch.data() + static_cast<size_t>(i) * options_.page_bytes,
-                  options_.page_bytes);
-      VerifyFrameChecksum(fr, p);
-      // Speculative neighbours arrive via one big I/O: treat as sequential
-      // so they do not pollute the SSD admission policy.
-      InstallFrame(fr, p, p == pid ? kind : AccessKind::kSequential, ctx);
-      if (p == pid) pinned_frame = fr;
+      if (ssd_->Probe(p) == SsdProbe::kNewerCopy) continue;
+      InstallExpandedPage(
+          p, scratch.data() + static_cast<size_t>(i) * options_.page_bytes,
+          ctx);
     }
-    TURBOBP_CHECK(pinned_frame >= 0);
-    ssd_->OnDiskRead(pid, FrameSpan(pinned_frame), kind, ctx);
-    Frame& f = frames_[pinned_frame];
-    ++f.pin_count;
-    return PageGuard(this, pinned_frame);
+    std::memcpy(
+        FrameData(frame),
+        scratch.data() + static_cast<size_t>(pid - block_first) *
+                             options_.page_bytes,
+        options_.page_bytes);
+    VerifyFrameChecksum(frame, pid);
+    ssd_->OnDiskRead(pid, FrameSpan(frame), kind, ctx);
+    return FinishRead(sh, frame, pid, kind, ctx);
   }
 
   TURBOBP_CHECK_OK(disk_->ReadPage(pid, FrameSpan(frame), ctx));
-  ++stats_.disk_page_reads;
+  StatCounters::Bump(counters_.disk_page_reads);
   VerifyFrameChecksum(frame, pid);
-  InstallFrame(frame, pid, kind, ctx);
   ssd_->OnDiskRead(pid, FrameSpan(frame), kind, ctx);
-  Frame& f = frames_[frame];
-  ++f.pin_count;
-  return PageGuard(this, frame);
+  return FinishRead(sh, frame, pid, kind, ctx);
 }
 
 PageGuard BufferPool::NewPage(PageId pid, PageType type, IoContext& ctx) {
-  std::lock_guard lock(mu_);
-  int32_t frame;
-  auto it = page_table_.find(pid);
-  if (it != page_table_.end()) {
-    // A speculative multi-page read (expansion / read-ahead) may have pulled
-    // this not-yet-allocated page in as a formatted free page; reclaim the
-    // frame in place.
-    frame = it->second;
-    Frame& stale = frames_[frame];
-    TURBOBP_CHECK(stale.pin_count == 0);
-    TURBOBP_CHECK(!stale.dirty);
-    page_table_.erase(it);
-  } else {
-    frame = AcquireFrame(ctx);
+  Shard& sh = *shards_[ShardOf(pid)];
+  int spins = 0;
+  for (;;) {
+    ShardLock lock = LockShard(sh);
+    int32_t frame;
+    const auto it = sh.page_table.find(pid);
+    if (it != sh.page_table.end()) {
+      frame = it->second;
+      Frame& stale = frames_[frame];
+      const FrameState st = stale.state.load(std::memory_order_relaxed);
+      if (st != FrameState::kResident) {
+        WaitForFrame(frame, lock, ctx, &spins);
+        continue;
+      }
+      // A speculative multi-page read (expansion / read-ahead) may have
+      // pulled this not-yet-allocated page in as a formatted free page;
+      // reclaim the frame in place.
+      TURBOBP_CHECK(stale.pin_count == 0);
+      TURBOBP_CHECK(!stale.dirty);
+      sh.page_table.erase(it);
+      ++sh.transient;  // claimed by us until installed below
+    } else {
+      frame = ClaimFrame(sh, lock, ctx, /*may_wait=*/true);
+      if (sh.page_table.contains(pid)) {
+        ReleaseClaimedLocked(sh, frame);
+        continue;
+      }
+    }
+    PageView v(FrameSpan(frame));
+    v.Format(pid, type);
+    Frame& f = frames_[frame];
+    f.page_id = pid;
+    f.kind = AccessKind::kRandom;
+    f.access_history[0] = f.access_history[1] = 0;
+    Touch(f, ctx.now);
+    // A brand-new page exists nowhere else: it is dirty from birth, and any
+    // stale SSD copy of a recycled page id must go.
+    f.dirty = true;
+    f.pin_count = 1;
+    f.state.store(FrameState::kResident, std::memory_order_relaxed);
+    --sh.transient;
+    sh.page_table.emplace(pid, frame);
+    BumpEpochAndNotify(frame);
+    NotifyAvail(sh);
+    ssd_->OnPageDirtied(pid);
+    return PageGuard(this, frame);
   }
-  PageView v(FrameSpan(frame));
-  v.Format(pid, type);
-  InstallFrame(frame, pid, AccessKind::kRandom, ctx);
-  Frame& f = frames_[frame];
-  // A brand-new page exists nowhere else: it is dirty from birth, and any
-  // stale SSD copy of a recycled page id must go.
-  f.dirty = true;
-  ssd_->OnPageDirtied(pid);
-  ++f.pin_count;
-  return PageGuard(this, frame);
 }
 
 void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
-  std::lock_guard lock(mu_);
   if (n == 0) return;
   TURBOBP_CHECK(first + n <= disk_->num_pages());
 
-  // Which pages do we actually need, and what does the SSD know about them?
-  std::vector<PageId> pages;
-  std::vector<SsdProbe> probes;
+  // Claim a frame and publish a read-pending placeholder for every page not
+  // already resident (or in flight), and ask the SSD what it knows.
+  struct Pending {
+    PageId pid;
+    int32_t frame;
+    SsdProbe probe;
+  };
+  std::vector<Pending> pages;
+  pages.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     const PageId p = first + i;
-    if (page_table_.contains(p)) continue;
-    pages.push_back(p);
-    probes.push_back(ssd_->Probe(p));
+    Shard& sh = *shards_[ShardOf(p)];
+    ShardLock lock = LockShard(sh);
+    if (sh.page_table.contains(p)) continue;
+    // Read-ahead is advisory: skip pages rather than stall behind a shard
+    // whose frames are all pinned or in flight.
+    const int32_t fr = ClaimFrame(sh, lock, ctx, /*may_wait=*/false);
+    if (fr < 0) continue;
+    if (sh.page_table.contains(p)) {  // claim's eviction lost a publish race
+      ReleaseClaimedLocked(sh, fr);
+      continue;
+    }
+    Frame& f = frames_[fr];
+    f.page_id = p;
+    f.kind = AccessKind::kSequential;
+    f.ready_at = ctx.now;
+    f.state.store(FrameState::kReading, std::memory_order_relaxed);
+    sh.page_table.emplace(p, fr);
+    lock.unlock();
+    pages.push_back({p, fr, ssd_->Probe(p)});
   }
   if (pages.empty()) return;
 
-  auto read_via_ssd = [&](PageId p) -> bool {
-    const int32_t fr = AcquireFrame(ctx);
-    if (ssd_->TryReadPage(p, FrameSpan(fr), ctx)) {
-      ++stats_.ssd_hits;
-      ++ctx.ssd_hits;
-      VerifyFrameChecksum(fr, p);
-      InstallFrame(fr, p, AccessKind::kSequential, ctx);
-      ++stats_.prefetch_pages;
-      return true;
-    }
-    free_list_.push_back(fr);
-    return false;
+  auto read_via_ssd = [&](const Pending& ent) -> bool {
+    if (!ssd_->TryReadPage(ent.pid, FrameSpan(ent.frame), ctx)) return false;
+    StatCounters::Bump(counters_.ssd_hits);
+    ++ctx.ssd_hits;
+    VerifyFrameChecksum(ent.frame, ent.pid);
+    FinishPrefetch(ent.frame, ent.pid, ctx);
+    StatCounters::Bump(counters_.prefetch_pages);
+    return true;
   };
 
   // Trim leading and trailing pages that the SSD can serve (Section 3.3.3):
@@ -261,10 +510,11 @@ void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
   // the ends of the request are peeled off.
   size_t lo = 0;
   size_t hi = pages.size();
-  while (lo < hi && probes[lo] != SsdProbe::kAbsent && read_via_ssd(pages[lo])) {
+  while (lo < hi && pages[lo].probe != SsdProbe::kAbsent &&
+         read_via_ssd(pages[lo])) {
     ++lo;
   }
-  while (hi > lo && probes[hi - 1] != SsdProbe::kAbsent &&
+  while (hi > lo && pages[hi - 1].probe != SsdProbe::kAbsent &&
          read_via_ssd(pages[hi - 1])) {
     --hi;
   }
@@ -273,205 +523,281 @@ void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
   // One contiguous disk read covering the remaining span (it may include
   // pages that are already resident or cached on the SSD; those disk copies
   // are discarded).
-  const PageId disk_first = pages[lo];
-  const uint32_t disk_count = static_cast<uint32_t>(pages[hi - 1] - disk_first + 1);
+  const PageId disk_first = pages[lo].pid;
+  const uint32_t disk_count =
+      static_cast<uint32_t>(pages[hi - 1].pid - disk_first + 1);
   static thread_local std::vector<uint8_t> scratch;
   scratch.resize(static_cast<size_t>(disk_count) * options_.page_bytes);
   TURBOBP_CHECK_OK(disk_->ReadPages(disk_first, disk_count, scratch, ctx));
-  stats_.disk_page_reads += disk_count;
+  StatCounters::Bump(counters_.disk_page_reads, disk_count);
 
   for (size_t i = lo; i < hi; ++i) {
-    const PageId p = pages[i];
-    if (page_table_.contains(p)) continue;
-    if (probes[i] == SsdProbe::kNewerCopy) {
+    const Pending& ent = pages[i];
+    if (ent.probe == SsdProbe::kNewerCopy) {
       // The SSD holds a newer version (LC): the disk copy just read is
       // stale and must be replaced via an extra SSD read. If that read
-      // fails (lost page on a dying SSD), skip the page — installing the
-      // stale disk copy would corrupt the database; a later FetchPage
+      // fails (lost page on a dying SSD), drop the placeholder — installing
+      // the stale disk copy would corrupt the database; a later FetchPage
       // surfaces the hard error.
-      read_via_ssd(p);
+      if (!read_via_ssd(ent)) AbortRead(ent.frame, ent.pid);
       continue;
     }
-    const int32_t fr = AcquireFrame(ctx);
-    std::memcpy(FrameData(fr),
-                scratch.data() +
-                    static_cast<size_t>(p - disk_first) * options_.page_bytes,
+    std::memcpy(FrameData(ent.frame),
+                scratch.data() + static_cast<size_t>(ent.pid - disk_first) *
+                                     options_.page_bytes,
                 options_.page_bytes);
-    VerifyFrameChecksum(fr, p);
-    InstallFrame(fr, p, AccessKind::kSequential, ctx);
-    ssd_->OnDiskRead(p, FrameSpan(fr), AccessKind::kSequential, ctx);
-    ++stats_.prefetch_pages;
+    VerifyFrameChecksum(ent.frame, ent.pid);
+    ssd_->OnDiskRead(ent.pid, FrameSpan(ent.frame), AccessKind::kSequential,
+                     ctx);
+    FinishPrefetch(ent.frame, ent.pid, ctx);
+    StatCounters::Bump(counters_.prefetch_pages);
   }
 }
 
 bool BufferPool::Contains(PageId pid) const {
-  std::lock_guard lock(mu_);
-  return page_table_.contains(pid);
+  const Shard& sh = *shards_[ShardOf(pid)];
+  ShardLock lock = LockShard(sh);
+  return sh.page_table.contains(pid);
 }
 
 int64_t BufferPool::DirtyFrameCount() const {
-  std::lock_guard lock(mu_);
   int64_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.dirty) ++n;
+  for (const auto& shp : shards_) {
+    ShardLock lock = LockShard(*shp);
+    for (int32_t i = shp->frame_begin; i < shp->frame_end; ++i) {
+      const Frame& f = frames_[i];
+      if (f.page_id != kInvalidPageId && f.dirty) ++n;
+    }
   }
   return n;
 }
 
 int64_t BufferPool::UsedFrameCount() const {
-  std::lock_guard lock(mu_);
-  return static_cast<int64_t>(page_table_.size());
+  int64_t n = 0;
+  for (const auto& shp : shards_) {
+    ShardLock lock = LockShard(*shp);
+    n += static_cast<int64_t>(shp->page_table.size());
+  }
+  return n;
 }
 
-int32_t BufferPool::AcquireFrame(IoContext& ctx) {
-  if (!free_list_.empty()) {
-    const int32_t frame = free_list_.back();
-    free_list_.pop_back();
-    return frame;
-  }
-  warmed_up_ = true;
-  // Pop LRU-2 victims until a currently-valid entry surfaces; rebuild the
-  // heap from scratch when it runs dry (stale entries are simply dropped).
-  for (int attempts = 0; attempts < 3; ++attempts) {
-    while (!victim_heap_.empty()) {
-      const VictimEntry e = victim_heap_.top();
-      victim_heap_.pop();
-      const Frame& f = frames_[e.frame];
-      if (f.page_id == kInvalidPageId || f.pin_count > 0 ||
-          f.touch_stamp != e.stamp) {
-        continue;  // stale or unusable entry
-      }
-      EvictFrame(e.frame, ctx);
-      return e.frame;
+int32_t BufferPool::ClaimFrame(Shard& sh, ShardLock& lock, IoContext& ctx,
+                               bool may_wait) {
+  int fruitless = 0;
+  for (;;) {
+    if (!sh.free_list.empty()) {
+      const int32_t frame = sh.free_list.back();
+      sh.free_list.pop_back();
+      free_frames_.fetch_sub(1, std::memory_order_relaxed);
+      ++sh.transient;
+      return frame;
     }
-    RebuildVictimHeap();
+    warmed_up_.store(true, std::memory_order_relaxed);
+    // Pop LRU-2 victims until a currently-valid entry surfaces; rebuild the
+    // heap from scratch when it runs dry (stale entries are simply dropped).
+    for (int attempts = 0; attempts < 3; ++attempts) {
+      while (!sh.victim_heap.empty()) {
+        const VictimEntry e = sh.victim_heap.top();
+        sh.victim_heap.pop();
+        const Frame& f = frames_[e.frame];
+        if (f.page_id == kInvalidPageId || f.pin_count > 0 ||
+            f.touch_stamp != e.stamp ||
+            f.state.load(std::memory_order_relaxed) != FrameState::kResident) {
+          continue;  // stale or unusable entry
+        }
+        EvictFrameLocked(sh, lock, e.frame, ctx);
+        return e.frame;
+      }
+      RebuildVictimHeapLocked(sh);
+    }
+    if (!may_wait) return -1;
+    if (ctx.executor != nullptr) {
+      // Sim mode runs one client at a time: nobody else can unpin a frame,
+      // so waiting is hopeless.
+      Panic(__FILE__, __LINE__, "buffer pool exhausted: all frames pinned");
+    }
+    // Real threads: a frame may be mid-I/O, or pinned by a guard about to
+    // be released. Wait for a claimability signal; panic only after a
+    // signal-free grace period — then every frame really is stuck pinned.
+    const int64_t signals_before = sh.avail_signals;
+    if (sh.transient == 0 && ++fruitless > 50) {
+      Panic(__FILE__, __LINE__, "buffer pool exhausted: all frames pinned");
+    }
+    ++sh.claim_waiters;
+    sh.avail_cv.wait_for(lock, std::chrono::milliseconds(20));
+    --sh.claim_waiters;
+    if (sh.avail_signals != signals_before || sh.transient > 0) fruitless = 0;
   }
-  Panic(__FILE__, __LINE__, "buffer pool exhausted: all frames pinned");
 }
 
-void BufferPool::RebuildVictimHeap() {
-  victim_heap_ = {};
-  for (size_t i = 0; i < frames_.size(); ++i) {
+void BufferPool::RebuildVictimHeapLocked(Shard& sh) {
+  sh.victim_heap = {};
+  for (int32_t i = sh.frame_begin; i < sh.frame_end; ++i) {
     const Frame& f = frames_[i];
-    if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
-    victim_heap_.push(
-        VictimEntry{VictimKey(f), f.touch_stamp, static_cast<int32_t>(i)});
+    if (f.page_id == kInvalidPageId || f.pin_count > 0 ||
+        f.state.load(std::memory_order_relaxed) != FrameState::kResident) {
+      continue;
+    }
+    sh.victim_heap.push(VictimEntry{VictimKey(f), f.touch_stamp, i});
   }
 }
 
-void BufferPool::EvictFrame(int32_t frame, IoContext& ctx) {
+void BufferPool::EvictFrameLocked(Shard& sh, ShardLock& lock, int32_t frame,
+                                  IoContext& ctx) {
   Frame& f = frames_[frame];
   TURBOBP_DCHECK(f.pin_count == 0);
   const PageId pid = f.page_id;
-  page_table_.erase(pid);
+  const AccessKind kind = f.kind;
+  const bool dirty = f.dirty;
+  // The page-table entry stays mapped while the I/O runs: a concurrent
+  // fetch of this page waits on the frame instead of reading a disk copy
+  // that is not durable yet.
+  f.state.store(FrameState::kEvicting, std::memory_order_relaxed);
+  ++sh.transient;
+  lock.unlock();
 
   // Loader-mode evictions (population) bypass the SSD manager entirely:
   // every measured run starts from a cold SSD buffer pool, as in the paper
   // (the DBMS is restarted between runs).
-  if (!f.dirty) {
-    ++stats_.evictions_clean;
-    if (ctx.charge) ssd_->OnEvictClean(pid, FrameSpan(frame), f.kind, ctx);
+  if (!dirty) {
+    StatCounters::Bump(counters_.evictions_clean);
+    if (ctx.charge) {
+      // Re-seal before offering the bytes to the SSD: a frame cleaned by a
+      // snapshot-based flush still carries its pre-seal in-frame checksum.
+      PageView v(FrameSpan(frame));
+      v.SealChecksum();
+      ssd_->OnEvictClean(pid, FrameSpan(frame), kind, ctx);
+    }
   } else {
-    ++stats_.evictions_dirty;
+    StatCounters::Bump(counters_.evictions_dirty);
     PageView v(FrameSpan(frame));
     v.SealChecksum();
     const Lsn page_lsn = v.header().lsn;
     // WAL rule (Section 2.4): the log must be durable through the page's
     // LSN before the page is written to the SSD or the disk. The page
     // write's arrival time is therefore the log flush's completion.
-    const Time log_done = log_ != nullptr ? log_->FlushTo(page_lsn, ctx) : ctx.now;
+    const Time log_done =
+        log_ != nullptr ? log_->FlushTo(page_lsn, ctx) : ctx.now;
     // WAL obligation discharged, page not yet written anywhere (the window
-    // where the log alone carries the update). Buffer-pool latch is held.
+    // where the log alone carries the update). No pool latch is held; the
+    // frame is fenced off as kEvicting.
     TURBOBP_CRASH_POINT("bp/evict-after-wal");
     IoContext write_ctx = ctx;
     write_ctx.now = std::max(ctx.now, log_done);
     EvictionOutcome outcome;  // loader mode: straight to disk
     if (ctx.charge) {
       outcome =
-          ssd_->OnEvictDirty(pid, FrameSpan(frame), f.kind, page_lsn, write_ctx);
+          ssd_->OnEvictDirty(pid, FrameSpan(frame), kind, page_lsn, write_ctx);
     }
     if (outcome.write_to_disk) {
       // The disk array is the durable home; its failure has no fallback.
-      TURBOBP_CHECK_OK(disk_->WritePage(pid, FrameSpan(frame), write_ctx).status);
+      TURBOBP_CHECK_OK(
+          disk_->WritePage(pid, FrameSpan(frame), write_ctx).status);
       // The dirty eviction reached the disk (write-through designs).
       TURBOBP_CRASH_POINT("bp/evict-disk-write");
     }
   }
-  f = Frame{};  // reset metadata; frame data will be overwritten
-}
 
-void BufferPool::InstallFrame(int32_t frame, PageId pid, AccessKind kind,
-                              IoContext& ctx) {
-  Frame& f = frames_[frame];
-  f.page_id = pid;
-  f.dirty = false;
-  f.pin_count = 0;
-  f.kind = kind;
-  f.access_history[0] = f.access_history[1] = 0;
-  Touch(f, ctx.now);
-  page_table_[pid] = frame;
-}
-
-Time BufferPool::WriteFrameToDisk(int32_t frame, IoContext& ctx) {
-  Frame& f = frames_[frame];
-  PageView v(FrameSpan(frame));
-  v.SealChecksum();
-  const Time log_done =
-      log_ != nullptr ? log_->FlushTo(v.header().lsn, ctx) : ctx.now;
-  IoContext write_ctx = ctx;
-  write_ctx.now = std::max(ctx.now, log_done);
-  const IoResult w = disk_->WritePage(f.page_id, FrameSpan(frame), write_ctx);
-  TURBOBP_CHECK_OK(w.status);
-  return w.time;
+  lock.lock();
+  sh.page_table.erase(pid);
+  ResetFrameLocked(f);
+  // The frame stays claimed by the caller (still counted in sh.transient);
+  // only same-page waiters are woken, to re-probe and miss.
+  BumpEpochAndNotify(frame);
 }
 
 Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {
-  std::lock_guard lock(mu_);
   Time last = ctx.now;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    if (f.page_id == kInvalidPageId || !f.dirty) continue;
-    const int32_t frame = static_cast<int32_t>(i);
-    const Time done = WriteFrameToDisk(frame, ctx);
-    last = std::max(last, done);
-    // One dirty frame flushed (checkpoint or shutdown), others may still be
-    // dirty in memory only. Buffer-pool latch is held.
-    TURBOBP_CRASH_POINT("bp/flush-page");
-    if (for_checkpoint) {
-      PageView v(FrameSpan(frame));
-      IoContext ck_ctx = ctx;
-      ssd_->OnCheckpointWrite(f.page_id, FrameSpan(frame), f.kind,
-                              v.header().lsn, ck_ctx);
-      ++stats_.checkpoint_writes;
+  std::vector<uint8_t> snapshot(options_.page_bytes);
+  for (const auto& shp : shards_) {
+    Shard& sh = *shp;
+    for (int32_t i = sh.frame_begin; i < sh.frame_end; ++i) {
+      PageId pid;
+      AccessKind kind;
+      {
+        ShardLock lock = LockShard(sh);
+        Frame& f = frames_[i];
+        if (f.page_id == kInvalidPageId || !f.dirty ||
+            f.state.load(std::memory_order_relaxed) !=
+                FrameState::kResident) {
+          continue;  // empty, clean, or already being written elsewhere
+        }
+        pid = f.page_id;
+        kind = f.kind;
+        // kWriting: still readable and pinnable, but not evictable, not
+        // re-dirtyable (MarkDirty waits), and not double-flushable.
+        f.state.store(FrameState::kWriting, std::memory_order_relaxed);
+        ++sh.transient;
+        std::memcpy(snapshot.data(), FrameData(i), options_.page_bytes);
+      }
+      // WAL rule first, then the disk write — latch-free, from the snapshot.
+      PageView v{std::span<uint8_t>(snapshot)};
+      v.SealChecksum();
+      const Lsn lsn = v.header().lsn;
+      const Time log_done =
+          log_ != nullptr ? log_->FlushTo(lsn, ctx) : ctx.now;
+      IoContext write_ctx = ctx;
+      write_ctx.now = std::max(ctx.now, log_done);
+      const IoResult w = disk_->WritePage(
+          pid, std::span<const uint8_t>(snapshot), write_ctx);
+      TURBOBP_CHECK_OK(w.status);
+      last = std::max(last, w.time);
+      // One dirty frame flushed (checkpoint or shutdown), others may still
+      // be dirty in memory only. No pool latch is held.
+      TURBOBP_CRASH_POINT("bp/flush-page");
+      if (for_checkpoint) {
+        IoContext ck_ctx = ctx;
+        ssd_->OnCheckpointWrite(pid, std::span<const uint8_t>(snapshot), kind,
+                                lsn, ck_ctx);
+        StatCounters::Bump(counters_.checkpoint_writes);
+      }
+      {
+        ShardLock lock = LockShard(sh);
+        Frame& f = frames_[i];
+        f.dirty = false;
+        f.state.store(FrameState::kResident, std::memory_order_relaxed);
+        --sh.transient;
+        BumpEpochAndNotify(i);
+        NotifyAvail(sh);
+      }
     }
-    f.dirty = false;
   }
   return last;
 }
 
 void BufferPool::Reset() {
-  std::lock_guard lock(mu_);
-  page_table_.clear();
-  victim_heap_ = {};
-  free_list_.clear();
-  for (int64_t i = static_cast<int64_t>(frames_.size()) - 1; i >= 0; --i) {
-    frames_[i] = Frame{};
-    free_list_.push_back(static_cast<int32_t>(i));
+  for (const auto& shp : shards_) {
+    Shard& sh = *shp;
+    ShardLock lock = LockShard(sh);
+    sh.page_table.clear();
+    sh.victim_heap = {};
+    sh.free_list.clear();
+    sh.transient = 0;
+    for (int32_t i = sh.frame_end - 1; i >= sh.frame_begin; --i) {
+      ResetFrameLocked(frames_[i]);
+      sh.free_list.push_back(i);
+    }
+    NotifyAvail(sh);
   }
-  warmed_up_ = false;
+  free_frames_.store(static_cast<int64_t>(options_.num_frames),
+                     std::memory_order_relaxed);
+  warmed_up_.store(false, std::memory_order_relaxed);
 }
 
 void BufferPool::Unpin(int32_t frame) {
-  std::lock_guard lock(mu_);
+  Shard& sh = ShardOfFrame(frame);
+  ShardLock lock = LockShard(sh);
   Frame& f = frames_[frame];
   TURBOBP_DCHECK(f.pin_count > 0);
-  --f.pin_count;
+  if (--f.pin_count == 0) NotifyAvail(sh);
 }
 
 Lsn BufferPool::LogUpdateInternal(int32_t frame, uint64_t txn_id,
                                   uint32_t offset, uint32_t len) {
-  std::lock_guard lock(mu_);
   TURBOBP_CHECK(log_ != nullptr);
+  Shard& sh = ShardOfFrame(frame);
+  ShardLock lock = LockShard(sh);
+  WaitWhileWriting(frame, lock);
   Frame& f = frames_[frame];
   TURBOBP_CHECK(offset + len <= options_.page_bytes);
   const Lsn lsn = log_->AppendUpdate(
@@ -482,7 +808,9 @@ Lsn BufferPool::LogUpdateInternal(int32_t frame, uint64_t txn_id,
 }
 
 void BufferPool::MarkDirtyInternal(int32_t frame, Lsn lsn) {
-  std::lock_guard lock(mu_);
+  Shard& sh = ShardOfFrame(frame);
+  ShardLock lock = LockShard(sh);
+  WaitWhileWriting(frame, lock);
   MarkDirtyLocked(frame, lsn);
 }
 
@@ -497,6 +825,41 @@ void BufferPool::MarkDirtyLocked(int32_t frame, Lsn lsn) {
   }
   v.header().version++;
   if (lsn != kInvalidLsn) v.header().lsn = lsn;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.hits = counters_.hits.load(std::memory_order_relaxed);
+  s.misses = counters_.misses.load(std::memory_order_relaxed);
+  s.ssd_hits = counters_.ssd_hits.load(std::memory_order_relaxed);
+  s.disk_page_reads = counters_.disk_page_reads.load(std::memory_order_relaxed);
+  s.evictions_clean = counters_.evictions_clean.load(std::memory_order_relaxed);
+  s.evictions_dirty = counters_.evictions_dirty.load(std::memory_order_relaxed);
+  s.prefetch_pages = counters_.prefetch_pages.load(std::memory_order_relaxed);
+  s.expanded_pages = counters_.expanded_pages.load(std::memory_order_relaxed);
+  s.checkpoint_writes =
+      counters_.checkpoint_writes.load(std::memory_order_relaxed);
+  s.latch_wait_time = counters_.latch_wait_time.load(std::memory_order_relaxed);
+  s.pool_latch_waits =
+      counters_.pool_latch_waits.load(std::memory_order_relaxed);
+  s.pool_latch_wait_ns =
+      counters_.pool_latch_wait_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  counters_.hits.store(0, std::memory_order_relaxed);
+  counters_.misses.store(0, std::memory_order_relaxed);
+  counters_.ssd_hits.store(0, std::memory_order_relaxed);
+  counters_.disk_page_reads.store(0, std::memory_order_relaxed);
+  counters_.evictions_clean.store(0, std::memory_order_relaxed);
+  counters_.evictions_dirty.store(0, std::memory_order_relaxed);
+  counters_.prefetch_pages.store(0, std::memory_order_relaxed);
+  counters_.expanded_pages.store(0, std::memory_order_relaxed);
+  counters_.checkpoint_writes.store(0, std::memory_order_relaxed);
+  counters_.latch_wait_time.store(0, std::memory_order_relaxed);
+  counters_.pool_latch_waits.store(0, std::memory_order_relaxed);
+  counters_.pool_latch_wait_ns.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace turbobp

@@ -1,6 +1,8 @@
 #ifndef TURBOBP_BUFFER_BUFFER_POOL_H_
 #define TURBOBP_BUFFER_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -59,6 +61,9 @@ class PageGuard {
   int32_t frame_ = -1;
 };
 
+// Snapshot of the pool's counters. The live counters are relaxed atomics
+// mutated concurrently by every client; stats() copies them out so callers
+// never read a torn or racing value.
 struct BufferPoolStats {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -66,9 +71,14 @@ struct BufferPoolStats {
   int64_t disk_page_reads = 0;   // pages read from disk (incl. expansions)
   int64_t evictions_clean = 0;
   int64_t evictions_dirty = 0;
-  int64_t prefetch_pages = 0;    // pages brought in via read-ahead
+  int64_t prefetch_pages = 0;    // pages brought in via PrefetchRange
+  int64_t expanded_pages = 0;    // speculative neighbours from warm-up reads
   int64_t checkpoint_writes = 0;
   Time latch_wait_time = 0;      // stalls behind SSD admission writes (TAC)
+  // Contention on the pool's shard latches themselves (real-thread mode;
+  // always zero in the single-threaded simulator).
+  int64_t pool_latch_waits = 0;
+  int64_t pool_latch_wait_ns = 0;
 };
 
 // Main-memory buffer pool with an SSD-manager extension point (Figure 1).
@@ -81,6 +91,13 @@ struct BufferPoolStats {
 //
 // Replacement is LRU-2 via a lazily rebuilt victim heap keyed on each
 // frame's penultimate access time.
+//
+// Concurrency (DESIGN.md §10): the page table, free list and victim heap are
+// sharded by page id, and no shard latch is ever held across device I/O.
+// Each frame carries a small I/O state machine (kFree -> kReading ->
+// kResident -> kEvicting); a fetch that misses publishes a kReading
+// placeholder, drops the shard latch for the SSD/disk read, then re-latches
+// to install. A second fetch of an in-flight page waits on that frame alone.
 class BufferPool {
  public:
   struct Options {
@@ -94,6 +111,10 @@ class BufferPool {
     // `expand_read_pages` read.
     bool expand_reads_until_warm = true;
     uint32_t expand_read_pages = 8;
+    // Page-table/free-list shards. 0 = auto: one shard per 16 frames,
+    // capped at 16 (small pools keep a single shard, preserving the exact
+    // single-list replacement order the unit tests pin down).
+    uint32_t num_shards = 0;
   };
 
   BufferPool(const Options& options, DiskManager* disk, LogManager* log,
@@ -136,16 +157,29 @@ class BufferPool {
   // routes each flushed page through SsdManager::OnCheckpointWrite.
   Time FlushAllDirty(IoContext& ctx, bool for_checkpoint);
 
-  // Crash simulation: drops all frames, including dirty ones.
+  // Crash simulation: drops all frames, including dirty ones. Must not run
+  // concurrently with in-flight fetches or flushes.
   void Reset();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  BufferPoolStats stats() const;
+  void ResetStats();
 
  private:
   friend class PageGuard;
   friend class InvariantAuditor;  // read-only structural audits (src/debug)
   friend struct AuditAccess;      // corruption injection in auditor tests
+
+  // Per-frame I/O state machine (DESIGN.md §10). Transitions happen under
+  // the owning shard's latch; waiters additionally read the value in their
+  // wake predicates without it, hence the atomic.
+  enum class FrameState : uint8_t {
+    kFree = 0,      // no page: on the free list, or claimed by an operation
+    kReading = 1,   // placeholder published, device read in flight
+    kResident = 2,  // content valid
+    kWriting = 3,   // checkpoint/shutdown flush in flight: still readable and
+                    // pinnable, but not evictable or re-dirtyable
+    kEvicting = 4,  // eviction I/O in flight: unreadable, settles to kFree
+  };
 
   struct Frame {
     PageId page_id = kInvalidPageId;
@@ -154,29 +188,152 @@ class BufferPool {
     AccessKind kind = AccessKind::kRandom;
     Time access_history[2] = {0, 0};  // [0]=last, [1]=previous (LRU-2)
     uint64_t touch_stamp = 0;         // bumped per access; victim-heap tag
+    int32_t shard = 0;                // owning shard (fixed at construction)
+    std::atomic<FrameState> state{FrameState::kFree};
+    // Bumped on every settle (install, abort, eviction/flush completion);
+    // never reset, so a waiter that captured the old value always wakes.
+    std::atomic<uint64_t> io_epoch{0};
+    // Sim mode: projected completion time of the in-flight I/O.
+    Time ready_at = 0;
   };
 
-  uint8_t* FrameData(int32_t frame) {
-    return arena_.data() + static_cast<size_t>(frame) * options_.page_bytes;
+  // Sleep/wake channel for real-thread waiters on one frame's in-flight I/O.
+  struct FrameSync {
+    TrackedMutex<LatchClass::kBufferFrame> mu;
+    std::condition_variable_any cv;
+    // Lets the completion path skip the lock+notify when nobody waits (the
+    // overwhelmingly common case). seq_cst pairs with the waiter's
+    // register-then-recheck, so a wakeup can never be missed.
+    std::atomic<int32_t> waiters{0};
+  };
+
+  struct VictimEntry {
+    Time key;
+    uint64_t stamp;
+    int32_t frame;
+    bool operator>(const VictimEntry& o) const {
+      return key != o.key ? key > o.key : frame > o.frame;
+    }
+  };
+
+  using ShardMutex = TrackedMutex<LatchClass::kBufferPool>;
+  using ShardLock = std::unique_lock<ShardMutex>;
+
+  // One shard of the page table / free list / victim heap, covering the
+  // contiguous frame range [frame_begin, frame_end).
+  struct Shard {
+    mutable ShardMutex mu;
+    // Signalled whenever a frame of this shard may have become claimable
+    // (unpin to zero, in-flight I/O settled, frame freed).
+    std::condition_variable_any avail_cv;
+    int64_t avail_signals = 0;  // bumped per signal; filters spurious wakes
+    int64_t claim_waiters = 0;
+    // Frames mid-I/O (kReading/kWriting/kEvicting) plus frames claimed off
+    // the free list or out of an eviction but not yet installed/released.
+    int64_t transient = 0;
+    std::unordered_map<PageId, int32_t> page_table;
+    std::vector<int32_t> free_list;
+    std::priority_queue<VictimEntry, std::vector<VictimEntry>,
+                        std::greater<VictimEntry>>
+        victim_heap;
+    int32_t frame_begin = 0;
+    int32_t frame_end = 0;
+  };
+
+  // Live counters (relaxed atomics; see BufferPoolStats for the snapshot).
+  struct StatCounters {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> ssd_hits{0};
+    std::atomic<int64_t> disk_page_reads{0};
+    std::atomic<int64_t> evictions_clean{0};
+    std::atomic<int64_t> evictions_dirty{0};
+    std::atomic<int64_t> prefetch_pages{0};
+    std::atomic<int64_t> expanded_pages{0};
+    std::atomic<int64_t> checkpoint_writes{0};
+    std::atomic<Time> latch_wait_time{0};
+    std::atomic<int64_t> pool_latch_waits{0};
+    std::atomic<int64_t> pool_latch_wait_ns{0};
+
+    static void Bump(std::atomic<int64_t>& c, int64_t by = 1) {
+      c.fetch_add(by, std::memory_order_relaxed);
+    }
+  };
+
+  uint8_t* FrameData(int32_t frame) const {
+    return const_cast<uint8_t*>(arena_.data()) +
+           static_cast<size_t>(frame) * options_.page_bytes;
   }
-  std::span<uint8_t> FrameSpan(int32_t frame) {
+  std::span<uint8_t> FrameSpan(int32_t frame) const {
     return {FrameData(frame), options_.page_bytes};
   }
+
+  size_t ShardOf(PageId pid) const {
+    return static_cast<size_t>((pid * 0x9E3779B97F4A7C15ull) >> 32) %
+           shards_.size();
+  }
+  Shard& ShardOfFrame(int32_t frame) const {
+    return *shards_[static_cast<size_t>(frames_[frame].shard)];
+  }
+
+  // Locks a shard, accounting contended acquisitions (the pool-latch-wait
+  // metric the latch-decomposition ablation reports).
+  ShardLock LockShard(const Shard& sh) const;
 
   void Touch(Frame& f, Time now);
   // LRU-2 key: penultimate access time (0 while seen only once).
   Time VictimKey(const Frame& f) const { return f.access_history[1]; }
 
-  // Returns a free frame index, evicting if necessary.
-  int32_t AcquireFrame(IoContext& ctx);
-  void EvictFrame(int32_t frame, IoContext& ctx);
-  void RebuildVictimHeap();
+  // Claims a frame of `sh` for the caller (free list first, then LRU-2
+  // eviction — which drops and re-takes `lock` around the eviction I/O).
+  // With `may_wait`, blocks until a frame can be claimed (panics only when
+  // every frame stays pinned); otherwise returns -1 when nothing is
+  // immediately claimable. The claimed frame is kFree, off the free list,
+  // unmapped, and counted in sh.transient until installed or released.
+  int32_t ClaimFrame(Shard& sh, ShardLock& lock, IoContext& ctx,
+                     bool may_wait);
+  // Evicts the (resident, unpinned) frame: marks it kEvicting, releases the
+  // latch for the WAL flush + SSD/disk write, re-latches, unmaps and resets
+  // it. The page-table entry stays mapped during the I/O so a concurrent
+  // fetch of the page waits instead of reading a not-yet-durable disk copy.
+  // On return the frame is claimed by the caller.
+  void EvictFrameLocked(Shard& sh, ShardLock& lock, int32_t frame,
+                        IoContext& ctx);
+  void RebuildVictimHeapLocked(Shard& sh);
 
-  // Installs freshly-read page bytes into `frame` and registers it.
-  void InstallFrame(int32_t frame, PageId pid, AccessKind kind, IoContext& ctx);
+  // Returns a claimed frame to the free list (lost a publish race).
+  void ReleaseClaimedLocked(Shard& sh, int32_t frame);
+  // Resets a frame's metadata (keeps io_epoch; leaves state kFree).
+  void ResetFrameLocked(Frame& f);
 
-  // Flushes one dirty frame to disk (WAL rule first); returns completion.
-  Time WriteFrameToDisk(int32_t frame, IoContext& ctx);
+  // Completion half of the read protocol: re-latches, flips the kReading
+  // placeholder to kResident (pinned for FetchPage, unpinned for prefetch),
+  // and wakes frame- and claim-waiters.
+  PageGuard FinishRead(Shard& sh, int32_t frame, PageId pid, AccessKind kind,
+                       IoContext& ctx);
+  void FinishPrefetch(int32_t frame, PageId pid, IoContext& ctx);
+  // Failure half: unmaps the placeholder and frees the frame.
+  void AbortRead(int32_t frame, PageId pid);
+
+  // Installs one speculative neighbour page from a warm-up expanded read
+  // (free-list frames only; never evicts).
+  void InstallExpandedPage(PageId p, const uint8_t* bytes, IoContext& ctx);
+
+  // Blocks until the frame's io_epoch moves past the value captured under
+  // the shard latch; returns with `lock` released. `spins` guards against a
+  // sim-mode frame that never settles (impossible unless an event yields
+  // mid-I/O, which the executor's run-to-completion model forbids).
+  void WaitForFrame(int32_t frame, ShardLock& lock, IoContext& ctx,
+                    int* spins);
+  // Blocks while the frame is mid-flush (kWriting). Re-dirtying a page
+  // under an in-flight checkpoint write must wait for the write so the
+  // flushed image is a clean prefix of the page's history.
+  void WaitWhileWriting(int32_t frame, ShardLock& lock);
+
+  // Wakes frame-waiters after a settle (shard latch held).
+  void BumpEpochAndNotify(int32_t frame);
+  // Wakes ClaimFrame waiters of `sh` (shard latch held).
+  void NotifyAvail(Shard& sh);
 
   void VerifyFrameChecksum(int32_t frame, PageId pid) const;
 
@@ -193,27 +350,13 @@ class BufferPool {
   NoSsdManager fallback_ssd_;  // used when ssd == nullptr
 
   std::vector<uint8_t> arena_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, int32_t> page_table_;
-  std::vector<int32_t> free_list_;
+  std::unique_ptr<Frame[]> frames_;
+  std::unique_ptr<FrameSync[]> frame_sync_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  struct VictimEntry {
-    Time key;
-    uint64_t stamp;
-    int32_t frame;
-    bool operator>(const VictimEntry& o) const {
-      return key != o.key ? key > o.key : frame > o.frame;
-    }
-  };
-  std::priority_queue<VictimEntry, std::vector<VictimEntry>,
-                      std::greater<VictimEntry>>
-      victim_heap_;
-
-  bool warmed_up_ = false;  // pool has been filled once (stops expansion)
-  BufferPoolStats stats_;
-  // Guards all structures in real-thread mode. Outermost latch class: held
-  // across WAL flushes, SSD-manager calls and device I/O (see LatchClass).
-  mutable TrackedMutex<LatchClass::kBufferPool> mu_;
+  std::atomic<bool> warmed_up_{false};  // pool filled once (stops expansion)
+  std::atomic<int64_t> free_frames_{0};  // total across shards (expansion gate)
+  mutable StatCounters counters_;
 };
 
 }  // namespace turbobp

@@ -20,7 +20,8 @@ TacCache::TacCache(StorageDevice* ssd_device, DiskManager* disk,
     : SsdCacheBase(ssd_device, disk, options, executor),
       extent_pages_(extent_pages) {
   TURBOBP_CHECK(extent_pages > 0);
-  temperatures_.assign(db_pages / static_cast<uint64_t>(extent_pages) + 1, 0.0);
+  const uint64_t extents = db_pages / static_cast<uint64_t>(extent_pages) + 1;
+  temperatures_ = std::make_unique<std::atomic<double>[]>(extents);
 }
 
 double TacCache::HeapKey(const Partition& part, int32_t rec) const {
@@ -33,7 +34,12 @@ void TacCache::OnBufferPoolMiss(PageId pid, AccessKind kind, IoContext& ctx) {
   const Time ssd_us = ssd_device_->EstimateReadTime(kind);
   const double saved_ms =
       std::max<double>(0.0, static_cast<double>(disk_us - ssd_us) / 1000.0);
-  temperatures_[pid / static_cast<PageId>(extent_pages_)] += saved_ms;
+  std::atomic<double>& t =
+      temperatures_[pid / static_cast<PageId>(extent_pages_)];
+  double cur = t.load(std::memory_order_relaxed);
+  while (!t.compare_exchange_weak(cur, cur + saved_ms,
+                                  std::memory_order_relaxed)) {
+  }
 }
 
 void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
@@ -71,15 +77,23 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
   // the page is dirtied in the meantime, the write is abandoned.
   std::vector<uint8_t> copy(data.begin(), data.end());
   const double snapshot = temp;
-  const uint64_t generation = ++admission_generation_;
+  uint64_t generation = 0;
+  {
+    std::lock_guard glock(latch_mu_);
+    generation = ++admission_generation_;
+    pending_admissions_[pid] = generation;
+  }
   auto commit = [this, pid, snapshot, generation,
                  copy = std::move(copy)]() mutable {
-    const auto pending = pending_admissions_.find(pid);
-    if (pending == pending_admissions_.end() ||
-        pending->second != generation) {
-      return;  // abandoned (page dirtied) or superseded by a newer read
+    {
+      std::lock_guard glock(latch_mu_);
+      const auto pending = pending_admissions_.find(pid);
+      if (pending == pending_admissions_.end() ||
+          pending->second != generation) {
+        return;  // abandoned (page dirtied) or superseded by a newer read
+      }
+      pending_admissions_.erase(pending);
     }
-    pending_admissions_.erase(pending);
     Partition& p = PartitionFor(pid);
     {
       std::lock_guard lock(p.mu);
@@ -103,7 +117,6 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
       }
     }
   };
-  pending_admissions_[pid] = generation;
   if (executor_ != nullptr) {
     executor_->ScheduleAt(std::max(ctx.now + kAdmissionDelay, executor_->now()),
                           std::move(commit));
@@ -114,7 +127,10 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
 
 void TacCache::OnPageDirtied(PageId pid) {
   // Cancel any scheduled admission write: its buffered image is now stale.
-  pending_admissions_.erase(pid);
+  {
+    std::lock_guard glock(latch_mu_);
+    pending_admissions_.erase(pid);
+  }
   ClearLostPage(pid);  // the rewrite supersedes any lost SSD copy
   if (degraded()) return;
   Partition& part = PartitionFor(pid);

@@ -1,6 +1,8 @@
 #ifndef TURBOBP_CORE_TAC_H_
 #define TURBOBP_CORE_TAC_H_
 
+#include <atomic>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -50,7 +52,8 @@ class TacCache : public SsdCacheBase {
   Time LatchBusyUntil(PageId pid, Time now) override;
 
   double ExtentTemperature(PageId pid) const {
-    return temperatures_[pid / static_cast<PageId>(extent_pages_)];
+    return temperatures_[pid / static_cast<PageId>(extent_pages_)].load(
+        std::memory_order_relaxed);
   }
   // SSD frames wasted on logically-invalid pages (Section 2.5 ablation).
   int64_t wasted_frames() const { return invalid_frames_.load(); }
@@ -63,16 +66,20 @@ class TacCache : public SsdCacheBase {
 
  private:
   int extent_pages_;
-  std::vector<double> temperatures_;
+  // Per-extent temperatures, accrued concurrently by every client's miss
+  // path; CAS-added, read relaxed (a slightly stale read only shifts an
+  // admission decision by one access, which the policy tolerates).
+  std::unique_ptr<std::atomic<double>[]> temperatures_;
   // Admission writes scheduled but not yet started, keyed by a generation
   // so a delayed commit can only consume the exact pending entry it was
   // scheduled for. Dirtying the page erases the entry, permanently
   // abandoning that admission (Section 4.2): the buffered clean image is
   // stale the moment the page is modified, whether or not the page is
-  // later evicted and re-read.
+  // later evicted and re-read. Guarded by latch_mu_.
   std::unordered_map<PageId, uint64_t> pending_admissions_;
-  uint64_t admission_generation_ = 0;
+  uint64_t admission_generation_ = 0;  // guarded by latch_mu_
   // Pending/completed admission writes: pid -> latch release time.
+  // Guarded by latch_mu_.
   std::unordered_map<PageId, Time> latch_busy_;
   TrackedMutex<LatchClass::kTacLatch> latch_mu_;
 };

@@ -28,72 +28,133 @@ std::string AuditReport::ToString() const {
 }
 
 AuditReport InvariantAuditor::AuditBufferPool(const BufferPool& pool) {
+  using FrameState = BufferPool::FrameState;
   AuditReport report;
-  std::lock_guard lock(pool.mu_);
-  const int32_t num_frames = static_cast<int32_t>(pool.frames_.size());
 
-  // Hash table -> frame direction: every entry maps to a frame that holds
-  // exactly that page, and no two entries share a frame.
-  std::unordered_set<int32_t> mapped_frames;
-  for (const auto& [pid, frame] : pool.page_table_) {
-    if (frame < 0 || frame >= num_frames) {
-      report.Add("pool.page_table", "entry for page " + PidStr(pid) +
-                                        " points at out-of-range frame " +
-                                        std::to_string(frame));
-      continue;
-    }
-    if (!mapped_frames.insert(frame).second) {
-      report.Add("pool.page_table", "frame " + std::to_string(frame) +
-                                        " is mapped by more than one page");
-    }
-    if (pool.frames_[frame].page_id != pid) {
-      report.Add("pool.page_table",
-                 "stale entry: page " + PidStr(pid) + " maps to frame " +
-                     std::to_string(frame) + " which holds page " +
-                     PidStr(pool.frames_[frame].page_id));
-    }
-  }
+  // The pool is sharded; each shard is audited under its own latch. An
+  // in-flight frame (kReading / kWriting / kEvicting) is a legal transient
+  // the auditor may observe mid-fetch, with its own hygiene rules below.
+  std::unordered_set<int32_t> mapped_frames;  // across all shards
+  for (size_t si = 0; si < pool.shards_.size(); ++si) {
+    const auto& sh = *pool.shards_[si];
+    std::lock_guard lock(sh.mu);
+    const std::string where = "shard " + std::to_string(si) + ": ";
+    int64_t in_flight = 0;
 
-  // Frame -> hash table direction, and empty-frame hygiene.
-  for (int32_t i = 0; i < num_frames; ++i) {
-    const auto& f = pool.frames_[i];
-    if (f.page_id != kInvalidPageId) {
-      const auto it = pool.page_table_.find(f.page_id);
-      if (it == pool.page_table_.end() || it->second != i) {
-        report.Add("pool.frames", "resident frame " + std::to_string(i) +
-                                      " (page " + PidStr(f.page_id) +
-                                      ") is not indexed by the page table");
+    // Hash table -> frame direction: every entry maps to a frame of this
+    // shard that holds exactly that page, and no two entries share a frame.
+    for (const auto& [pid, frame] : sh.page_table) {
+      if (frame < sh.frame_begin || frame >= sh.frame_end) {
+        report.Add("pool.page_table", where + "entry for page " + PidStr(pid) +
+                                          " points at out-of-range frame " +
+                                          std::to_string(frame));
+        continue;
       }
-    } else {
-      if (f.dirty) {
-        report.Add("pool.frames",
-                   "empty frame " + std::to_string(i) + " is marked dirty");
+      if (!mapped_frames.insert(frame).second) {
+        report.Add("pool.page_table", "frame " + std::to_string(frame) +
+                                          " is mapped by more than one page");
       }
-      if (f.pin_count != 0) {
-        report.Add("pool.frames", "empty frame " + std::to_string(i) +
-                                      " has pin count " +
-                                      std::to_string(f.pin_count));
+      const auto& f = pool.frames_[frame];
+      if (f.page_id != pid) {
+        report.Add("pool.page_table",
+                   "stale entry: page " + PidStr(pid) + " maps to frame " +
+                       std::to_string(frame) + " which holds page " +
+                       PidStr(f.page_id));
+      }
+      if (f.state.load(std::memory_order_relaxed) == FrameState::kFree) {
+        report.Add("pool.page_table", where + "page " + PidStr(pid) +
+                                          " maps to frame " +
+                                          std::to_string(frame) +
+                                          " whose state is free");
       }
     }
-  }
 
-  // Free list: in range, listed once, genuinely free.
-  std::unordered_set<int32_t> free_set;
-  for (const int32_t frame : pool.free_list_) {
-    if (frame < 0 || frame >= num_frames) {
-      report.Add("pool.free_list",
-                 "out-of-range frame " + std::to_string(frame));
-      continue;
+    // Frame -> hash table direction, state hygiene, empty-frame hygiene.
+    for (int32_t i = sh.frame_begin; i < sh.frame_end; ++i) {
+      const auto& f = pool.frames_[i];
+      const FrameState st = f.state.load(std::memory_order_relaxed);
+      if (st == FrameState::kReading || st == FrameState::kWriting ||
+          st == FrameState::kEvicting) {
+        ++in_flight;
+      }
+      if (f.page_id != kInvalidPageId) {
+        const auto it = sh.page_table.find(f.page_id);
+        if (it == sh.page_table.end() || it->second != i) {
+          report.Add("pool.frames", "resident frame " + std::to_string(i) +
+                                        " (page " + PidStr(f.page_id) +
+                                        ") is not indexed by the page table");
+        }
+        if (st == FrameState::kFree) {
+          report.Add("pool.frames", "frame " + std::to_string(i) +
+                                        " holds page " + PidStr(f.page_id) +
+                                        " but its state is free");
+        }
+        if (st == FrameState::kReading && f.dirty) {
+          report.Add("pool.frames", "frame " + std::to_string(i) +
+                                        " is mid-read but marked dirty");
+        }
+        if ((st == FrameState::kReading || st == FrameState::kEvicting) &&
+            f.pin_count != 0) {
+          report.Add("pool.frames", "in-flight frame " + std::to_string(i) +
+                                        " (page " + PidStr(f.page_id) +
+                                        ") is pinned");
+        }
+      } else {
+        if (f.dirty) {
+          report.Add("pool.frames",
+                     "empty frame " + std::to_string(i) + " is marked dirty");
+        }
+        if (f.pin_count != 0) {
+          report.Add("pool.frames", "empty frame " + std::to_string(i) +
+                                        " has pin count " +
+                                        std::to_string(f.pin_count));
+        }
+        if (st != FrameState::kFree) {
+          report.Add("pool.frames", "empty frame " + std::to_string(i) +
+                                        " is not in the free state");
+        }
+      }
     }
-    if (!free_set.insert(frame).second) {
-      report.Add("pool.free_list",
-                 "frame " + std::to_string(frame) + " listed twice");
-      continue;
+
+    // Free list: in range, listed once, genuinely free.
+    std::unordered_set<int32_t> free_set;
+    for (const int32_t frame : sh.free_list) {
+      if (frame < sh.frame_begin || frame >= sh.frame_end) {
+        report.Add("pool.free_list",
+                   where + "out-of-range frame " + std::to_string(frame));
+        continue;
+      }
+      if (!free_set.insert(frame).second) {
+        report.Add("pool.free_list",
+                   "frame " + std::to_string(frame) + " listed twice");
+        continue;
+      }
+      const auto& f = pool.frames_[frame];
+      if (f.page_id != kInvalidPageId) {
+        report.Add("pool.free_list", "frame " + std::to_string(frame) +
+                                         " is on the free list but holds page " +
+                                         PidStr(f.page_id));
+      }
+      if (f.state.load(std::memory_order_relaxed) != FrameState::kFree) {
+        report.Add("pool.free_list",
+                   "frame " + std::to_string(frame) +
+                       " is on the free list but its state is not free");
+      }
     }
-    if (pool.frames_[frame].page_id != kInvalidPageId) {
-      report.Add("pool.free_list", "frame " + std::to_string(frame) +
-                                       " is on the free list but holds page " +
-                                       PidStr(pool.frames_[frame].page_id));
+
+    // Shard accounting: every frame is free-listed, mapped, or
+    // claimed-but-unpublished, and the transient counter must equal the
+    // claimed-but-unpublished frames plus the mapped frames that are mid-I/O
+    // (kReading / kWriting / kEvicting all keep their page-table entry).
+    const int64_t range = sh.frame_end - sh.frame_begin;
+    const int64_t claimed = range - static_cast<int64_t>(sh.free_list.size()) -
+                            static_cast<int64_t>(sh.page_table.size());
+    if (sh.transient != claimed + in_flight) {
+      report.Add("pool.shard",
+                 where + "transient counter " + std::to_string(sh.transient) +
+                     " != " + std::to_string(claimed) +
+                     " claimed-unpublished + " + std::to_string(in_flight) +
+                     " in-flight");
     }
   }
   return report;
@@ -360,15 +421,16 @@ AuditReport InvariantAuditor::AuditSystem(const BufferPool& pool,
   if (cache != nullptr) report.Merge(AuditSsdCache(*cache));
   if (ssd == nullptr) return report;
 
-  // Cross-structure: snapshot resident pages under the pool latch, then
-  // probe the SSD (pool latch released first: Probe takes partition latches
-  // and needs no pool state).
+  // Cross-structure: snapshot resident pages shard by shard under each
+  // shard latch, then probe the SSD (shard latches released first: Probe
+  // takes partition latches and needs no pool state).
   std::vector<std::pair<PageId, bool>> resident;
-  {
-    std::lock_guard lock(pool.mu_);
-    resident.reserve(pool.page_table_.size());
-    for (const auto& [pid, frame] : pool.page_table_) {
-      if (frame < 0 || frame >= static_cast<int32_t>(pool.frames_.size())) {
+  for (const auto& shard : pool.shards_) {
+    const auto& sh = *shard;
+    std::lock_guard lock(sh.mu);
+    resident.reserve(resident.size() + sh.page_table.size());
+    for (const auto& [pid, frame] : sh.page_table) {
+      if (frame < sh.frame_begin || frame >= sh.frame_end) {
         continue;  // already reported by AuditBufferPool
       }
       resident.emplace_back(pid, pool.frames_[frame].dirty);
@@ -441,22 +503,25 @@ std::atomic<int64_t>& AuditAccess::DirtyFrames(SsdCacheBase& cache) {
 
 void AuditAccess::RebindPageTableEntry(BufferPool& pool, PageId pid,
                                        int32_t frame) {
-  std::lock_guard lock(pool.mu_);
+  auto& sh = *pool.shards_[pool.ShardOf(pid)];
+  std::lock_guard lock(sh.mu);
   if (frame < 0) {
-    pool.page_table_.erase(pid);
+    sh.page_table.erase(pid);
   } else {
-    pool.page_table_[pid] = frame;
+    sh.page_table[pid] = frame;
   }
 }
 
 void AuditAccess::SetFramePageId(BufferPool& pool, int32_t frame, PageId pid) {
-  std::lock_guard lock(pool.mu_);
-  pool.frames_.at(static_cast<size_t>(frame)).page_id = pid;
+  auto& sh = *pool.shards_[static_cast<size_t>(pool.frames_[frame].shard)];
+  std::lock_guard lock(sh.mu);
+  pool.frames_[frame].page_id = pid;
 }
 
 void AuditAccess::PushFreeList(BufferPool& pool, int32_t frame) {
-  std::lock_guard lock(pool.mu_);
-  pool.free_list_.push_back(frame);
+  auto& sh = *pool.shards_[static_cast<size_t>(pool.frames_[frame].shard)];
+  std::lock_guard lock(sh.mu);
+  sh.free_list.push_back(frame);
 }
 
 }  // namespace turbobp

@@ -15,8 +15,11 @@ namespace turbobp {
 // never hold two latches of the same class (the code is written so that
 // same-class latches — e.g. two SSD partitions — are acquired one at a time).
 //
-//   kBufferPool   BufferPool::mu_ (outermost: the page-fetch/evict path)
-//   kWal          LogManager::mu_ (WAL rule runs under the pool latch)
+//   kBufferPool   BufferPool::Shard::mu (outermost; never held across
+//                 device I/O — fetch/evict drop it before reading/writing)
+//   kBufferFrame  BufferPool::FrameSync::mu (per-frame wait channel for
+//                 in-flight I/O; taken briefly to sleep on / signal a frame)
+//   kWal          LogManager::mu_ (WAL appends run under a pool shard latch)
 //   kSsdPartition SsdCacheBase::Partition::mu
 //   kSsdFault     SsdCacheBase::fault_mu_ (lost-page set, degradation state)
 //   kTacLatch     TacCache::latch_mu_ (pending-admission latch table)
@@ -24,14 +27,15 @@ namespace turbobp {
 //   kDevice       storage-device internals (innermost)
 enum class LatchClass : uint8_t {
   kBufferPool = 0,
-  kWal = 1,
-  kSsdPartition = 2,
-  kSsdFault = 3,
-  kTacLatch = 4,
-  kFaultDevice = 5,
-  kDevice = 6,
+  kBufferFrame = 1,
+  kWal = 2,
+  kSsdPartition = 3,
+  kSsdFault = 4,
+  kTacLatch = 5,
+  kFaultDevice = 6,
+  kDevice = 7,
 };
-inline constexpr int kNumLatchClasses = 7;
+inline constexpr int kNumLatchClasses = 8;
 
 const char* ToString(LatchClass c);
 

@@ -19,19 +19,19 @@ Status DiskManager::ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
   IoResult res;
   for (int attempt = 0; attempt < kRetryLimit; ++attempt) {
     if (attempt > 0) {
-      ++io_retries_;
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
       if (ctx.charge) ctx.now += kRetryBackoff;
     }
     res = data_->Read(first, n, out, ctx.now, ctx.charge);
     if (res.ok() || res.status.IsUnavailable()) break;
   }
   if (ctx.charge) {
-    ++reads_;
-    pages_read_ += n;
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    pages_read_.fetch_add(n, std::memory_order_relaxed);
     ctx.disk_reads += n;
   }
   if (!res.ok()) {
-    ++io_errors_;
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
     return res.status;
   }
   ctx.Wait(res.time);
@@ -50,17 +50,17 @@ IoResult DiskManager::WritePages(PageId first, uint32_t n,
   Time at = ctx.now;
   for (int attempt = 0; attempt < kRetryLimit; ++attempt) {
     if (attempt > 0) {
-      ++io_retries_;
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
       if (ctx.charge) at += kRetryBackoff;
     }
     res = data_->Write(first, n, data, at, ctx.charge);
     if (res.ok() || res.status.IsUnavailable()) break;
   }
   if (ctx.charge) {
-    ++writes_;
-    pages_written_ += n;
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    pages_written_.fetch_add(n, std::memory_order_relaxed);
   }
-  if (!res.ok()) ++io_errors_;
+  if (!res.ok()) io_errors_.fetch_add(1, std::memory_order_relaxed);
   // The page content has reached the durable disk array (heap, B+-tree,
   // checkpoint and redo writes all funnel through here).
   TURBOBP_CRASH_POINT("disk/write-pages");

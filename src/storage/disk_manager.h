@@ -1,6 +1,7 @@
 #ifndef TURBOBP_STORAGE_DISK_MANAGER_H_
 #define TURBOBP_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 
@@ -51,21 +52,35 @@ class DiskManager {
     return data_->EstimateReadTime(kind);
   }
 
-  int64_t reads_issued() const { return reads_; }
-  int64_t writes_issued() const { return writes_; }
-  int64_t pages_read() const { return pages_read_; }
-  int64_t pages_written() const { return pages_written_; }
-  int64_t io_retries() const { return io_retries_; }
-  int64_t io_errors() const { return io_errors_; }
+  int64_t reads_issued() const {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  int64_t writes_issued() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+  int64_t pages_read() const {
+    return pages_read_.load(std::memory_order_relaxed);
+  }
+  int64_t pages_written() const {
+    return pages_written_.load(std::memory_order_relaxed);
+  }
+  int64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  int64_t io_errors() const {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
 
  private:
   StorageDevice* data_;
-  int64_t reads_ = 0;
-  int64_t writes_ = 0;
-  int64_t pages_read_ = 0;
-  int64_t pages_written_ = 0;
-  int64_t io_retries_ = 0;
-  int64_t io_errors_ = 0;
+  // Relaxed atomics: bumped concurrently once the buffer pool issues reads
+  // and writes outside its shard latches.
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
+  std::atomic<int64_t> pages_read_{0};
+  std::atomic<int64_t> pages_written_{0};
+  std::atomic<int64_t> io_retries_{0};
+  std::atomic<int64_t> io_errors_{0};
 };
 
 }  // namespace turbobp

@@ -152,6 +152,37 @@ TEST_F(PrefetchTrimTest, PrefetchChargesClientUntilDataAvailable) {
   EXPECT_GT(ctx.now, before);  // blocked on the disk read
 }
 
+TEST_F(PrefetchTrimTest, WarmupExpansionIsCountedSeparatelyFromPrefetch) {
+  BufferPool::Options opts;
+  opts.num_frames = 32;
+  opts.page_bytes = kPage;
+  opts.expand_reads_until_warm = true;
+  opts.expand_read_pages = 8;
+  pool_ = std::make_unique<BufferPool>(opts, disk_.get(), log_.get(),
+                                       ssd_.get());
+
+  IoContext ctx;
+  ctx.executor = executor_.get();
+  pool_->FetchPage(100, AccessKind::kRandom, ctx);
+  // One cold miss expanded into one aligned 8-page disk read: the requested
+  // page is an ordinary miss; the 7 speculative neighbours are counted as
+  // expanded — not as prefetched, and not silently (the seed bug).
+  BufferPoolStats s = pool_->stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.disk_page_reads, 8);
+  EXPECT_EQ(s.expanded_pages, 7);
+  EXPECT_EQ(s.prefetch_pages, 0);
+  // Every resident frame is accounted for by exactly one counter.
+  EXPECT_EQ(pool_->UsedFrameCount(), s.misses + s.expanded_pages);
+  for (PageId p = 96; p < 104; ++p) EXPECT_TRUE(pool_->Contains(p));
+
+  // Read-ahead keeps its own counter: no cross-talk with expansion.
+  pool_->PrefetchRange(200, 8, ctx);
+  s = pool_->stats();
+  EXPECT_EQ(s.prefetch_pages, 8);
+  EXPECT_EQ(s.expanded_pages, 7);
+}
+
 TEST_F(PrefetchTrimTest, SequentialPrefetchedPagesRejectedBySsdOnEviction) {
   // After the fill phase, evicted sequential pages must not enter the SSD.
   Build(false);

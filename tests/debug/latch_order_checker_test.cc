@@ -17,6 +17,17 @@
 #include "wal/checkpoint.h"
 #include "wal/log_manager.h"
 
+// TSan's own deadlock detector (rightly) reports the AB/BA cycles that two
+// of these tests manufacture on purpose; skip just those under TSan — the
+// checker's cycle detection is still covered by the Release and ASan jobs.
+#if defined(__SANITIZE_THREAD__)
+#define TURBOBP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TURBOBP_TSAN 1
+#endif
+#endif
+
 namespace turbobp {
 namespace {
 
@@ -52,6 +63,9 @@ TEST(LatchOrderCheckerTest, ConsistentOrderIsClean) {
 }
 
 TEST(LatchOrderCheckerTest, InversionIsFlaggedAsCycle) {
+#if defined(TURBOBP_TSAN)
+  GTEST_SKIP() << "deliberate lock-order cycle trips TSan's deadlock detector";
+#endif
   ScopedChecking scope;
   TrackedMutex<LatchClass::kBufferPool> pool_latch;
   TrackedMutex<LatchClass::kSsdPartition> part_latch;
@@ -71,6 +85,9 @@ TEST(LatchOrderCheckerTest, InversionIsFlaggedAsCycle) {
 }
 
 TEST(LatchOrderCheckerTest, TransitiveInversionIsFlagged) {
+#if defined(TURBOBP_TSAN)
+  GTEST_SKIP() << "deliberate lock-order cycle trips TSan's deadlock detector";
+#endif
   ScopedChecking scope;
   TrackedMutex<LatchClass::kBufferPool> a;
   TrackedMutex<LatchClass::kWal> b;
@@ -106,6 +123,9 @@ TEST(LatchOrderCheckerTest, SameClassNestingIsFlagged) {
 }
 
 TEST(LatchOrderCheckerTest, DisabledCheckerRecordsNothing) {
+#if defined(TURBOBP_TSAN)
+  GTEST_SKIP() << "deliberate lock-order cycle trips TSan's deadlock detector";
+#endif
   ScopedChecking scope;
   LatchOrderChecker::Instance().set_enabled(false);
   TrackedMutex<LatchClass::kBufferPool> a;
