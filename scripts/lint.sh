@@ -70,15 +70,28 @@ for f in $SRC_FILES; do
   esac
 done
 
-# --- clang-tidy --------------------------------------------------------------
+# --- clang-tidy (warning-count ratchet) --------------------------------------
 # Static analysis over the library sources when clang-tidy and a compile
 # database are available (CI installs clang-tidy; local builds may not).
+# The finding count is ratcheted against scripts/lint_baseline.txt: more
+# findings than the baseline is a regression and fails; fewer is a prompt
+# to lower the baseline in the same commit.
 BUILD_DIR="${TURBOBP_BUILD_DIR:-build}"
+BASELINE_FILE=scripts/lint_baseline.txt
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ -f "$BUILD_DIR/compile_commands.json" ]; then
-    if ! clang-tidy --quiet -p "$BUILD_DIR" $(find src -name '*.cc' | sort); then
-      fail "clang-tidy reported findings"
+    TIDY_LOG=$(mktemp)
+    clang-tidy --quiet -p "$BUILD_DIR" $(find src -name '*.cc' | sort) \
+      >"$TIDY_LOG" 2>/dev/null
+    count=$(grep -cE '(warning|error):' "$TIDY_LOG" || true)
+    baseline=$(grep -E '^[0-9]+$' "$BASELINE_FILE" || echo 0)
+    if [ "$count" -gt "$baseline" ]; then
+      grep -E '(warning|error):' "$TIDY_LOG" >&2
+      fail "clang-tidy: $count finding(s) exceeds the ratchet baseline of $baseline ($BASELINE_FILE)"
+    elif [ "$count" -lt "$baseline" ]; then
+      echo "lint: note: clang-tidy findings ($count) below baseline ($baseline); lower $BASELINE_FILE to lock in the improvement" >&2
     fi
+    rm -f "$TIDY_LOG"
   else
     echo "lint: note: $BUILD_DIR/compile_commands.json missing; skipping clang-tidy" >&2
   fi

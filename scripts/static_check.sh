@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Structural static checks for the turbobp tree.
+#
+# Drives tools/analysis/static_check.py (pure Python, no LLVM dev-libs) in
+# two passes:
+#   1. the real tree (src/) must be clean, and
+#   2. the negative harness (tests/static/compile_fail/) must be flagged --
+#      each fixture seeds one violation class, and a checker that stops
+#      rejecting it is itself a regression.
+#
+# The Clang thread-safety half of the discipline is a separate build
+# (cmake -DTURBOBP_THREAD_SAFETY=ON with clang++); see README "Static
+# analysis". Exit status: 0 clean, non-zero on any violation or harness
+# regression.
+
+set -u
+cd "$(dirname "$0")/.."
+
+PYTHON=${PYTHON:-python3}
+fail=0
+
+echo "== static_check: src/ =="
+if "$PYTHON" tools/analysis/static_check.py; then
+  echo "ok: src/ is clean"
+else
+  fail=1
+fi
+
+echo "== static_check: negative harness =="
+cases=(
+  "io_under_latch:io-under-latch"
+  "latch_order_inversion:latch-order"
+  "dropped_ioresult:ioresult"
+  "missing_crash_point:crash-point"
+)
+for spec in "${cases[@]}"; do
+  name=${spec%%:*}
+  rule=${spec##*:}
+  if "$PYTHON" tools/analysis/static_check.py --rules="$rule" \
+      "tests/static/compile_fail/$name.cc" >/dev/null 2>&1; then
+    echo "FAIL: seeded violation $name.cc was NOT flagged by rule $rule"
+    fail=1
+  else
+    echo "ok: $name.cc flagged by $rule"
+  fi
+done
+
+exit $fail

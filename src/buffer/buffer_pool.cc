@@ -127,7 +127,7 @@ void BufferPool::BumpEpochAndNotify(int32_t frame) {
   if (s.waiters.load(std::memory_order_seq_cst) > 0) {
     // The empty critical section orders the bump against a waiter that is
     // between its predicate check and the sleep.
-    { std::lock_guard sync_lock(s.mu); }
+    { TrackedLockGuard sync_lock(s.mu); }
     s.cv.notify_all();
   }
 }

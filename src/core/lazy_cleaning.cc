@@ -90,7 +90,7 @@ bool LazyCleaningCache::OldestDirty(Partition** part, int32_t* rec) {
   *part = nullptr;
   *rec = -1;
   for (auto& p : partitions_) {
-    std::lock_guard lock(p->mu);
+    TrackedLockGuard lock(p->mu);
     const int32_t root = p->heap.DirtyRoot();
     if (root == -1) continue;
     const double key = static_cast<double>(p->table.record(root).Lru2Key());
@@ -111,7 +111,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
 
   PageId seed_pid;
   {
-    std::lock_guard lock(seed_part->mu);
+    TrackedLockGuard lock(seed_part->mu);
     // Re-validate under the lock (the root may have moved).
     if (seed_part->table.record(seed_rec).state != SsdFrameState::kDirty) {
       return ctx.now + 1;  // retry next step
@@ -129,7 +129,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   for (int i = 0; i < options_.lc_group_pages; ++i) {
     const PageId pid = seed_pid + static_cast<PageId>(i);
     Partition& part = PartitionFor(pid);
-    std::lock_guard lock(part.mu);
+    TrackedLockGuard lock(part.mu);
     const int32_t rec = part.table.Lookup(pid);
     if (rec == -1 ||
         part.table.record(rec).state != SsdFrameState::kDirty) {
@@ -186,7 +186,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
 
   // Mark the group clean: move records from the dirty heap to the clean heap.
   for (auto& [part, rec] : group) {
-    std::lock_guard lock(part->mu);
+    TrackedLockGuard lock(part->mu);
     SsdFrameRecord& r = part->table.record(rec);
     if (r.state != SsdFrameState::kDirty) continue;  // raced with invalidate
     r.state = SsdFrameState::kClean;
@@ -210,7 +210,7 @@ void LazyCleaningCache::OnDegrade(IoContext& ctx) {
   // a hard error until WAL redo or a full rewrite supersedes them.
   std::vector<uint8_t> buf(disk_->page_bytes());
   for (auto& p : partitions_) {
-    std::lock_guard lock(p->mu);
+    TrackedLockGuard lock(p->mu);
     for (int32_t rec = 0; rec < p->table.capacity(); ++rec) {
       SsdFrameRecord& r = p->table.record(rec);
       if (r.state != SsdFrameState::kDirty) continue;
@@ -220,6 +220,9 @@ void LazyCleaningCache::OnDegrade(IoContext& ctx) {
         const IoResult w = disk_->WritePage(pid, buf, ctx);
         TURBOBP_CHECK_OK(w.status);
         ctx.Wait(w.time);
+        // The salvage copy reached the disk; the frame is still marked
+        // dirty, so a crash in either half of this window is idempotent.
+        TURBOBP_CRASH_POINT("lc/degrade-salvage");
         r.state = SsdFrameState::kClean;
         r.page_lsn = kInvalidLsn;
         dirty_frames_.fetch_sub(1);

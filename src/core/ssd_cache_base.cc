@@ -34,7 +34,8 @@ SsdCacheBase::SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
         std::make_unique<Partition>(static_cast<int32_t>(cap), SsdSplitHeap::KeyFn{});
     Partition* p = part.get();
     p->heap = SsdSplitHeap(
-        &p->table, [this, p](int32_t rec) { return HeapKey(*p, rec); });
+        &p->table,
+        [this, p](int32_t rec) { return HeapKeyForCallback(*p, rec); });
     p->frame_base = base;
     base += cap;
     partitions_.push_back(std::move(part));
@@ -51,7 +52,7 @@ SsdProbe SsdCacheBase::Probe(PageId pid) const {
   if (IsLostPage(pid)) return SsdProbe::kNewerCopy;
   if (degraded()) return SsdProbe::kAbsent;
   const Partition& part = PartitionFor(pid);
-  std::lock_guard lock(part.mu);
+  TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return SsdProbe::kAbsent;
   switch (part.table.record(rec).state) {
@@ -80,7 +81,7 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
     return false;
   }
   Partition& part = PartitionFor(pid);
-  std::lock_guard lock(part.mu);
+  TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) {
     Counters::Bump(counters_.probe_misses);
@@ -140,7 +141,7 @@ void SsdCacheBase::OnPageDirtied(PageId pid) {
 
 void SsdCacheBase::Invalidate(PageId pid) {
   Partition& part = PartitionFor(pid);
-  std::lock_guard lock(part.mu);
+  TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return;
   SsdFrameRecord& r = part.table.record(rec);
@@ -197,7 +198,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
   MaybeDegrade(ctx);
   if (degraded()) return false;
   Partition& part = PartitionFor(pid);
-  std::lock_guard lock(part.mu);
+  TrackedLockGuard lock(part.mu);
   int32_t rec = part.table.Lookup(pid);
   if (rec != -1) {
     // Already cached. A clean re-admission is content-identical: refresh
@@ -392,17 +393,17 @@ void SsdCacheBase::EnterDegradedMode(IoContext& ctx) {
 
 bool SsdCacheBase::IsLostPage(PageId pid) const {
   if (lost_live_.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard lock(fault_mu_);
+  TrackedLockGuard lock(fault_mu_);
   return lost_pages_.contains(pid);
 }
 
 std::vector<PageId> SsdCacheBase::LostPages() const {
-  std::lock_guard lock(fault_mu_);
+  TrackedLockGuard lock(fault_mu_);
   return std::vector<PageId>(lost_pages_.begin(), lost_pages_.end());
 }
 
 void SsdCacheBase::RecordLostPage(PageId pid) {
-  std::lock_guard lock(fault_mu_);
+  TrackedLockGuard lock(fault_mu_);
   if (lost_pages_.insert(pid).second) {
     lost_live_.fetch_add(1, std::memory_order_release);
   }
@@ -410,7 +411,7 @@ void SsdCacheBase::RecordLostPage(PageId pid) {
 
 void SsdCacheBase::ClearLostPage(PageId pid) {
   if (lost_live_.load(std::memory_order_acquire) == 0) return;
-  std::lock_guard lock(fault_mu_);
+  TrackedLockGuard lock(fault_mu_);
   if (lost_pages_.erase(pid) > 0) {
     lost_live_.fetch_sub(1, std::memory_order_release);
   }
@@ -420,7 +421,7 @@ std::vector<SsdManager::CheckpointEntry> SsdCacheBase::SnapshotForCheckpoint()
     const {
   std::vector<CheckpointEntry> entries;
   for (const auto& part : partitions_) {
-    std::lock_guard lock(part->mu);
+    TrackedLockGuard lock(part->mu);
     for (int32_t rec = 0; rec < part->table.capacity(); ++rec) {
       const SsdFrameRecord& r = part->table.record(rec);
       if (r.state != SsdFrameState::kClean && r.state != SsdFrameState::kDirty) {
@@ -478,6 +479,10 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
         const IoResult w = disk_->WritePage(e.page_id, buf, ctx);
         TURBOBP_CHECK_OK(w.status);
         ctx.Wait(w.time);
+        // The superseded dirty image is on disk; redo (which starts after
+        // restore) rolls the page forward from it. A crash before this
+        // write replays the same restore path, so the reseed is idempotent.
+        TURBOBP_CRASH_POINT("ssd/restore-reseed");
       }
       if (covered_lsn != nullptr) {
         Lsn& cl = (*covered_lsn)[e.page_id];
@@ -485,7 +490,7 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
       }
       continue;
     }
-    std::lock_guard lock(part.mu);
+    TrackedLockGuard lock(part.mu);
     if (part.table.Lookup(e.page_id) != -1) continue;  // duplicate entry
     // The exact record index must be free for the frame mapping to hold.
     // After a restart all records are free, so PopFree until we find it

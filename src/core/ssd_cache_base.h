@@ -87,16 +87,18 @@ class SsdCacheBase : public SsdManager {
   // Pages whose only current copy sat in a dirty SSD frame that could not
   // be salvaged. Reads of these pages fail hard (disk would be stale);
   // recovery (WAL redo) or a full page rewrite clears them.
-  bool IsLostPage(PageId pid) const;
-  std::vector<PageId> LostPages() const;
+  bool IsLostPage(PageId pid) const TURBOBP_EXCLUDES(fault_mu_);
+  std::vector<PageId> LostPages() const TURBOBP_EXCLUDES(fault_mu_);
 
  protected:
   struct Partition {
     Partition(int32_t capacity, SsdSplitHeap::KeyFn key)
         : table(capacity), heap(&table, std::move(key)) {}
-    SsdBufferTable table;
-    SsdSplitHeap heap;
+    SsdBufferTable table TURBOBP_GUARDED_BY(mu);
+    SsdSplitHeap heap TURBOBP_GUARDED_BY(mu);
     int64_t frame_base = 0;  // device page of this partition's frame 0
+    // SSD device I/O runs *under* mu by design (one partition per hardware
+    // context, Section 3.3.4) — see the latch-order spec table.
     mutable TrackedMutex<LatchClass::kSsdPartition> mu;
   };
 
@@ -110,7 +112,16 @@ class SsdCacheBase : public SsdManager {
   }
 
   // The per-partition heap key; LRU-2 by default, overridden by TAC.
-  virtual double HeapKey(const Partition& part, int32_t rec) const;
+  virtual double HeapKey(const Partition& part, int32_t rec) const
+      TURBOBP_REQUIRES(part.mu);
+  // Shim for the heap's key callback: SsdSplitHeap invokes its KeyFn only
+  // from operations that already run under the partition latch, but the
+  // lambda capture cannot carry that proof — so the callback routes through
+  // this unchecked hop instead of silencing the whole call chain.
+  double HeapKeyForCallback(const Partition& part, int32_t rec) const
+      TURBOBP_NO_THREAD_SAFETY_ANALYSIS {
+    return HeapKey(part, rec);
+  }
 
   // Admission policy of Section 2.2: below the aggressive-fill threshold
   // everything is admitted; afterwards only pages whose (random) re-access
@@ -129,10 +140,10 @@ class SsdCacheBase : public SsdManager {
 
   // Picks a replacement victim in `part` (clean-heap root by default;
   // TAC overrides with coldest-valid-temperature). Returns -1 if none.
-  virtual int32_t PickVictim(Partition& part);
+  virtual int32_t PickVictim(Partition& part) TURBOBP_REQUIRES(part.mu);
 
   // Unlinks `rec` from hash and heap (it stays allocated for reuse).
-  void DetachRecord(Partition& part, int32_t rec);
+  void DetachRecord(Partition& part, int32_t rec) TURBOBP_REQUIRES(part.mu);
 
   // Device page holding `rec` of `part`.
   uint64_t FrameOf(const Partition& part, int32_t rec) const {
@@ -143,38 +154,45 @@ class SsdCacheBase : public SsdManager {
   // returns the completion result. On failure the frame content is suspect
   // (possibly torn) — the caller must not serve reads from it.
   IoResult WriteFrame(Partition& part, int32_t rec,
-                      std::span<const uint8_t> data, IoContext& ctx);
+                      std::span<const uint8_t> data, IoContext& ctx)
+      TURBOBP_REQUIRES(part.mu);
   // Blocking single-frame SSD read into out; advances ctx.now.
   IoResult ReadFrame(Partition& part, int32_t rec, std::span<uint8_t> out,
-                     IoContext& ctx);
+                     IoContext& ctx) TURBOBP_REQUIRES(part.mu);
   // ReadFrame plus verification that `out` really holds `pid` at a valid
   // checksum, retrying (re-reading) transient errors and corruptions up to
   // options().io_retry_limit attempts. kCorruption after the last attempt
   // means the frame itself is bad (candidate for quarantine).
   Status ReadFrameVerified(Partition& part, int32_t rec, PageId pid,
-                           std::span<uint8_t> out, IoContext& ctx);
+                           std::span<uint8_t> out, IoContext& ctx)
+      TURBOBP_REQUIRES(part.mu);
 
   // Takes `rec` out of service permanently: detached from hash and heap,
   // never returned to the free list (the flash cells are bad), state
   // kQuarantined. Partition lock must be held.
-  void QuarantineFrameLocked(Partition& part, int32_t rec);
+  void QuarantineFrameLocked(Partition& part, int32_t rec)
+      TURBOBP_REQUIRES(part.mu);
 
-  // Counts one device error and, past the threshold, flips to pass-through
-  // mode. Must be called WITHOUT any partition lock held (LC's emergency
-  // flush takes them all). The deferred flag set by RecordDeviceError is
-  // consumed by MaybeDegrade at the next safe point.
+  // Counts one device error; safe under a partition lock (it only bumps an
+  // atomic — the actual mode flip is deferred to MaybeDegrade).
   void RecordDeviceError();
-  void MaybeDegrade(IoContext& ctx);
-  void EnterDegradedMode(IoContext& ctx);
+  // Consume the deferred error count and, past the threshold, flip to
+  // pass-through mode. Must be called WITHOUT any partition lock held:
+  // EnterDegradedMode runs OnDegrade, and LC's emergency flush takes every
+  // partition lock in turn.
+  void MaybeDegrade(IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  void EnterDegradedMode(IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
 
   // Design-specific last rites before pass-through mode; LC overrides this
   // with the emergency cleaner flush of its dirty frames.
   virtual void OnDegrade(IoContext& ctx) {}
 
   // Records that the only current copy of `pid` is gone.
-  void RecordLostPage(PageId pid);
+  void RecordLostPage(PageId pid) TURBOBP_EXCLUDES(fault_mu_);
   // A full-page rewrite (NewPage) or redo supersedes the lost copy.
-  void ClearLostPage(PageId pid);
+  void ClearLostPage(PageId pid) TURBOBP_EXCLUDES(fault_mu_);
 
   // Drops every cached page (used between benchmark runs and by tests).
   void Invalidate(PageId pid);
@@ -200,7 +218,7 @@ class SsdCacheBase : public SsdManager {
   // lock-free emptiness guard so the hot read path skips fault_mu_ while
   // nothing has been lost (the overwhelmingly common case).
   mutable TrackedMutex<LatchClass::kSsdFault> fault_mu_;
-  std::unordered_set<PageId> lost_pages_;
+  std::unordered_set<PageId> lost_pages_ TURBOBP_GUARDED_BY(fault_mu_);
   std::atomic<int64_t> lost_live_{0};
 
   // Stats counters: relaxed atomics, incremented from any thread (often

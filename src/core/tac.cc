@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "fault/crash_point.h"
 
 namespace turbobp {
 
@@ -50,7 +51,7 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
   const double temp = ExtentTemperature(pid);
   Partition& part = PartitionFor(pid);
   {
-    std::lock_guard lock(part.mu);
+    TrackedLockGuard lock(part.mu);
     const int32_t existing = part.table.Lookup(pid);
     if (existing != -1 &&
         part.table.record(existing).state != SsdFrameState::kInvalid) {
@@ -79,14 +80,14 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
   const double snapshot = temp;
   uint64_t generation = 0;
   {
-    std::lock_guard glock(latch_mu_);
+    TrackedLockGuard glock(latch_mu_);
     generation = ++admission_generation_;
     pending_admissions_[pid] = generation;
   }
   auto commit = [this, pid, snapshot, generation,
                  copy = std::move(copy)]() mutable {
     {
-      std::lock_guard glock(latch_mu_);
+      TrackedLockGuard glock(latch_mu_);
       const auto pending = pending_admissions_.find(pid);
       if (pending == pending_admissions_.end() ||
           pending->second != generation) {
@@ -96,7 +97,7 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
     }
     Partition& p = PartitionFor(pid);
     {
-      std::lock_guard lock(p.mu);
+      TrackedLockGuard lock(p.mu);
       const int32_t existing = p.table.Lookup(pid);
       if (existing != -1) return;  // raced (dirtied -> invalid, or admitted)
     }
@@ -106,13 +107,13 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
     if (AdmitPage(pid, std::span<const uint8_t>(copy), AccessKind::kRandom,
                   /*dirty=*/false, kInvalidLsn, ctx2)) {
       Partition& pp = PartitionFor(pid);
-      std::lock_guard lock(pp.mu);
+      TrackedLockGuard lock(pp.mu);
       const int32_t rec = pp.table.Lookup(pid);
       if (rec != -1) {
         SsdFrameRecord& r = pp.table.record(rec);
         r.key_snapshot = snapshot;
         pp.heap.UpdateKey(rec);
-        std::lock_guard llock(latch_mu_);
+        TrackedLockGuard llock(latch_mu_);
         latch_busy_[pid] = r.ready_at;
       }
     }
@@ -128,13 +129,13 @@ void TacCache::OnDiskRead(PageId pid, std::span<const uint8_t> data,
 void TacCache::OnPageDirtied(PageId pid) {
   // Cancel any scheduled admission write: its buffered image is now stale.
   {
-    std::lock_guard glock(latch_mu_);
+    TrackedLockGuard glock(latch_mu_);
     pending_admissions_.erase(pid);
   }
   ClearLostPage(pid);  // the rewrite supersedes any lost SSD copy
   if (degraded()) return;
   Partition& part = PartitionFor(pid);
-  std::lock_guard lock(part.mu);
+  TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return;
   SsdFrameRecord& r = part.table.record(rec);
@@ -164,7 +165,7 @@ EvictionOutcome TacCache::OnEvictDirty(PageId pid,
   outcome.write_to_disk = true;  // write-through, as in a traditional DBMS
   if (degraded()) return outcome;
   Partition& part = PartitionFor(pid);
-  std::lock_guard lock(part.mu);
+  TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return outcome;  // no invalid version -> not written to SSD
   SsdFrameRecord& r = part.table.record(rec);
@@ -177,6 +178,10 @@ EvictionOutcome TacCache::OnEvictDirty(PageId pid,
   // (a failed write leaves possibly-torn bytes; the frame stays invalid).
   const IoResult w = WriteFrame(part, rec, data, ctx);
   if (!w.ok()) return outcome;
+  // The fresh content is on the SSD but the record still says kInvalid: a
+  // crash in this window leaves the frame invalid (never served), which is
+  // exactly the pre-write state — benign in both directions.
+  TURBOBP_CRASH_POINT("tac/revalidate-write");
   r.state = SsdFrameState::kClean;
   r.Touch(ctx.now);
   r.key_snapshot = ExtentTemperature(pid);
@@ -202,7 +207,7 @@ int32_t TacCache::PickVictim(Partition& part) {
 }
 
 Time TacCache::LatchBusyUntil(PageId pid, Time now) {
-  std::lock_guard lock(latch_mu_);
+  TrackedLockGuard lock(latch_mu_);
   if (latch_busy_.size() > 8192) {
     for (auto it = latch_busy_.begin(); it != latch_busy_.end();) {
       it = it->second <= now ? latch_busy_.erase(it) : std::next(it);

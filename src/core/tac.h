@@ -75,12 +75,12 @@ class TacCache : public SsdCacheBase {
   // scheduled for. Dirtying the page erases the entry, permanently
   // abandoning that admission (Section 4.2): the buffered clean image is
   // stale the moment the page is modified, whether or not the page is
-  // later evicted and re-read. Guarded by latch_mu_.
-  std::unordered_map<PageId, uint64_t> pending_admissions_;
-  uint64_t admission_generation_ = 0;  // guarded by latch_mu_
+  // later evicted and re-read.
+  std::unordered_map<PageId, uint64_t> pending_admissions_
+      TURBOBP_GUARDED_BY(latch_mu_);
+  uint64_t admission_generation_ TURBOBP_GUARDED_BY(latch_mu_) = 0;
   // Pending/completed admission writes: pid -> latch release time.
-  // Guarded by latch_mu_.
-  std::unordered_map<PageId, Time> latch_busy_;
+  std::unordered_map<PageId, Time> latch_busy_ TURBOBP_GUARDED_BY(latch_mu_);
   TrackedMutex<LatchClass::kTacLatch> latch_mu_;
 };
 

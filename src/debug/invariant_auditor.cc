@@ -37,7 +37,7 @@ AuditReport InvariantAuditor::AuditBufferPool(const BufferPool& pool) {
   std::unordered_set<int32_t> mapped_frames;  // across all shards
   for (size_t si = 0; si < pool.shards_.size(); ++si) {
     const auto& sh = *pool.shards_[si];
-    std::lock_guard lock(sh.mu);
+    TrackedLockGuard lock(sh.mu);
     const std::string where = "shard " + std::to_string(si) + ": ";
     int64_t in_flight = 0;
 
@@ -190,7 +190,7 @@ AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
   for (size_t pi = 0; pi < cache.partitions_.size(); ++pi) {
     const auto& part = *cache.partitions_[pi];
     const std::string where = "partition " + std::to_string(pi);
-    std::lock_guard lock(part.mu);
+    TrackedLockGuard lock(part.mu);
     const SsdBufferTable& table = part.table;
     const SsdSplitHeap& heap = part.heap;
     const int32_t cap = table.capacity();
@@ -427,7 +427,7 @@ AuditReport InvariantAuditor::AuditSystem(const BufferPool& pool,
   std::vector<std::pair<PageId, bool>> resident;
   for (const auto& shard : pool.shards_) {
     const auto& sh = *shard;
-    std::lock_guard lock(sh.mu);
+    TrackedLockGuard lock(sh.mu);
     resident.reserve(resident.size() + sh.page_table.size());
     for (const auto& [pid, frame] : sh.page_table) {
       if (frame < sh.frame_begin || frame >= sh.frame_end) {
@@ -504,7 +504,7 @@ std::atomic<int64_t>& AuditAccess::DirtyFrames(SsdCacheBase& cache) {
 void AuditAccess::RebindPageTableEntry(BufferPool& pool, PageId pid,
                                        int32_t frame) {
   auto& sh = *pool.shards_[pool.ShardOf(pid)];
-  std::lock_guard lock(sh.mu);
+  TrackedLockGuard lock(sh.mu);
   if (frame < 0) {
     sh.page_table.erase(pid);
   } else {
@@ -514,13 +514,13 @@ void AuditAccess::RebindPageTableEntry(BufferPool& pool, PageId pid,
 
 void AuditAccess::SetFramePageId(BufferPool& pool, int32_t frame, PageId pid) {
   auto& sh = *pool.shards_[static_cast<size_t>(pool.frames_[frame].shard)];
-  std::lock_guard lock(sh.mu);
+  TrackedLockGuard lock(sh.mu);
   pool.frames_[frame].page_id = pid;
 }
 
 void AuditAccess::PushFreeList(BufferPool& pool, int32_t frame) {
   auto& sh = *pool.shards_[static_cast<size_t>(pool.frames_[frame].shard)];
-  std::lock_guard lock(sh.mu);
+  TrackedLockGuard lock(sh.mu);
   sh.free_list.push_back(frame);
 }
 

@@ -7,24 +7,53 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace turbobp {
 
-// Every latch in the engine belongs to one of these classes. The documented
-// acquisition discipline is the enum order: a thread may only acquire a latch
-// whose class is *greater* than every latch class it already holds, and must
-// never hold two latches of the same class (the code is written so that
-// same-class latches — e.g. two SSD partitions — are acquired one at a time).
+// Every latch in the engine belongs to one of these classes. The acquisition
+// discipline is the enum order: a thread may only acquire a latch whose class
+// is *greater* than every latch class it already holds, and must never hold
+// two latches of the same class (the code is written so that same-class
+// latches — e.g. two SSD partitions — are acquired one at a time).
 //
-//   kBufferPool   BufferPool::Shard::mu (outermost; never held across
-//                 device I/O — fetch/evict drop it before reading/writing)
-//   kBufferFrame  BufferPool::FrameSync::mu (per-frame wait channel for
-//                 in-flight I/O; taken briefly to sleep on / signal a frame)
-//   kWal          LogManager::mu_ (WAL appends run under a pool shard latch)
-//   kSsdPartition SsdCacheBase::Partition::mu
-//   kSsdFault     SsdCacheBase::fault_mu_ (lost-page set, degradation state)
-//   kTacLatch     TacCache::latch_mu_ (pending-admission latch table)
-//   kFaultDevice  FaultInjectingDevice::mu_ (held across the base device)
-//   kDevice       storage-device internals (innermost)
+// The table below is the SINGLE SOURCE OF TRUTH for that discipline. It is
+// parsed by tools/analysis/static_check.py (latch-order and io-under-latch
+// rules) and mirrored — not restated — by the DESIGN.md §7 capability map.
+// Three layers enforce it: this runtime checker (observed schedules), Clang
+// Thread Safety Analysis via the annotations on TrackedMutex below
+// (compile time, TURBOBP_THREAD_SAFETY=ON), and the structural checker
+// (lock-scope nesting over the whole tree, no schedule needed). Edit the
+// table, and all three follow.
+//
+// `device-io` says whether blocking StorageDevice/DiskManager calls are
+// permitted while a latch of that class is held:
+//   forbidden — the PR-5 invariant; fetch/evict drop the latch first.
+//   allowed   — I/O under the latch is that component's design (the WAL
+//               serializes flushes behind mu_; an SSD partition owns its
+//               slice of the device; FaultInjectingDevice wraps the base
+//               device call to order fault decisions with I/O).
+//
+// BEGIN LATCH ORDER SPEC (machine-readable; keep column alignment free-form,
+// one row per class, fields separated by whitespace)
+//   rank  class          owner-latch                      device-io
+//   0     kBufferPool    BufferPool::Shard::mu            forbidden
+//   1     kBufferFrame   BufferPool::FrameSync::mu        forbidden
+//   2     kWal           LogManager::mu_                  allowed
+//   3     kSsdPartition  SsdCacheBase::Partition::mu      allowed
+//   4     kSsdFault      SsdCacheBase::fault_mu_          forbidden
+//   5     kTacLatch      TacCache::latch_mu_              forbidden
+//   6     kFaultDevice   FaultInjectingDevice::mu_        allowed
+//   7     kDevice        storage-device internals         allowed
+// END LATCH ORDER SPEC
+//
+// Notes per class: kBufferPool is outermost and never held across device
+// I/O; kBufferFrame is the per-frame wait channel for in-flight I/O (taken
+// briefly to sleep on / signal a frame); kWal covers buffered appends (which
+// may run under a pool shard latch, kBufferPool -> kWal) *and* FlushToLocked's
+// log-device writes; kSsdFault guards the lost-page set and degradation
+// state; kTacLatch guards the pending-admission latch table; kDevice is
+// innermost (MemDevice internals).
 enum class LatchClass : uint8_t {
   kBufferPool = 0,
   kBufferFrame = 1,
@@ -85,27 +114,56 @@ class LatchOrderChecker {
 };
 
 // Drop-in std::mutex replacement that reports its class to the
-// LatchOrderChecker. Satisfies Lockable, so std::lock_guard /
-// std::unique_lock work unchanged (use CTAD: `std::lock_guard lock(mu_);`).
+// LatchOrderChecker. Satisfies Lockable, so std::unique_lock works unchanged
+// (the buffer pool's lock-juggling paths rely on that). Under Clang with
+// TURBOBP_THREAD_SAFETY=ON the mutex is additionally a *capability*: each
+// lock() acquires both this instance and the phantom per-class token
+// (LatchClassCap), so guarded fields, REQUIRES contracts on *Locked helpers,
+// and the EXCLUDES contracts on the blocking storage entry points are all
+// checked at compile time. Prefer TrackedLockGuard (below) over
+// std::lock_guard for plain scoped acquisition — the analysis cannot see
+// through libstdc++'s unannotated lock_guard.
 template <LatchClass kClass>
-class TrackedMutex {
+class TURBOBP_CAPABILITY("latch") TrackedMutex {
  public:
-  void lock() {
+  void lock() TURBOBP_ACQUIRE(this, TURBOBP_LATCH_CAP(kClass)) {
     LatchOrderChecker::OnAcquire(kClass);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() TURBOBP_TRY_ACQUIRE(true, this, TURBOBP_LATCH_CAP(kClass)) {
     if (!mu_.try_lock()) return false;
     LatchOrderChecker::OnAcquire(kClass);
     return true;
   }
-  void unlock() {
+  void unlock() TURBOBP_RELEASE(this, TURBOBP_LATCH_CAP(kClass)) {
     mu_.unlock();
     LatchOrderChecker::OnRelease(kClass);
   }
 
  private:
   std::mutex mu_;
+};
+
+// Scoped acquisition of a TrackedMutex, visible to the thread-safety
+// analysis (std::lock_guard on a TrackedMutex locks correctly at runtime
+// but is invisible to Clang's TSA, which silently weakens every
+// GUARDED_BY it should have discharged). CTAD makes it a drop-in:
+//   TrackedLockGuard lock(mu_);
+template <LatchClass kClass>
+class TURBOBP_SCOPED_CAPABILITY TrackedLockGuard {
+ public:
+  explicit TrackedLockGuard(TrackedMutex<kClass>& mu)
+      TURBOBP_ACQUIRE(mu, TURBOBP_LATCH_CAP(kClass))
+      : mu_(mu) {
+    mu_.lock();
+  }
+  ~TrackedLockGuard() TURBOBP_RELEASE() { mu_.unlock(); }
+
+  TrackedLockGuard(const TrackedLockGuard&) = delete;
+  TrackedLockGuard& operator=(const TrackedLockGuard&) = delete;
+
+ private:
+  TrackedMutex<kClass>& mu_;
 };
 
 }  // namespace turbobp

@@ -66,7 +66,7 @@ FaultKind FaultInjectingDevice::NextFault(IoOp op) {
 IoResult FaultInjectingDevice::Read(uint64_t first_page, uint32_t num_pages,
                                     std::span<uint8_t> out, Time now,
                                     bool charge) {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   if (offline_) {
     ++stats_.offline_rejects;
     return IoResult{now, Status::Unavailable("ssd offline")};
@@ -98,7 +98,7 @@ IoResult FaultInjectingDevice::Read(uint64_t first_page, uint32_t num_pages,
 IoResult FaultInjectingDevice::Write(uint64_t first_page, uint32_t num_pages,
                                      std::span<const uint8_t> data, Time now,
                                      bool charge) {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   if (offline_) {
     ++stats_.offline_rejects;
     return IoResult{now, Status::Unavailable("ssd offline")};
@@ -120,8 +120,11 @@ IoResult FaultInjectingDevice::Write(uint64_t first_page, uint32_t num_pages,
     const uint32_t pb = page_bytes();
     if (num_pages == 1) {
       std::vector<uint8_t> merged(pb);
-      base_->Read(first_page, 1, std::span<uint8_t>(merged), now,
-                  /*charge=*/false);
+      // Merge source is the old on-medium content. If even that read fails
+      // the tear proceeds over the zeroed buffer — the fault being modeled
+      // is corruption, so a worse tear is still a valid tear.
+      (void)base_->Read(first_page, 1, std::span<uint8_t>(merged), now,
+                        /*charge=*/false);
       std::memcpy(merged.data(), data.data(), pb / 2);
       return base_->Write(first_page, 1,
                           std::span<const uint8_t>(merged.data(), pb), now,
@@ -141,18 +144,18 @@ IoResult FaultInjectingDevice::Write(uint64_t first_page, uint32_t num_pages,
 }
 
 void FaultInjectingDevice::ForceOffline() {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   offline_ = true;
   stats_.offline = true;
 }
 
 bool FaultInjectingDevice::offline() const {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   return offline_;
 }
 
 FaultStats FaultInjectingDevice::fault_stats() const {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   return stats_;
 }
 

@@ -47,16 +47,19 @@ class FaultInjectingDevice : public StorageDevice {
   // Decides the fault for the next operation and advances the op counter.
   // `charge == false` ops (the loader) pass through unfaulted and undrawn,
   // keeping population traffic out of the deterministic stream.
-  FaultKind NextFault(IoOp op);
+  FaultKind NextFault(IoOp op) TURBOBP_REQUIRES(mu_);
 
   StorageDevice* const base_;
   const FaultPlan plan_;
 
+  // Held across the base-device call by design (kFaultDevice -> kDevice):
+  // the (op index, rng draw) stream must stay a single deterministic
+  // sequence even under concurrent callers.
   mutable TrackedMutex<LatchClass::kFaultDevice> mu_;
-  Rng rng_;
-  int64_t op_index_ = 0;
-  bool offline_ = false;
-  FaultStats stats_;
+  Rng rng_ TURBOBP_GUARDED_BY(mu_);
+  int64_t op_index_ TURBOBP_GUARDED_BY(mu_) = 0;
+  bool offline_ TURBOBP_GUARDED_BY(mu_) = false;
+  FaultStats stats_ TURBOBP_GUARDED_BY(mu_);
 };
 
 }  // namespace turbobp

@@ -35,18 +35,28 @@ class DiskManager {
   uint64_t num_pages() const { return data_->num_pages(); }
   StorageDevice* device() { return data_; }
 
-  // Blocking single-page read; advances ctx.now to completion.
-  Status ReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx);
+  // Blocking single-page read; advances ctx.now to completion. Like every
+  // entry point below: never call with a buffer-pool shard or frame latch
+  // held (the PR-5 invariant, enforced by the EXCLUDES contracts).
+  Status ReadPage(PageId pid, std::span<uint8_t> out, IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kBufferPool),
+                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame));
 
   // Blocking contiguous multi-page read as one device request.
   Status ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
-                   IoContext& ctx);
+                   IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kBufferPool),
+                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame));
 
   // Asynchronous writes: consume device time, return the completion time,
   // leave ctx.now unchanged.
-  IoResult WritePage(PageId pid, std::span<const uint8_t> data, IoContext& ctx);
+  IoResult WritePage(PageId pid, std::span<const uint8_t> data, IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kBufferPool),
+                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame));
   IoResult WritePages(PageId first, uint32_t n, std::span<const uint8_t> data,
-                      IoContext& ctx);
+                      IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kBufferPool),
+                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame));
 
   Time EstimateReadTime(AccessKind kind) const {
     return data_->EstimateReadTime(kind);

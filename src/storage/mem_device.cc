@@ -26,7 +26,7 @@ IoResult MemDevice::Read(uint64_t first_page, uint32_t num_pages,
                          std::span<uint8_t> out, Time now, bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
   TURBOBP_CHECK(out.size() >= static_cast<size_t>(num_pages) * page_bytes_);
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   for (uint32_t i = 0; i < num_pages; ++i) {
     ReadOne(first_page + i,
             out.subspan(static_cast<size_t>(i) * page_bytes_, page_bytes_));
@@ -39,7 +39,7 @@ IoResult MemDevice::Write(uint64_t first_page, uint32_t num_pages,
                           bool charge) {
   TURBOBP_CHECK(first_page + num_pages <= num_pages_);
   TURBOBP_CHECK(data.size() >= static_cast<size_t>(num_pages) * page_bytes_);
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   for (uint32_t i = 0; i < num_pages; ++i) {
     auto& stored = pages_[first_page + i];
     stored.assign(data.begin() + static_cast<size_t>(i) * page_bytes_,
@@ -49,29 +49,29 @@ IoResult MemDevice::Write(uint64_t first_page, uint32_t num_pages,
 }
 
 bool MemDevice::IsMaterialized(uint64_t page) const {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   return pages_.contains(page);
 }
 
 size_t MemDevice::materialized_pages() const {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   return pages_.size();
 }
 
 void MemDevice::Clear() {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   pages_.clear();
 }
 
 std::unordered_map<uint64_t, std::vector<uint8_t>> MemDevice::SnapshotContent()
     const {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   return pages_;
 }
 
 void MemDevice::RestoreContent(
     std::unordered_map<uint64_t, std::vector<uint8_t>> pages) {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   pages_ = std::move(pages);
 }
 

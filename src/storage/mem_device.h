@@ -49,13 +49,14 @@ class MemDevice : public StorageDevice {
   void RestoreContent(std::unordered_map<uint64_t, std::vector<uint8_t>> pages);
 
  private:
-  void ReadOne(uint64_t page, std::span<uint8_t> out);
+  void ReadOne(uint64_t page, std::span<uint8_t> out) TURBOBP_REQUIRES(mu_);
 
   const uint64_t num_pages_;
   const uint32_t page_bytes_;
   Synthesizer synthesizer_;
   mutable TrackedMutex<LatchClass::kDevice> mu_;
-  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_
+      TURBOBP_GUARDED_BY(mu_);
 };
 
 }  // namespace turbobp

@@ -24,7 +24,7 @@ LogManager::LogManager(StorageDevice* log_device) : device_(log_device) {
 }
 
 Lsn LogManager::Append(LogRecord rec) {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   rec.lsn = next_lsn_;
   rec.SealChecksum();
   next_lsn_ += rec.SizeOnDisk();
@@ -66,7 +66,7 @@ Lsn LogManager::AppendEndCheckpoint() {
 }
 
 Time LogManager::FlushTo(Lsn lsn, IoContext& ctx) {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   return FlushToLocked(lsn, ctx);
 }
 
@@ -115,7 +115,7 @@ Time LogManager::FlushToLocked(Lsn lsn, IoContext& ctx) {
 void LogManager::CommitForce(IoContext& ctx) {
   Time completion;
   {
-    std::lock_guard lock(mu_);
+    TrackedLockGuard lock(mu_);
     completion = FlushToLocked(next_lsn_, ctx);
   }
   // The commit's durability edge: the group-commit flush has been issued
@@ -125,7 +125,7 @@ void LogManager::CommitForce(IoContext& ctx) {
 }
 
 size_t LogManager::DropUnflushed() {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   size_t dropped = 0;
   while (!records_.empty() && records_.back().lsn > durable_lsn_) {
     records_.pop_back();
@@ -135,7 +135,7 @@ size_t LogManager::DropUnflushed() {
 }
 
 size_t LogManager::TruncateTornTail() {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   size_t bad = records_.size();
   for (size_t i = 0; i < records_.size(); ++i) {
     if (records_[i].lsn > durable_lsn_) {
@@ -161,7 +161,7 @@ size_t LogManager::TruncateTornTail() {
 
 void LogManager::RestoreDurableState(std::vector<LogRecord> records,
                                      Lsn durable_lsn) {
-  std::lock_guard lock(mu_);
+  TrackedLockGuard lock(mu_);
   records_ = std::move(records);
   durable_lsn_ = durable_lsn;
   next_lsn_ = records_.empty()

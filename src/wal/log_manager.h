@@ -55,47 +55,52 @@ class LogManager {
   LogManager& operator=(const LogManager&) = delete;
 
   Lsn AppendUpdate(uint64_t txn_id, PageId pid, uint32_t offset,
-                   std::span<const uint8_t> bytes);
-  Lsn AppendCommit(uint64_t txn_id);
-  Lsn AppendBeginCheckpoint();
-  Lsn AppendEndCheckpoint();
+                   std::span<const uint8_t> bytes) TURBOBP_EXCLUDES(mu_);
+  Lsn AppendCommit(uint64_t txn_id) TURBOBP_EXCLUDES(mu_);
+  Lsn AppendBeginCheckpoint() TURBOBP_EXCLUDES(mu_);
+  Lsn AppendEndCheckpoint() TURBOBP_EXCLUDES(mu_);
 
   // Forces the log through `lsn`. Asynchronous in virtual time: consumes
   // log-device time, returns the completion time, leaves ctx.now alone.
   // Idempotent for already-durable LSNs.
-  Time FlushTo(Lsn lsn, IoContext& ctx);
+  Time FlushTo(Lsn lsn, IoContext& ctx) TURBOBP_EXCLUDES(mu_);
 
   // Group commit: forces the whole log and blocks the client until durable.
-  void CommitForce(IoContext& ctx);
+  void CommitForce(IoContext& ctx) TURBOBP_EXCLUDES(mu_);
 
-  Lsn current_lsn() const {
-    std::lock_guard lock(mu_);
+  Lsn current_lsn() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
     return next_lsn_;
   }
-  Lsn durable_lsn() const {
-    std::lock_guard lock(mu_);
+  Lsn durable_lsn() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
     return durable_lsn_;
   }
   bool IsDurable(Lsn lsn) const { return lsn <= durable_lsn(); }
 
   // Total records appended / flush requests issued (stats).
-  int64_t num_records() const {
-    std::lock_guard lock(mu_);
+  int64_t num_records() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
     return static_cast<int64_t>(records_.size());
   }
-  int64_t flushes_issued() const {
-    std::lock_guard lock(mu_);
+  int64_t flushes_issued() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
     return flushes_;
   }
-  int64_t bytes_appended() const {
-    std::lock_guard lock(mu_);
+  int64_t bytes_appended() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
     return static_cast<int64_t>(next_lsn_);
   }
 
   // Recovery interface: all records, and the subset durable at crash time.
   // Returns a reference into the log's own storage: recovery is
   // single-threaded, so no latch is held while the caller iterates.
-  const std::vector<LogRecord>& records() const { return records_; }
+  // Deliberately latch-free (TURBOBP_NO_THREAD_SAFETY_ANALYSIS): see
+  // SnapshotForCrash below; the structural checker audits these callers.
+  const std::vector<LogRecord>& records() const
+      TURBOBP_NO_THREAD_SAFETY_ANALYSIS {
+    return records_;
+  }
 
   // Simulates a crash: discards records that were never forced to the log
   // device. Returns the number of records lost.
@@ -121,7 +126,7 @@ class LogManager {
     Lsn durable_lsn = 0;
     Lsn next_lsn = 1;
   };
-  CrashSnapshot SnapshotForCrash() const {
+  CrashSnapshot SnapshotForCrash() const TURBOBP_NO_THREAD_SAFETY_ANALYSIS {
     return CrashSnapshot{records_, durable_lsn_, next_lsn_};
   }
 
@@ -132,19 +137,21 @@ class LogManager {
   void RestoreDurableState(std::vector<LogRecord> records, Lsn durable_lsn);
 
  private:
-  Lsn Append(LogRecord rec);
-  Time FlushToLocked(Lsn lsn, IoContext& ctx);
+  Lsn Append(LogRecord rec) TURBOBP_EXCLUDES(mu_);
+  Time FlushToLocked(Lsn lsn, IoContext& ctx) TURBOBP_REQUIRES(mu_);
 
   // WAL latch: serializes appends and flushes. Acquired under the buffer
   // pool latch on the eviction path (kBufferPool -> kWal) and standalone by
-  // checkpoints and group commit.
+  // checkpoints and group commit. Log-device writes happen *under* mu_
+  // (FlushToLocked) by design — see the latch-order spec table.
   mutable TrackedMutex<LatchClass::kWal> mu_;
   StorageDevice* device_;
-  std::vector<LogRecord> records_;
-  Lsn next_lsn_ = 1;        // byte-offset LSN; 0 is kInvalidLsn
-  Lsn durable_lsn_ = 0;
-  uint64_t device_offset_pages_ = 0;  // wraps around the log device
-  int64_t flushes_ = 0;
+  std::vector<LogRecord> records_ TURBOBP_GUARDED_BY(mu_);
+  Lsn next_lsn_ TURBOBP_GUARDED_BY(mu_) = 1;  // byte-offset LSN; 0 invalid
+  Lsn durable_lsn_ TURBOBP_GUARDED_BY(mu_) = 0;
+  // Wraps around the log device.
+  uint64_t device_offset_pages_ TURBOBP_GUARDED_BY(mu_) = 0;
+  int64_t flushes_ TURBOBP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace turbobp

@@ -1,0 +1,21 @@
+// Negative test for tools/analysis/static_check.py, rule `io-under-latch`.
+//
+// A device read is issued while a BufferPool shard latch is held. The shard
+// latch is LatchClass::kBufferPool, which the LATCH ORDER SPEC marks
+// device-io=forbidden (the PR-5 invariant: no blocking device call under a
+// pool-wide latch). The checker must flag the ReadPage call; ctest asserts
+// a non-zero exit (WILL_FAIL).
+//
+// This file is never compiled — it is a fixture parsed by the structural
+// checker, written against the real type names so lock resolution works.
+
+namespace turbobp {
+
+void BadReadUnderShardLatch(Shard& sh, DiskManager* disk_, uint64_t pid,
+                            std::span<uint8_t> out, IoContext& ctx) {
+  TrackedLockGuard lock(sh.mu);
+  const Status s = disk_->ReadPage(pid, out, ctx);  // BAD: I/O under latch
+  TURBOBP_CHECK_OK(s);
+}
+
+}  // namespace turbobp

@@ -1,0 +1,22 @@
+// Negative test for tools/analysis/static_check.py, rule `latch-order`.
+//
+// Acquires the WAL latch (kWal, rank 2) while already holding an SSD
+// partition latch (kSsdPartition, rank 3). The LATCH ORDER SPEC requires
+// strictly increasing ranks, so this inversion — the classic WAL-vs-SSD
+// deadlock shape — must be flagged; ctest asserts a non-zero exit.
+//
+// Never compiled; a fixture parsed by the structural checker.
+
+namespace turbobp {
+
+void BadInvertedAcquisition(Partition& part, LogManager& log) {
+  TrackedLockGuard part_lock(part.mu);  // kSsdPartition, rank 3
+  TrackedLockGuard wal_lock(log.mu_);   // BAD: kWal (rank 2) after rank 3
+}
+
+void BadSameClassNesting(Partition& a, Partition& b) {
+  TrackedLockGuard first(a.mu);
+  TrackedLockGuard second(b.mu);  // BAD: same-class nesting (both rank 3)
+}
+
+}  // namespace turbobp

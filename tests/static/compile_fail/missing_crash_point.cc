@@ -1,0 +1,18 @@
+// Negative test for tools/analysis/static_check.py, rule `crash-point`.
+//
+// A function performs a durable write (DiskManager::WritePage) but contains
+// no TURBOBP_CRASH_POINT, so the crash-torture matrix could never exercise
+// a power cut at this durability edge. The checker must flag the function;
+// ctest asserts a non-zero exit.
+//
+// Never compiled; a fixture parsed by the structural checker.
+
+namespace turbobp {
+
+void BadUncoveredDurableWrite(DiskManager* disk_, uint64_t pid,
+                              std::span<const uint8_t> page, IoContext& ctx) {
+  const IoResult w = disk_->WritePage(pid, page, ctx);  // BAD: no crash point
+  TURBOBP_CHECK_OK(w.status);
+}
+
+}  // namespace turbobp

@@ -1,0 +1,43 @@
+// Negative-compile test for the Clang thread-safety wiring (Clang-only;
+// registered by ctest only when TURBOBP_THREAD_SAFETY=ON under Clang, and
+// compiled with -Wthread-safety -Wthread-safety-beta -Werror, WILL_FAIL).
+//
+// Expected diagnostics, each fatal under -Werror:
+//   * BadUnlockedRead   — reading a TURBOBP_GUARDED_BY field without
+//                         holding its mutex.
+//   * BadIoUnderLatch   — calling a TURBOBP_EXCLUDES(kBufferPool-capability)
+//                         function while a TrackedLockGuard holds a
+//                         kBufferPool-class latch: the compile-time form of
+//                         the PR-5 "no device I/O under a pool latch" rule.
+//
+// Under gcc (annotations compile to no-ops) this file is valid C++ and the
+// test is simply not registered.
+
+#include <cstdint>
+
+#include "debug/latch_order_checker.h"
+
+namespace turbobp {
+namespace {
+
+struct TsaDemo {
+  mutable TrackedMutex<LatchClass::kBufferPool> mu;
+  int64_t guarded TURBOBP_GUARDED_BY(mu) = 0;
+};
+
+// Models a blocking device entry point, annotated the same way as
+// StorageDevice::Read/Write and the DiskManager wrappers.
+void DeviceIo() TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kBufferPool));
+void DeviceIo() {}
+
+int64_t BadUnlockedRead(const TsaDemo& d) {
+  return d.guarded;  // BAD: guarded field read without holding d.mu
+}
+
+void BadIoUnderLatch(TsaDemo& d) {
+  TrackedLockGuard lock(d.mu);
+  DeviceIo();  // BAD: device call while holding a kBufferPool-class latch
+}
+
+}  // namespace
+}  // namespace turbobp
