@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "fault/crash_point.h"
+#include "storage/page.h"
 
 namespace turbobp {
 
@@ -124,7 +125,16 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   // one large sequential disk write.
   const uint32_t page_bytes = disk_->page_bytes();
   std::vector<uint8_t> buffer;
-  std::vector<std::pair<Partition*, int32_t>> group;
+  // What was staged, with the record's page id and LSN at staging time —
+  // the mark-clean pass below uses them to detect frames re-dirtied (or
+  // recycled) between the SSD read and the re-acquired latch.
+  struct Staged {
+    Partition* part;
+    int32_t rec;
+    PageId pid;
+    Lsn lsn_at_stage;
+  };
+  std::vector<Staged> group;
   Time last_ssd_read = ctx.now;
   for (int i = 0; i < options_.lc_group_pages; ++i) {
     const PageId pid = seed_pid + static_cast<PageId>(i);
@@ -161,7 +171,7 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
       break;
     }
     last_ssd_read = std::max(last_ssd_read, read_ctx.now);
-    group.emplace_back(&part, rec);
+    group.push_back({&part, rec, pid, part.table.record(rec).page_lsn});
   }
   if (group.empty()) return degraded() ? 0 : ctx.now + 1;
 
@@ -185,20 +195,37 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   TURBOBP_CRASH_POINT("lc/clean-disk-write");
 
   // Mark the group clean: move records from the dirty heap to the clean heap.
-  for (auto& [part, rec] : group) {
-    TrackedLockGuard lock(part->mu);
-    SsdFrameRecord& r = part->table.record(rec);
+  for (size_t i = 0; i < group.size(); ++i) {
+    Partition& part = *group[i].part;
+    const int32_t rec = group[i].rec;
+    // The LSN of the image that actually reached the disk, read from the
+    // staged copy's own header.
+    const Lsn staged_lsn =
+        PageView(buffer.data() + i * page_bytes, page_bytes).header().lsn;
+    TrackedLockGuard lock(part.mu);
+    SsdFrameRecord& r = part.table.record(rec);
     if (r.state != SsdFrameState::kDirty) continue;  // raced with invalidate
+    if (r.page_id != group[i].pid || r.page_lsn != group[i].lsn_at_stage) {
+      // The frame was re-dirtied with a newer image (or recycled for a
+      // different page) after we staged it; the disk now holds the older
+      // copy, so the frame must stay dirty (the cleaner will revisit it).
+      continue;
+    }
     r.state = SsdFrameState::kClean;
-    r.page_lsn = kInvalidLsn;
+    // Track the staged image's content LSN: the restart extension and the
+    // metadata journal verify a restored frame's on-page header against it.
+    r.page_lsn = staged_lsn;
     dirty_frames_.fetch_sub(1);
-    part->heap.DirtyToClean(rec);
+    part.heap.DirtyToClean(rec);
+    NoteJournalPut(FrameOf(part, rec), r.page_id, staged_lsn,
+                   /*dirty=*/false);
   }
   Counters::Bump(counters_.cleaner_disk_writes,
                  static_cast<int64_t>(group.size()));
   Counters::Bump(counters_.cleaner_io_requests);
   // Group fully cleaned and accounted (dirty counters decremented).
   TURBOBP_CRASH_POINT("lc/clean-marked");
+  MaintainJournal(ctx);
   return done;
 }
 
@@ -224,7 +251,7 @@ void LazyCleaningCache::OnDegrade(IoContext& ctx) {
         // dirty, so a crash in either half of this window is idempotent.
         TURBOBP_CRASH_POINT("lc/degrade-salvage");
         r.state = SsdFrameState::kClean;
-        r.page_lsn = kInvalidLsn;
+        r.page_lsn = PageView(buf.data(), disk_->page_bytes()).header().lsn;
         dirty_frames_.fetch_sub(1);
         p->heap.DirtyToClean(rec);
         Counters::Bump(counters_.emergency_cleaned);
@@ -273,6 +300,9 @@ IoResult LazyCleaningCache::FlushAllDirty(IoContext& ctx) {
     status = Status::IoError("dirty SSD frame lost during checkpoint flush");
   }
   if (!status.ok()) Counters::Bump(counters_.checkpoint_flush_failures);
+  // Chain to the base hook: the checkpoint is also the journal's force-flush
+  // point (persistent cache). Its outcome never overrides the drain status.
+  SsdCacheBase::FlushAllDirty(ctx);
   return IoResult{last, status};
 }
 

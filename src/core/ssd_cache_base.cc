@@ -40,6 +40,26 @@ SsdCacheBase::SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
     base += cap;
     partitions_.push_back(std::move(part));
   }
+  if (options.persistent_cache) {
+    const uint32_t region_pages = SsdMetadataJournal::RegionPagesFor(
+        options.num_frames, ssd_device->page_bytes());
+    TURBOBP_CHECK(ssd_device->num_pages() >=
+                  static_cast<uint64_t>(options.num_frames) + region_pages);
+    journal_ = std::make_unique<SsdMetadataJournal>(
+        ssd_device, static_cast<uint64_t>(options.num_frames), region_pages,
+        [this] {
+          std::vector<SsdMetadataJournal::Record> recs;
+          for (const CheckpointEntry& e : SnapshotForCheckpoint()) {
+            SsdMetadataJournal::Record r;
+            r.frame = e.frame;
+            r.page_id = e.page_id;
+            r.page_lsn = e.page_lsn;
+            r.dirty = e.dirty;
+            recs.push_back(r);
+          }
+          return recs;
+        });
+  }
 }
 
 double SsdCacheBase::HeapKey(const Partition& part, int32_t rec) const {
@@ -149,6 +169,7 @@ void SsdCacheBase::Invalidate(PageId pid) {
   DetachRecord(part, rec);
   part.table.PushFree(rec);
   used_frames_.fetch_sub(1);
+  NoteJournalErase(FrameOf(part, rec));
   Counters::Bump(counters_.invalidations);
 }
 
@@ -195,6 +216,16 @@ void SsdCacheBase::DetachRecord(Partition& part, int32_t rec) {
 bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
                              AccessKind kind, bool dirty, Lsn page_lsn,
                              IoContext& ctx) {
+  const bool admitted = AdmitPageImpl(pid, data, kind, dirty, page_lsn, ctx);
+  // Journal maintenance runs after the partition latch is released (the
+  // staged records were published under it; the device writes must not be).
+  MaintainJournal(ctx);
+  return admitted;
+}
+
+bool SsdCacheBase::AdmitPageImpl(PageId pid, std::span<const uint8_t> data,
+                                 AccessKind kind, bool dirty, Lsn page_lsn,
+                                 IoContext& ctx) {
   MaybeDegrade(ctx);
   if (degraded()) return false;
   Partition& part = PartitionFor(pid);
@@ -215,6 +246,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
         DetachRecord(part, rec);
         part.table.PushFree(rec);
         used_frames_.fetch_sub(1);
+        NoteJournalErase(FrameOf(part, rec));
         return false;
       }
       if (r.state != SsdFrameState::kDirty) {
@@ -227,6 +259,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
       }
       r.page_lsn = page_lsn;
       r.ready_at = w.time;
+      NoteJournalPut(FrameOf(part, rec), pid, page_lsn, /*dirty=*/true);
     } else {
       part.heap.UpdateKey(rec);
     }
@@ -242,6 +275,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
     DetachRecord(part, victim);
     part.table.PushFree(victim);
     used_frames_.fetch_sub(1);
+    NoteJournalErase(FrameOf(part, victim));
     Counters::Bump(counters_.evictions);
     rec = part.table.PopFree();
     TURBOBP_CHECK(rec != -1);
@@ -279,6 +313,7 @@ bool SsdCacheBase::AdmitPage(PageId pid, std::span<const uint8_t> data,
     part.heap.InsertClean(rec);
   }
   r.ready_at = w.time;
+  NoteJournalPut(FrameOf(part, rec), pid, r.page_lsn, dirty);
   Counters::Bump(counters_.admissions);
   // Mapping installed over freshly-landed frame content. For LC dirty
   // admissions this is the moment the SSD becomes the page's newest copy.
@@ -365,6 +400,21 @@ void SsdCacheBase::QuarantineFrameLocked(Partition& part, int32_t rec) {
   r.state = SsdFrameState::kQuarantined;
   used_frames_.fetch_sub(1);
   quarantined_frames_.fetch_add(1);
+  NoteJournalErase(FrameOf(part, rec));
+}
+
+void SsdCacheBase::QuarantineRestoredFrame(Partition& part, int32_t rec) {
+  SsdFrameRecord& r = part.table.record(rec);
+  // The record was just taken off the free list and never entered service:
+  // no detach, no used-frame decrement — only the permanent out-of-service
+  // marking (the auditor's free+used==capacity balance still holds, with
+  // the record counted on the used side as quarantined).
+  TURBOBP_CHECK(r.state == SsdFrameState::kFree);
+  r.page_id = kInvalidPageId;
+  r.page_lsn = kInvalidLsn;
+  r.ready_at = 0;
+  r.state = SsdFrameState::kQuarantined;
+  quarantined_frames_.fetch_add(1);
 }
 
 void SsdCacheBase::RecordDeviceError() {
@@ -442,28 +492,107 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
     const std::vector<CheckpointEntry>& entries, IoContext& ctx,
     const std::unordered_map<PageId, Lsn>* max_update_lsn,
     std::unordered_map<PageId, Lsn>* covered_lsn) {
+  return RestoreEntries(entries, ctx, max_update_lsn, covered_lsn, nullptr);
+}
+
+size_t SsdCacheBase::RestoreEntries(
+    const std::vector<CheckpointEntry>& entries, IoContext& ctx,
+    const std::unordered_map<PageId, Lsn>* max_update_lsn,
+    std::unordered_map<PageId, Lsn>* covered_lsn,
+    PersistentRestoreStats* stats) {
   size_t restored = 0;
   std::vector<uint8_t> buf(ssd_device_->page_bytes());
+  std::vector<uint8_t> disk_buf(disk_->page_bytes());
   for (const CheckpointEntry& e : entries) {
     Partition& part = PartitionFor(e.page_id);
     const int64_t rec64 = static_cast<int64_t>(e.frame) - part.frame_base;
     if (rec64 < 0 || rec64 >= part.table.capacity()) continue;
     const int32_t rec = static_cast<int32_t>(rec64);
-    // Trust but verify: the frame may have been recycled after the
-    // snapshot was taken. Read it back and check the page header. Reads
-    // are charged (restart-time work). A device error drops the entry —
-    // restore is best-effort warming, never correctness-critical.
-    const IoResult rres = ssd_device_->Read(e.frame, 1, buf, ctx.now, ctx.charge);
-    if (!rres.ok()) {
+    TrackedLockGuard lock(part.mu);
+    if (part.table.Lookup(e.page_id) != -1) continue;  // duplicate entry
+    // The exact record index must be free for the frame mapping to hold.
+    // Thread through the free list directly: pop until the target surfaces,
+    // re-pushing the others (after a restart all records are free).
+    std::vector<int32_t> popped;
+    int32_t got = -1;
+    while ((got = part.table.PopFree()) != -1 && got != rec) {
+      popped.push_back(got);
+    }
+    for (int32_t other : popped) part.table.PushFree(other);
+    if (got != rec) continue;  // record occupied or quarantined: stale entry
+    // Trust but verify: the frame may have been recycled after the snapshot
+    // was taken, or damaged while the cache was down. Reads are charged
+    // (restart-time work). A raw read distinguishes the two cheaply: a
+    // valid checksum naming a different page/LSN is a *recycled* frame
+    // (healthy cells, silent drop); only a failed read or bad checksum is
+    // escalated to the verified-retry path, whose persistent-corruption
+    // verdict quarantines the frame.
+    const IoResult rres =
+        ssd_device_->Read(e.frame, 1, buf, ctx.now, ctx.charge);
+    bool checksum_ok = false;
+    if (rres.ok()) {
+      ctx.Wait(rres.time);
+      checksum_ok =
+          PageView(buf.data(), ssd_device_->page_bytes()).VerifyChecksum();
+    } else {
       Counters::Bump(counters_.device_read_errors);
       RecordDeviceError();
+    }
+    if (!rres.ok() || !checksum_ok) {
+      const Status vs = ReadFrameVerified(part, rec, e.page_id, buf, ctx);
+      if (vs.IsCorruption()) {
+        if (PageView(buf.data(), ssd_device_->page_bytes()).VerifyChecksum()) {
+          // Valid content for a different page: recycled, healthy cells.
+          part.table.PushFree(rec);
+          continue;
+        }
+        // Persistently damaged content: out of service for good — the bug
+        // this path used to have was silently dropping such frames back
+        // onto the free list, re-exposing the bad cells to new admissions.
+        QuarantineRestoredFrame(part, rec);
+        if (stats != nullptr) ++stats->dropped_verification;
+        continue;
+      }
+      if (!vs.ok()) {  // device error past bounded retry
+        part.table.PushFree(rec);
+        if (stats != nullptr) ++stats->dropped_verification;
+        continue;
+      }
+    }
+    const PageView v(buf.data(), ssd_device_->page_bytes());
+    if (v.header().page_id != e.page_id || v.header().lsn != e.page_lsn) {
+      // The frame's self-identifying header does not back the entry's
+      // claim. Under a checkpoint-snapshot restore that is the expected
+      // recycled-frame case (silent); under the journal path it is a
+      // verification drop and counted as such.
+      part.table.PushFree(rec);
+      if (stats != nullptr) ++stats->dropped_verification;
       continue;
     }
-    ctx.Wait(rres.time);
-    PageView v(buf.data(), ssd_device_->page_bytes());
-    if (v.header().page_id != e.page_id || !v.VerifyChecksum() ||
-        v.header().lsn != e.page_lsn) {
-      continue;  // the frame was recycled after the snapshot
+    if (stats != nullptr && !e.dirty) {
+      // Journal path only: a "clean" journal entry can predate the disk
+      // write of the same image (write-through designs journal the SSD
+      // admission before the buffer pool's disk write lands). Attaching —
+      // and especially covering — such an entry would let redo skip an
+      // update the disk never received, and a clean frame may later be
+      // evicted without write-back. Only a disk copy at least as new as the
+      // entry proves the "clean" claim; anything else drops the entry and
+      // redo rebuilds the page from the disk base. (Checkpoint-snapshot
+      // restores skip this: their entries were taken with the disk drained
+      // current.)
+      const Status ds = disk_->ReadPage(e.page_id, disk_buf, ctx);
+      bool disk_current = false;
+      if (ds.ok()) {
+        const PageView dv(disk_buf.data(), disk_->page_bytes());
+        disk_current = dv.VerifyChecksum() &&
+                       dv.header().page_id == e.page_id &&
+                       dv.header().lsn >= e.page_lsn;
+      }
+      if (!disk_current) {
+        part.table.PushFree(rec);
+        ++stats->dropped_verification;
+        continue;
+      }
     }
     bool superseded = false;
     if (max_update_lsn != nullptr) {
@@ -471,6 +600,7 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
       superseded = it != max_update_lsn->end() && it->second > e.page_lsn;
     }
     if (superseded) {
+      part.table.PushFree(rec);
       // The copy is stale for serving reads, but it is still a valid page
       // image at its LSN: seed the disk with it (dirty copies may predate
       // the disk by a long stretch of skipped redo), and let redo roll the
@@ -483,6 +613,7 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
         // restore) rolls the page forward from it. A crash before this
         // write replays the same restore path, so the reseed is idempotent.
         TURBOBP_CRASH_POINT("ssd/restore-reseed");
+        if (stats != nullptr) ++stats->reseeded;
       }
       if (covered_lsn != nullptr) {
         Lsn& cl = (*covered_lsn)[e.page_id];
@@ -490,19 +621,6 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
       }
       continue;
     }
-    TrackedLockGuard lock(part.mu);
-    if (part.table.Lookup(e.page_id) != -1) continue;  // duplicate entry
-    // The exact record index must be free for the frame mapping to hold.
-    // After a restart all records are free, so PopFree until we find it
-    // would be wasteful; instead thread through the free list directly by
-    // popping until the target surfaces, re-pushing the others.
-    std::vector<int32_t> popped;
-    int32_t got = -1;
-    while ((got = part.table.PopFree()) != -1 && got != rec) {
-      popped.push_back(got);
-    }
-    for (int32_t other : popped) part.table.PushFree(other);
-    if (got != rec) continue;  // record occupied: stale entry
     SsdFrameRecord& r = part.table.record(rec);
     r.page_id = e.page_id;
     r.kind = AccessKind::kRandom;
@@ -513,7 +631,9 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
     // copy, the redo pass skips the records it covers, and the cleaner
     // carries on copying it to disk as before the crash.
     r.state = e.dirty ? SsdFrameState::kDirty : SsdFrameState::kClean;
+    r.access[0] = r.access[1] = 0;
     r.Touch(ctx.now);
+    r.ready_at = 0;  // content verified on the device: serveable immediately
     part.table.InsertHash(rec);
     if (e.dirty) {
       dirty_frames_.fetch_add(1);
@@ -522,13 +642,177 @@ size_t SsdCacheBase::RestoreFromCheckpoint(
       part.heap.InsertClean(rec);
     }
     used_frames_.fetch_add(1);
+    NoteJournalPut(e.frame, e.page_id, e.page_lsn, e.dirty);
     if (covered_lsn != nullptr) {
       Lsn& cl = (*covered_lsn)[e.page_id];
       cl = std::max(cl, e.page_lsn);
     }
+    if (stats != nullptr) {
+      ++stats->restored;
+      if (e.dirty && e.page_lsn != kInvalidLsn &&
+          (stats->min_dirty_lsn == kInvalidLsn ||
+           e.page_lsn < stats->min_dirty_lsn)) {
+        stats->min_dirty_lsn = e.page_lsn;
+      }
+    }
     ++restored;
   }
   return restored;
+}
+
+std::vector<SsdManager::CheckpointEntry> SsdCacheBase::LazyScanEntries(
+    IoContext& ctx,
+    const std::unordered_map<uint64_t, SsdMetadataJournal::RecoveredEntry>*
+        known) {
+  // Fallback for a torn/stale/absent journal: every frame header is
+  // self-identifying (page id + LSN + checksum), so the frame area itself
+  // is a slow second copy of the buffer table. Unmaterialized frames fail
+  // the checksum (all-zero pages do not self-verify) and are skipped.
+  std::vector<CheckpointEntry> found;
+  std::vector<uint8_t> buf(ssd_device_->page_bytes());
+  std::vector<uint8_t> disk_buf(disk_->page_bytes());
+  for (const auto& partp : partitions_) {
+    Partition& part = *partp;
+    TrackedLockGuard lock(part.mu);
+    for (int32_t rec = 0; rec < part.table.capacity(); ++rec) {
+      const uint64_t frame = FrameOf(part, rec);
+      if (known != nullptr && known->contains(frame)) continue;
+      const IoResult rres =
+          ssd_device_->Read(frame, 1, buf, ctx.now, ctx.charge);
+      if (!rres.ok()) {
+        Counters::Bump(counters_.device_read_errors);
+        RecordDeviceError();
+        continue;
+      }
+      ctx.Wait(rres.time);
+      const PageView v(buf.data(), ssd_device_->page_bytes());
+      if (!v.VerifyChecksum()) continue;
+      const PageId pid = v.header().page_id;
+      if (pid == kInvalidPageId || pid >= disk_->num_pages()) continue;
+      // Classify against the current disk copy: same LSN means the frame is
+      // a clean duplicate; an older disk copy (or an unreadable one) means
+      // the frame is the newer image and must come back dirty; a newer disk
+      // copy means the frame is a stale leftover.
+      const Status ds = disk_->ReadPage(pid, disk_buf, ctx);
+      if (ds.ok()) {
+        const PageView dv(disk_buf.data(), disk_->page_bytes());
+        if (dv.VerifyChecksum() && dv.header().page_id == pid) {
+          if (dv.header().lsn > v.header().lsn) continue;  // stale leftover
+          if (dv.header().lsn == v.header().lsn) {
+            CheckpointEntry e;
+            e.page_id = pid;
+            e.frame = frame;
+            e.dirty = false;
+            e.page_lsn = v.header().lsn;
+            found.push_back(e);
+            continue;
+          }
+        }
+      }
+      CheckpointEntry e;
+      e.page_id = pid;
+      e.frame = frame;
+      e.dirty = true;  // the SSD holds the newest (or only readable) image
+      e.page_lsn = v.header().lsn;
+      found.push_back(e);
+    }
+  }
+  return found;
+}
+
+bool SsdCacheBase::RecoverPersistentState(
+    Lsn horizon, IoContext& ctx,
+    const std::unordered_map<PageId, Lsn>* max_update_lsn,
+    std::unordered_map<PageId, Lsn>* covered_lsn,
+    PersistentRestoreStats* out) {
+  if (journal_ == nullptr || degraded()) return false;
+  PersistentRestoreStats local;
+  PersistentRestoreStats& st = out != nullptr ? *out : local;
+  st = PersistentRestoreStats{};
+  const SsdMetadataJournal::RecoveredState jr = journal_->Recover(ctx);
+  st.journal_valid = jr.valid;
+  st.journal_epoch = jr.epoch;
+  st.journal_torn = jr.torn_tail;
+  st.journal_stale = jr.fell_back;
+  st.entries_recovered = jr.entries.size();
+  // Only LC leaves frames whose content is newer than the disk; for the
+  // other designs a dirty marker can only be a journal-lag artifact, and
+  // re-attaching it dirty would wrongly shadow the disk. Redo heals
+  // whatever such a drop loses.
+  const bool keep_dirty = design() == SsdDesign::kLazyCleaning;
+  std::vector<CheckpointEntry> entries;
+  entries.reserve(jr.entries.size());
+  const auto filter_add = [&](const CheckpointEntry& e) {
+    // The no-frame-newer-than-durable rule: a frame whose LSN exceeds the
+    // WAL durable horizon reflects updates that did not survive the crash;
+    // serving it would resurrect rolled-back state. The WAL rule makes
+    // this impossible for frames written before the crash, so any match is
+    // a torn/garbled mapping — drop it.
+    if (e.page_lsn != kInvalidLsn && e.page_lsn > horizon) {
+      ++st.dropped_beyond_horizon;
+      return;
+    }
+    if (e.dirty && !keep_dirty) return;
+    entries.push_back(e);
+  };
+  for (const auto& [frame, re] : jr.entries) {
+    CheckpointEntry e;
+    e.page_id = re.page_id;
+    e.frame = frame;
+    e.dirty = re.dirty;
+    e.page_lsn = re.page_lsn;
+    filter_add(e);
+  }
+  if (jr.incomplete()) {
+    st.scan_fallback = true;
+    for (const CheckpointEntry& e :
+         LazyScanEntries(ctx, jr.valid ? &jr.entries : nullptr)) {
+      filter_add(e);
+    }
+  }
+  // Newest image of each page first: RestoreEntries keeps the first
+  // attachment of a page and drops later duplicates.
+  std::sort(entries.begin(), entries.end(),
+            [](const CheckpointEntry& a, const CheckpointEntry& b) {
+              if (a.page_id != b.page_id) return a.page_id < b.page_id;
+              return a.page_lsn > b.page_lsn;
+            });
+  // The restore re-attaches into a live table; muting the journal hooks
+  // avoids staging a record per re-attached frame — the re-seal below
+  // snapshots the final table in one sweep instead.
+  journal_suppress_.store(true, std::memory_order_release);
+  RestoreEntries(entries, ctx, max_update_lsn, covered_lsn, &st);
+  journal_suppress_.store(false, std::memory_order_release);
+  const IoResult c = journal_->Compact(ctx);
+  if (!c.ok()) {
+    Counters::Bump(counters_.device_write_errors);
+    RecordDeviceError();
+  }
+  return true;
+}
+
+void SsdCacheBase::MaintainJournal(IoContext& ctx, bool force) {
+  if (journal_ == nullptr || degraded() ||
+      journal_suppress_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const IoResult r = journal_->Maintain(ctx, force);
+  if (!r.ok()) {
+    // Journal write failures are advisory for the cache (a stale journal
+    // only costs warm-restart coverage) but still count toward the device's
+    // degradation budget: the journal shares the medium with the frames.
+    Counters::Bump(counters_.device_write_errors);
+    RecordDeviceError();
+  }
+}
+
+IoResult SsdCacheBase::FlushAllDirty(IoContext& ctx) {
+  // CW/DW/TAC have no dirty frames to drain, so for them the checkpoint
+  // hook is purely the journal force-flush point (LC chains here from its
+  // own drain). Journal failures must not fail the checkpoint: the journal
+  // is a warm-restart hint, never a durability dependency.
+  MaintainJournal(ctx, /*force=*/true);
+  return IoResult{ctx.now, Status::Ok()};
 }
 
 SsdManagerStats SsdCacheBase::stats() const {
@@ -559,6 +843,12 @@ SsdManagerStats SsdCacheBase::stats() const {
   s.emergency_cleaned = ld(counters_.emergency_cleaned);
   s.checkpoint_flush_failures = ld(counters_.checkpoint_flush_failures);
   s.degraded = degraded();
+  if (journal_ != nullptr) {
+    s.journal_records_appended = journal_->records_appended();
+    s.journal_pages_written = journal_->pages_written();
+    s.journal_compactions = journal_->compactions();
+    s.journal_write_errors = journal_->write_errors();
+  }
   return s;
 }
 

@@ -10,6 +10,7 @@
 #include "core/ssd_buffer_table.h"
 #include "core/ssd_heap.h"
 #include "core/ssd_manager.h"
+#include "core/ssd_metadata_journal.h"
 #include "debug/latch_order_checker.h"
 #include "storage/disk_manager.h"
 #include "storage/storage_device.h"
@@ -37,6 +38,11 @@ struct SsdCacheOptions {
   int io_retry_limit = 3;
   Time io_retry_backoff = Micros(500);
   int64_t degrade_error_limit = 8;
+  // Persistent SSD cache: journal the buffer table to a metadata region at
+  // the tail of the SSD device (past the frame area), so cache contents
+  // survive a restart. The device must provide num_frames +
+  // SsdMetadataJournal::RegionPagesFor(num_frames, page_bytes) pages.
+  bool persistent_cache = false;
 };
 
 // Common machinery shared by the CW/DW/LC designs and TAC: the partitioned
@@ -66,6 +72,23 @@ class SsdCacheBase : public SsdManager {
       const std::vector<CheckpointEntry>& entries, IoContext& ctx,
       const std::unordered_map<PageId, Lsn>* max_update_lsn = nullptr,
       std::unordered_map<PageId, Lsn>* covered_lsn = nullptr) override;
+
+  // Persistent cache (options().persistent_cache): warm restart from the
+  // metadata journal + frame headers, reconciled against the WAL durable
+  // horizon. See RecoverPersistentState in SsdManager for the contract.
+  bool RecoverPersistentState(
+      Lsn horizon, IoContext& ctx,
+      const std::unordered_map<PageId, Lsn>* max_update_lsn = nullptr,
+      std::unordered_map<PageId, Lsn>* covered_lsn = nullptr,
+      PersistentRestoreStats* out = nullptr) override;
+
+  // Checkpoint hook shared by every design: force-flushes the staged
+  // journal records so the on-device journal catches up at least once per
+  // checkpoint. LC chains to this from its dirty-frame drain.
+  IoResult FlushAllDirty(IoContext& ctx) override;
+
+  // The metadata journal, when persistent_cache is on (tests/harness).
+  SsdMetadataJournal* journal() { return journal_.get(); }
 
   const SsdCacheOptions& options() const { return options_; }
   int64_t used_frames() const { return used_frames_.load(); }
@@ -138,6 +161,12 @@ class SsdCacheBase : public SsdManager {
   bool AdmitPage(PageId pid, std::span<const uint8_t> data, AccessKind kind,
                  bool dirty, Lsn page_lsn, IoContext& ctx);
 
+  // Quarantines `rec` while it is still on the free list (restore-time
+  // corruption: the frame never entered service, so QuarantineFrameLocked's
+  // used-frame bookkeeping does not apply).
+  void QuarantineRestoredFrame(Partition& part, int32_t rec)
+      TURBOBP_REQUIRES(part.mu);
+
   // Picks a replacement victim in `part` (clean-heap root by default;
   // TAC overrides with coldest-valid-temperature). Returns -1 if none.
   virtual int32_t PickVictim(Partition& part) TURBOBP_REQUIRES(part.mu);
@@ -197,11 +226,39 @@ class SsdCacheBase : public SsdManager {
   // Drops every cached page (used between benchmark runs and by tests).
   void Invalidate(PageId pid);
 
+  // --- persistent-cache journal hooks ---------------------------------------
+  // Optimistic publish-then-seal: the in-memory table mutation has already
+  // happened (under the partition latch) when these stage the matching
+  // journal record. No-ops when persistence is off or restore suppresses
+  // journaling (latch order kSsdPartition -> kSsdJournal makes the calls
+  // legal under a partition latch).
+  void NoteJournalPut(uint64_t frame, PageId pid, Lsn page_lsn, bool dirty) {
+    if (journal_ != nullptr && !journal_suppress_) {
+      journal_->NotePut(frame, pid, page_lsn, dirty);
+    }
+  }
+  void NoteJournalErase(uint64_t frame) {
+    if (journal_ != nullptr && !journal_suppress_) {
+      journal_->NoteErase(frame);
+    }
+  }
+  // Writes staged journal records to the device when enough have gathered
+  // (always, when `force`). Must be called OUTSIDE partition latches; a
+  // write failure counts as a device error toward degradation.
+  void MaintainJournal(IoContext& ctx, bool force = false)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+
   SsdCacheOptions options_;
   StorageDevice* ssd_device_;
   DiskManager* disk_;
   SimExecutor* executor_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+
+  // Persistent-cache metadata journal (null unless persistent_cache).
+  // journal_suppress_ mutes the Note* hooks while a restore re-attaches
+  // recovered entries (the post-restore compaction snapshots them anyway).
+  std::unique_ptr<SsdMetadataJournal> journal_;
+  std::atomic<bool> journal_suppress_{false};
 
   std::atomic<int64_t> used_frames_{0};
   std::atomic<int64_t> dirty_frames_{0};
@@ -248,6 +305,30 @@ class SsdCacheBase : public SsdManager {
   mutable Counters counters_;
 
  private:
+  // AdmitPage's body (everything under the partition latch); the public
+  // wrapper runs journal maintenance after the latch is released.
+  bool AdmitPageImpl(PageId pid, std::span<const uint8_t> data,
+                     AccessKind kind, bool dirty, Lsn page_lsn,
+                     IoContext& ctx);
+
+  // Shared restore engine behind RestoreFromCheckpoint and
+  // RecoverPersistentState; `stats` (optional) receives the drop/reseed
+  // breakdown.
+  size_t RestoreEntries(const std::vector<CheckpointEntry>& entries,
+                        IoContext& ctx,
+                        const std::unordered_map<PageId, Lsn>* max_update_lsn,
+                        std::unordered_map<PageId, Lsn>* covered_lsn,
+                        PersistentRestoreStats* stats);
+
+  // Lazy-scan fallback for a torn/stale/absent journal: reads every frame
+  // NOT claimed by `known` (may be null: scan everything), keeps the ones
+  // whose self-identifying header checks out, and classifies them
+  // clean/dirty against the current disk copy's LSN.
+  std::vector<CheckpointEntry> LazyScanEntries(
+      IoContext& ctx,
+      const std::unordered_map<uint64_t, SsdMetadataJournal::RecoveredEntry>*
+          known);
+
   friend class InvariantAuditor;  // read-only structural audits (src/debug)
   friend struct AuditAccess;      // corruption injection in auditor tests
 };

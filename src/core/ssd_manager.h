@@ -54,6 +54,28 @@ struct SsdManagerStats {
   int64_t emergency_cleaned = 0;    // LC: dirty frames salvaged at degrade
   int64_t checkpoint_flush_failures = 0;  // FlushAllDirty calls that failed
   bool degraded = false;            // cache flipped to pass-through
+  // Persistent-cache metadata journal (persistent_ssd_cache mode only).
+  int64_t journal_records_appended = 0;
+  int64_t journal_pages_written = 0;
+  int64_t journal_compactions = 0;
+  int64_t journal_write_errors = 0;
+};
+
+// Outcome of a persistent-cache warm restart (RecoverPersistentState).
+struct PersistentRestoreStats {
+  bool journal_valid = false;   // a usable journal epoch was found
+  uint64_t journal_epoch = 0;
+  bool journal_torn = false;    // append tail truncated at a CRC-torn page
+  bool journal_stale = false;   // fell back to an older epoch
+  bool scan_fallback = false;   // lazy frame scan ran (journal incomplete)
+  size_t entries_recovered = 0;   // journal entries considered
+  size_t restored = 0;            // frames re-attached to the cache
+  size_t dropped_beyond_horizon = 0;  // LSN > WAL durable horizon: dropped
+  size_t dropped_verification = 0;    // header/checksum mismatch: dropped
+  size_t reseeded = 0;            // superseded dirty images copied to disk
+  // Redo must start no later than this to roll re-attached dirty frames'
+  // disk copies forward (kInvalidLsn when no dirty frame was restored).
+  Lsn min_dirty_lsn = kInvalidLsn;
 };
 
 // The SSD manager of Figure 1: the component this paper contributes.
@@ -175,6 +197,23 @@ class SsdManager {
       const std::unordered_map<PageId, Lsn>* max_update_lsn = nullptr,
       std::unordered_map<PageId, Lsn>* covered_lsn = nullptr) {
     return 0;
+  }
+
+  // --- persistent SSD cache (persistent_ssd_cache mode) ---------------------
+
+  // Warm restart over a surviving SSD device: recovers the metadata journal,
+  // verifies each claimed mapping against the frame's self-identifying page
+  // header, reconciles against the WAL durable `horizon` (no frame whose LSN
+  // exceeds it is ever re-attached) and re-attaches the survivors. Falls
+  // back to a lazy scan of the frame area when the journal is torn, stale
+  // or absent. Returns false when the manager does not support (or was not
+  // configured for) persistence.
+  virtual bool RecoverPersistentState(
+      Lsn horizon, IoContext& ctx,
+      const std::unordered_map<PageId, Lsn>* max_update_lsn = nullptr,
+      std::unordered_map<PageId, Lsn>* covered_lsn = nullptr,
+      PersistentRestoreStats* out = nullptr) {
+    return false;
   }
 
   // --- misc ------------------------------------------------------------------

@@ -148,6 +148,9 @@ void TacCache::OnPageDirtied(PageId pid) {
   r.state = SsdFrameState::kInvalid;
   part.heap.Remove(rec);
   invalid_frames_.fetch_add(1);
+  // The frame must not be re-attached on a warm restart: its content is
+  // about to be superseded in the buffer pool.
+  NoteJournalErase(FrameOf(part, rec));
   Counters::Bump(counters_.invalidations);
 }
 
@@ -165,31 +168,38 @@ EvictionOutcome TacCache::OnEvictDirty(PageId pid,
   outcome.write_to_disk = true;  // write-through, as in a traditional DBMS
   if (degraded()) return outcome;
   Partition& part = PartitionFor(pid);
-  TrackedLockGuard lock(part.mu);
-  const int32_t rec = part.table.Lookup(pid);
-  if (rec == -1) return outcome;  // no invalid version -> not written to SSD
-  SsdFrameRecord& r = part.table.record(rec);
-  if (r.state != SsdFrameState::kInvalid) return outcome;
-  if (ThrottleBlocks(ctx.now)) {
-    Counters::Bump(counters_.throttled);
-    return outcome;
+  {
+    TrackedLockGuard lock(part.mu);
+    const int32_t rec = part.table.Lookup(pid);
+    if (rec == -1) return outcome;  // no invalid version -> not on the SSD
+    SsdFrameRecord& r = part.table.record(rec);
+    if (r.state != SsdFrameState::kInvalid) return outcome;
+    if (ThrottleBlocks(ctx.now)) {
+      Counters::Bump(counters_.throttled);
+      return outcome;
+    }
+    // Re-validate with the fresh content — but only once the write succeeded
+    // (a failed write leaves possibly-torn bytes; the frame stays invalid).
+    const IoResult w = WriteFrame(part, rec, data, ctx);
+    if (!w.ok()) return outcome;
+    // The fresh content is on the SSD but the record still says kInvalid: a
+    // crash in this window leaves the frame invalid (never served), which is
+    // exactly the pre-write state — benign in both directions.
+    TURBOBP_CRASH_POINT("tac/revalidate-write");
+    r.state = SsdFrameState::kClean;
+    r.Touch(ctx.now);
+    // Record the content LSN (like every other clean admission): the warm
+    // restart verifies a restored frame's header against it.
+    r.page_lsn = page_lsn;
+    r.key_snapshot = ExtentTemperature(pid);
+    part.heap.InsertClean(rec);
+    invalid_frames_.fetch_sub(1);
+    r.ready_at = w.time;
+    NoteJournalPut(FrameOf(part, rec), pid, page_lsn, /*dirty=*/false);
+    outcome.cached_on_ssd = true;
+    Counters::Bump(counters_.admissions);
   }
-  // Re-validate with the fresh content — but only once the write succeeded
-  // (a failed write leaves possibly-torn bytes; the frame stays invalid).
-  const IoResult w = WriteFrame(part, rec, data, ctx);
-  if (!w.ok()) return outcome;
-  // The fresh content is on the SSD but the record still says kInvalid: a
-  // crash in this window leaves the frame invalid (never served), which is
-  // exactly the pre-write state — benign in both directions.
-  TURBOBP_CRASH_POINT("tac/revalidate-write");
-  r.state = SsdFrameState::kClean;
-  r.Touch(ctx.now);
-  r.key_snapshot = ExtentTemperature(pid);
-  part.heap.InsertClean(rec);
-  invalid_frames_.fetch_sub(1);
-  r.ready_at = w.time;
-  outcome.cached_on_ssd = true;
-  Counters::Bump(counters_.admissions);
+  MaintainJournal(ctx);
   return outcome;
 }
 

@@ -8,6 +8,7 @@
 #include "core/ssd_buffer_table.h"
 #include "core/ssd_cache_base.h"
 #include "core/ssd_heap.h"
+#include "storage/page.h"
 
 namespace turbobp {
 
@@ -445,6 +446,52 @@ AuditReport InvariantAuditor::AuditSystem(const BufferPool& pool,
                  "page " + PidStr(pid) +
                      " is dirty in the memory pool but the SSD still serves"
                      " a copy (missed invalidation)");
+    }
+  }
+  return report;
+}
+
+AuditReport InvariantAuditor::AuditSsdFrameHeaders(const SsdCacheBase& cache) {
+  AuditReport report;
+  std::vector<uint8_t> buf(cache.ssd_device_->page_bytes());
+  for (size_t pi = 0; pi < cache.partitions_.size(); ++pi) {
+    const auto& part = *cache.partitions_[pi];
+    TrackedLockGuard lock(part.mu);
+    for (int32_t rec = 0; rec < part.table.capacity(); ++rec) {
+      const SsdFrameRecord& r = part.table.record(rec);
+      if (r.state != SsdFrameState::kClean &&
+          r.state != SsdFrameState::kDirty) {
+        continue;
+      }
+      const uint64_t frame = static_cast<uint64_t>(part.frame_base + rec);
+      const std::string where = "partition " + std::to_string(pi) +
+                                " record " + std::to_string(rec) + " (frame " +
+                                std::to_string(frame) + ", page " +
+                                PidStr(r.page_id) + "): ";
+      // Uncharged read: the audit must not perturb virtual time or queues.
+      const IoResult res =
+          cache.ssd_device_->Read(frame, 1, buf, /*now=*/0, /*charge=*/false);
+      if (!res.ok()) {
+        report.Add("ssd.frame_headers",
+                   where + "device read failed: " + res.status.ToString());
+        continue;
+      }
+      const PageView v(buf.data(), cache.ssd_device_->page_bytes());
+      if (!v.VerifyChecksum()) {
+        report.Add("ssd.frame_headers",
+                   where + "frame content fails its checksum");
+        continue;
+      }
+      if (v.header().page_id != r.page_id) {
+        report.Add("ssd.frame_headers", where + "frame header claims page " +
+                                            PidStr(v.header().page_id));
+      }
+      if (r.page_lsn != kInvalidLsn && v.header().lsn != r.page_lsn) {
+        report.Add("ssd.frame_headers",
+                   where + "frame header LSN " +
+                       std::to_string(v.header().lsn) +
+                       " != table LSN " + std::to_string(r.page_lsn));
+      }
     }
   }
   return report;

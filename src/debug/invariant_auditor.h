@@ -77,6 +77,15 @@ class InvariantAuditor {
   // applicable checks run.
   static AuditReport AuditSystem(const BufferPool& pool, const SsdManager* ssd);
 
+  // Persistent-cache rule: every in-service (kClean/kDirty) frame's
+  // on-device page header must match the buffer table — self-verifying
+  // checksum, the table's page id, and (when recorded) the table's LSN.
+  // After a warm restart this proves each re-attached frame really holds
+  // the page the recovered metadata claims. Reads the device (uncharged),
+  // so it is a separate entry point rather than part of AuditSystem —
+  // fault-injection tests legitimately run with unreadable frames.
+  static AuditReport AuditSsdFrameHeaders(const SsdCacheBase& cache);
+
   // The SSD copy-state machine (Figure 4 / Section 2.3): which frame-state
   // transitions the designs are allowed to make. Used by the auditor's
   // configuration checks and by tests.

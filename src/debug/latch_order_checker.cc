@@ -24,6 +24,7 @@ const char* ToString(LatchClass c) {
     case LatchClass::kBufferFrame: return "buffer-frame";
     case LatchClass::kWal: return "wal";
     case LatchClass::kSsdPartition: return "ssd-partition";
+    case LatchClass::kSsdJournal: return "ssd-journal";
     case LatchClass::kSsdFault: return "ssd-fault";
     case LatchClass::kTacLatch: return "tac-latch";
     case LatchClass::kFaultDevice: return "fault-device";

@@ -41,30 +41,35 @@ namespace turbobp {
 //   1     kBufferFrame   BufferPool::FrameSync::mu        forbidden
 //   2     kWal           LogManager::mu_                  allowed
 //   3     kSsdPartition  SsdCacheBase::Partition::mu      allowed
-//   4     kSsdFault      SsdCacheBase::fault_mu_          forbidden
-//   5     kTacLatch      TacCache::latch_mu_              forbidden
-//   6     kFaultDevice   FaultInjectingDevice::mu_        allowed
-//   7     kDevice        storage-device internals         allowed
+//   4     kSsdJournal    SsdMetadataJournal::mu_          forbidden
+//   5     kSsdFault      SsdCacheBase::fault_mu_          forbidden
+//   6     kTacLatch      TacCache::latch_mu_              forbidden
+//   7     kFaultDevice   FaultInjectingDevice::mu_        allowed
+//   8     kDevice        storage-device internals         allowed
 // END LATCH ORDER SPEC
 //
 // Notes per class: kBufferPool is outermost and never held across device
 // I/O; kBufferFrame is the per-frame wait channel for in-flight I/O (taken
 // briefly to sleep on / signal a frame); kWal covers buffered appends (which
 // may run under a pool shard latch, kBufferPool -> kWal) *and* FlushToLocked's
-// log-device writes; kSsdFault guards the lost-page set and degradation
-// state; kTacLatch guards the pending-admission latch table; kDevice is
-// innermost (MemDevice internals).
+// log-device writes; kSsdJournal guards the persistent-metadata journal's
+// in-memory staging state only — sealed pages are written to the device
+// *after* the latch is dropped (publish-then-seal), hence device-io
+// forbidden; kSsdFault guards the lost-page set and degradation state;
+// kTacLatch guards the pending-admission latch table; kDevice is innermost
+// (MemDevice internals).
 enum class LatchClass : uint8_t {
   kBufferPool = 0,
   kBufferFrame = 1,
   kWal = 2,
   kSsdPartition = 3,
-  kSsdFault = 4,
-  kTacLatch = 5,
-  kFaultDevice = 6,
-  kDevice = 7,
+  kSsdJournal = 4,
+  kSsdFault = 5,
+  kTacLatch = 6,
+  kFaultDevice = 7,
+  kDevice = 8,
 };
-inline constexpr int kNumLatchClasses = 8;
+inline constexpr int kNumLatchClasses = 9;
 
 const char* ToString(LatchClass c);
 

@@ -18,6 +18,7 @@ std::unique_ptr<SsdManager> BuildSsdManager(const SystemConfig& config,
   }
   SsdCacheOptions opts = config.ssd_options;
   opts.num_frames = config.ssd_frames;
+  opts.persistent_cache = config.persistent_ssd_cache;
   switch (config.design) {
     case SsdDesign::kCleanWrite:
       return std::make_unique<CleanWriteCache>(ssd_device, disk, opts,
@@ -54,7 +55,12 @@ DbSystem::DbSystem(const SystemConfig& config)
       ssd_device_(config_.design == SsdDesign::kNoSsd
                       ? nullptr
                       : std::make_unique<SimDevice>(
-                            static_cast<uint64_t>(config_.ssd_frames),
+                            static_cast<uint64_t>(config_.ssd_frames) +
+                                (config_.persistent_ssd_cache
+                                     ? SsdMetadataJournal::RegionPagesFor(
+                                           config_.ssd_frames,
+                                           config_.page_bytes)
+                                     : 0),
                             config_.page_bytes,
                             std::make_unique<SsdModel>(config_.ssd_params))),
       ssd_fault_device_(config_.inject_ssd_faults && ssd_device_ != nullptr
@@ -126,6 +132,34 @@ std::pair<RecoveryStats, size_t> DbSystem::RecoverWithSsdTable(IoContext& ctx) {
   const RecoveryStats stats =
       recovery.Recover(ctx, snapshot->min_dirty_lsn, nullptr, &covered);
   return {stats, restored};
+}
+
+std::pair<RecoveryStats, PersistentRestoreStats> DbSystem::RecoverPersistent(
+    IoContext& ctx) {
+  PersistentRestoreStats pstats;
+  // Prune the torn log tail FIRST: the durable horizon used to judge SSD
+  // frames must already exclude records that did not survive the crash
+  // (otherwise a frame could be admitted against an LSN that is about to be
+  // truncated away). Recover() repeats the call idempotently.
+  const size_t truncated = log_.TruncateTornTail();
+  const Lsn horizon = log_.durable_lsn();
+  // Per-page highest durable update LSN: proves whether a recovered frame
+  // is still the newest version of its page (in-memory log scan, no I/O).
+  std::unordered_map<PageId, Lsn> max_update_lsn;
+  for (const LogRecord& rec : log_.records()) {
+    if (!log_.IsDurable(rec.lsn)) break;
+    if (rec.type != LogRecordType::kUpdate) continue;
+    Lsn& maxl = max_update_lsn[rec.page_id];
+    maxl = std::max(maxl, rec.lsn);
+  }
+  std::unordered_map<PageId, Lsn> covered;
+  ssd_manager_->RecoverPersistentState(horizon, ctx, &max_update_lsn, &covered,
+                                       &pstats);
+  RecoveryManager recovery(&disk_manager_, &log_);
+  RecoveryStats stats =
+      recovery.Recover(ctx, pstats.min_dirty_lsn, nullptr, &covered);
+  stats.records_truncated += static_cast<int64_t>(truncated);
+  return {stats, pstats};
 }
 
 Database::Database(DbSystem* system) : system_(system) {

@@ -69,6 +69,11 @@ struct SystemConfig {
   SsdCacheOptions ssd_options;     // tau/mu/N/alpha/lambda (Table 2)
   BufferPool::Options bp_options;  // page_bytes/num_frames overwritten
   int tac_extent_pages = 32;
+  // Persistent SSD cache: the SSD device is enlarged by the metadata
+  // journal region and the cache journals its buffer table there, so a
+  // restart re-attaches surviving SSD contents (warm restart) instead of
+  // reformatting. Recovery must then go through RecoverPersistent().
+  bool persistent_ssd_cache = false;
   // Fault injection (src/fault): when enabled, the SSD device is wrapped in
   // a FaultInjectingDevice driven by `ssd_fault_plan`. The disk array and
   // the log device are never wrapped — the paper's safety argument (and
@@ -119,6 +124,15 @@ class DbSystem {
   // re-attached to the (fresh) SSD manager — a warm cache at restart
   // instead of hours of ramp-up. Returns (recovery stats, frames restored).
   std::pair<RecoveryStats, size_t> RecoverWithSsdTable(IoContext& ctx);
+
+  // Restart recovery for the persistent SSD cache (persistent_ssd_cache):
+  // prunes the torn log tail, recovers the SSD metadata journal, reconciles
+  // every recovered mapping against the WAL durable horizon (frames whose
+  // LSN exceeds it are never re-attached), re-attaches the survivors and
+  // runs redo with restored dirty frames covered. Falls back to plain
+  // Recover() semantics when the cache has no journal.
+  std::pair<RecoveryStats, PersistentRestoreStats> RecoverPersistent(
+      IoContext& ctx);
 
  private:
   SystemConfig config_;

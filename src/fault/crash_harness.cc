@@ -4,10 +4,13 @@
 #include <cstring>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/ssd_cache_base.h"
+#include "core/ssd_metadata_journal.h"
 #include "debug/invariant_auditor.h"
 #include "engine/bplus_tree.h"
 #include "engine/database.h"
@@ -40,18 +43,23 @@ SystemConfig MakeConfig(const CrashHarnessOptions& o) {
   config.ssd_options.num_partitions = 2;
   config.ssd_options.lc_dirty_fraction = 0.6;
   config.ssd_options.lc_group_pages = 4;
+  config.persistent_ssd_cache = o.persistent_ssd;
   return config;
 }
 
 // The durable state a power cut at one crash instant leaves behind: the
 // disk array's platter contents plus the log's records and durable horizon.
-// The SSD is deliberately absent — every design reformats it at restart
-// (paper, Section 6), which DbSystem's construction models.
+// In the classic designs the SSD is deliberately absent — every design
+// reformats it at restart (paper, Section 6), which DbSystem's construction
+// models. In persistent mode the SSD device content (frame area plus the
+// metadata-journal region) survives the cut and is captured too.
 struct CrashCapture {
   std::string point;
   int hit = 0;
   StripedDiskArray::Content disk;
   LogManager::CrashSnapshot log;
+  bool has_ssd = false;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> ssd;
 };
 
 // Captures crash snapshots at requested (point, hit) pairs. OnCrashPoint
@@ -61,7 +69,8 @@ struct CrashCapture {
 // engine.
 class SnapshotObserver : public CrashPointObserver {
  public:
-  explicit SnapshotObserver(DbSystem* system) : system_(system) {}
+  explicit SnapshotObserver(DbSystem* system, bool snapshot_ssd = false)
+      : system_(system), snapshot_ssd_(snapshot_ssd) {}
 
   void Request(const std::string& point, int hit) {
     requests_[point].insert(hit);
@@ -98,10 +107,15 @@ class SnapshotObserver : public CrashPointObserver {
     cap.hit = n;
     cap.disk = system_->disk_array().SnapshotContent();
     cap.log = system_->log().SnapshotForCrash();
+    if (snapshot_ssd_ && system_->ssd_device() != nullptr) {
+      cap.has_ssd = true;
+      cap.ssd = system_->ssd_device()->SnapshotContent();
+    }
     captures_[{cap.point, n}] = std::move(cap);
   }
 
   DbSystem* system_;
+  bool snapshot_ssd_ = false;
   bool capture_first_hits_ = false;
   std::map<std::string, int> hits_;
   std::map<std::string, std::set<int>> requests_;
@@ -180,7 +194,7 @@ WorkloadRun RunWorkload(const CrashHarnessOptions& o,
   TURBOBP_CHECK(run.catalog.next_free_page + 8 <= slot_first);
   const uint32_t slots_per_page = (o.page_bytes - kPageHeaderSize) / 4;
 
-  SnapshotObserver obs(&system);
+  SnapshotObserver obs(&system, o.persistent_ssd);
   for (const auto& [point, hit_set] : requests) {
     for (int hit : hit_set) obs.Request(point, hit);
   }
@@ -266,8 +280,94 @@ struct RecoveredDb {
   std::unique_ptr<DbSystem> system;
   std::unique_ptr<Database> db;
   RecoveryStats stats;
+  PersistentRestoreStats pstats;
   bool torn_injected = false;
+  bool ssd_fault_armed = false;
 };
+
+// Reads one SSD device page, XORs `mask` into the byte at `offset` and
+// writes the page back — the damaged-but-present image a torn write or a
+// decayed cell leaves behind. Uncharged: the mutation models medium damage,
+// not I/O traffic.
+void FlipDeviceByte(StorageDevice* dev, uint64_t page, uint32_t offset,
+                    uint8_t mask) {
+  std::vector<uint8_t> buf(dev->page_bytes());
+  dev->Read(page, 1, buf, /*now=*/0, /*charge=*/false);
+  buf[offset] ^= mask;
+  dev->Write(page, 1, buf, /*now=*/0, /*charge=*/false);
+}
+
+// Damages the restored SSD image per `fault`, after the log's durable state
+// is already in place (the frame-corruption fault prefers a frame whose
+// journal entry survives the horizon filter, so recovery must actually
+// verify and drop it rather than discard it earlier). Returns true when the
+// fault found something to damage.
+bool ApplyRestartFault(DbSystem* sys, const CrashHarnessOptions& o,
+                       SsdRestartFault fault) {
+  if (fault == SsdRestartFault::kClean) return true;
+  StorageDevice* dev = sys->ssd_device();
+  // A throwaway journal over the same region reads the on-device state so
+  // the mutation can aim at the exact page recovery will depend on.
+  SsdMetadataJournal probe(
+      dev, static_cast<uint64_t>(o.ssd_frames),
+      SsdMetadataJournal::RegionPagesFor(o.ssd_frames, o.page_bytes),
+      [] { return std::vector<SsdMetadataJournal::Record>(); });
+  IoContext tmp = sys->MakeContext(/*charge=*/false);
+  const SsdMetadataJournal::RecoveredState jr = probe.Recover(tmp);
+  const int half = jr.valid ? jr.half : 0;
+  switch (fault) {
+    case SsdRestartFault::kClean:
+      return true;
+    case SsdRestartFault::kTornJournalTail: {
+      // Corrupt the last consumed append page — or materialize garbage in
+      // the first append slot when the epoch has none, the page an
+      // interrupted first append would have left half-written.
+      const uint64_t page =
+          jr.append_pages > 0
+              ? probe.AppendBaseOf(half) + jr.append_pages - 1
+              : probe.AppendBaseOf(half);
+      if (jr.append_pages > 0) {
+        // Flip the stored CRC itself: magic/kind/epoch stay readable, so
+        // recovery classifies the page as this epoch's torn tail rather
+        // than end-of-log residue.
+        FlipDeviceByte(dev, page, 24, 0xFF);
+      } else {
+        std::vector<uint8_t> garbage(o.page_bytes, 0xA5);
+        dev->Write(page, 1, garbage, /*now=*/0, /*charge=*/false);
+      }
+      return jr.valid;
+    }
+    case SsdRestartFault::kStaleJournal:
+      // Destroy the current epoch's seal: recovery must fall back to the
+      // previous epoch (or nothing) while the device's frames are newer
+      // than any journal entry it can still read — the lazy-scan path.
+      FlipDeviceByte(dev, probe.SealPageOf(half), 8, 0xFF);
+      return jr.valid;
+    case SsdRestartFault::kCorruptFrameHeader: {
+      if (jr.entries.empty()) return false;
+      // Deterministic pick: the lowest eligible frame, preferring one whose
+      // entry the horizon filter keeps (so the drop must come from content
+      // verification, not from the LSN gate).
+      const Lsn horizon = sys->log().durable_lsn();
+      uint64_t target = UINT64_MAX;
+      uint64_t fallback = UINT64_MAX;
+      for (const auto& [frame, e] : jr.entries) {
+        fallback = std::min(fallback, frame);
+        if (e.page_lsn == kInvalidLsn || e.page_lsn <= horizon) {
+          target = std::min(target, frame);
+        }
+      }
+      if (target == UINT64_MAX) target = fallback;
+      // Flip the page-id's low byte: the frame's self-identifying header no
+      // longer backs the journal's claim. (The page checksum covers only the
+      // payload, so header damage is exactly what the claim check — not the
+      // CRC — must catch.)
+      FlipDeviceByte(dev, target, 0, 0xFF);
+      return true;
+    }
+  }
+  return false;
+}
 
 // Builds a fresh system over the capture's surviving bytes, as a restart
 // after the crash would find them. In torn mode the first *non-durable*
@@ -278,12 +378,16 @@ struct RecoveredDb {
 // replaying garbage.
 RecoveredDb MakeRestoredSystem(const CrashHarnessOptions& o,
                                const Catalog& catalog,
-                               const CrashCapture& cap, bool torn) {
+                               const CrashCapture& cap, bool torn,
+                               SsdRestartFault fault = SsdRestartFault::kClean) {
   RecoveredDb out;
   out.system = std::make_unique<DbSystem>(MakeConfig(o));
   out.db = std::make_unique<Database>(out.system.get());
   out.db->RestoreCatalog(catalog);
   out.system->disk_array().RestoreContent(cap.disk);
+  if (cap.has_ssd && out.system->ssd_device() != nullptr) {
+    out.system->ssd_device()->RestoreContent(cap.ssd);
+  }
 
   std::vector<LogRecord> records;
   Lsn durable = cap.log.durable_lsn;
@@ -306,12 +410,23 @@ RecoveredDb MakeRestoredSystem(const CrashHarnessOptions& o,
     }
   }
   out.system->log().RestoreDurableState(std::move(records), durable);
+  if (cap.has_ssd && out.system->ssd_device() != nullptr) {
+    out.ssd_fault_armed = ApplyRestartFault(out.system.get(), o, fault);
+  }
   return out;
 }
 
 RecoveryStats RecoverNow(DbSystem& system) {
   IoContext rctx = system.MakeContext();
   return system.Recover(rctx);
+}
+
+// Warm recovery: the persistent-cache restart path. Fills b.pstats.
+RecoveryStats RecoverWarm(RecoveredDb& b) {
+  IoContext rctx = b.system->MakeContext();
+  auto [stats, pstats] = b.system->RecoverPersistent(rctx);
+  b.pstats = pstats;
+  return stats;
 }
 
 // Byte-compares the full data volume of two recovered systems (synthesized
@@ -433,7 +548,165 @@ CrashScenarioResult VerifyCapture(const CrashHarnessOptions& o,
   return result;
 }
 
+std::string WarmLabel(const CrashHarnessOptions& o, const std::string& point,
+                      int hit, SsdRestartFault fault) {
+  return std::string("[design=") + ToString(o.design) +
+         " seed=" + std::to_string(o.seed) + " point=" + point +
+         " hit=" + std::to_string(hit) + " warm ssd_fault=" +
+         ToString(fault) + "]";
+}
+
+// Warm-restart verification: recover with the surviving (possibly damaged)
+// SSD image via RecoverPersistent and check the persistent-cache contract.
+// Oracle reads go through the buffer pool, not the raw disk: a restored
+// dirty LC frame legitimately shadows its stale disk copy, and the buffer
+// pool is the path by which clients observe the database.
+CrashScenarioResult VerifyWarmCapture(const CrashHarnessOptions& o,
+                                      const WorkloadRun& run,
+                                      const CrashCapture& cap,
+                                      SsdRestartFault fault) {
+  CrashScenarioResult result;
+  result.triggered = true;
+  const std::string label = WarmLabel(o, cap.point, cap.hit, fault);
+
+  RecoveredDb b =
+      MakeRestoredSystem(o, run.catalog, cap, /*torn=*/false, fault);
+  result.ssd_fault_armed = b.ssd_fault_armed;
+  b.stats = RecoverWarm(b);
+  result.recovery = b.stats;
+  result.persistent = b.pstats;
+  const Lsn horizon = cap.log.durable_lsn;
+
+  // 1. Horizon rule: no re-attached frame may claim an LSN beyond the WAL
+  // durable horizon — serving one would expose unrecoverable state.
+  for (const auto& e : b.system->ssd_manager().SnapshotForCheckpoint()) {
+    if (e.page_lsn != kInvalidLsn && e.page_lsn > horizon) {
+      result.failures.push_back(
+          label + " horizon rule: frame " + std::to_string(e.frame) +
+          " re-attached page " + std::to_string(e.page_id) + " at LSN " +
+          std::to_string(e.page_lsn) + " > durable horizon " +
+          std::to_string(horizon));
+    }
+  }
+
+  // 2. Convergence: a power cut immediately after recovery must leave a
+  // state whose own warm recovery redoes nothing. Captured before anything
+  // else touches the recovered system.
+  {
+    CrashCapture after;
+    after.point = cap.point + "+recovered";
+    after.hit = cap.hit;
+    after.disk = b.system->disk_array().SnapshotContent();
+    after.log = b.system->log().SnapshotForCrash();
+    after.has_ssd = true;
+    after.ssd = b.system->ssd_device()->SnapshotContent();
+    RecoveredDb conv = MakeRestoredSystem(o, run.catalog, after,
+                                          /*torn=*/false);
+    conv.stats = RecoverWarm(conv);
+    if (conv.stats.records_applied != 0) {
+      result.failures.push_back(
+          label + " re-crash after recovery redid " +
+          std::to_string(conv.stats.records_applied) + " records");
+    }
+  }
+
+  // 3. Determinism: a second recovery of the same damaged image must yield
+  // a byte-identical data volume.
+  {
+    RecoveredDb d =
+        MakeRestoredSystem(o, run.catalog, cap, /*torn=*/false, fault);
+    d.stats = RecoverWarm(d);
+    const std::string diff = ComparePages(*b.system, *d.system, o);
+    if (!diff.empty()) {
+      result.failures.push_back(label + " determinism: " + diff);
+    }
+  }
+
+  // 4. Oracle exactness through the buffer pool.
+  for (const auto& [cell, writes] : run.oracle) {
+    uint32_t expected = 0;
+    for (const OracleWrite& w : writes) {
+      if (w.lsn <= horizon) expected = w.value;
+    }
+    IoContext rctx = b.system->MakeContext();
+    uint32_t got = 0;
+    {
+      PageGuard g = b.system->buffer_pool().FetchPage(
+          cell.first, AccessKind::kRandom, rctx);
+      std::memcpy(&got, g.view().payload() + 4 * cell.second, 4);
+    }
+    ++result.oracle_cells;
+    if (got != expected) {
+      result.failures.push_back(
+          label + " oracle: page " + std::to_string(cell.first) + " slot " +
+          std::to_string(cell.second) + " expected " +
+          std::to_string(expected) + " got " + std::to_string(got));
+      if (result.failures.size() >= 8) break;
+    }
+  }
+
+  // 5. Structures consistent, and every in-service frame's on-device header
+  // matches the recovered table (the re-attachment proof).
+  const AuditReport report = InvariantAuditor::AuditSystem(
+      b.system->buffer_pool(), &b.system->ssd_manager());
+  if (!report.ok()) {
+    result.failures.push_back(label + " audit: " + report.ToString());
+  }
+  if (const auto* cache =
+          dynamic_cast<const SsdCacheBase*>(&b.system->ssd_manager())) {
+    const AuditReport headers = InvariantAuditor::AuditSsdFrameHeaders(*cache);
+    if (!headers.ok()) {
+      result.failures.push_back(label + " frame-header audit: " +
+                                headers.ToString());
+    }
+  }
+
+  // 6. Mid-redo idempotence: crash recovery itself halfway through redo,
+  // recover once more (the damage is already on the captured image), and
+  // require the final volume to match the single-pass reference.
+  if (b.stats.records_applied >= 2) {
+    const int k = 1 + static_cast<int>(b.stats.records_applied / 2);
+    RecoveredDb c =
+        MakeRestoredSystem(o, run.catalog, cap, /*torn=*/false, fault);
+    SnapshotObserver cobs(c.system.get(), /*snapshot_ssd=*/true);
+    cobs.Request(kRedoPoint, k);
+    {
+      ScopedCrashArm arm(&cobs);
+      c.stats = RecoverWarm(c);
+    }
+    const CrashCapture* mid = cobs.Find(kRedoPoint, k);
+    if (mid == nullptr) {
+      result.failures.push_back(label + " mid-redo crash point never hit " +
+                                std::to_string(k) + " times");
+    } else {
+      RecoveredDb d2 = MakeRestoredSystem(o, run.catalog, *mid,
+                                          /*torn=*/false);
+      d2.stats = RecoverWarm(d2);
+      const std::string diff = ComparePages(*b.system, *d2.system, o);
+      if (!diff.empty()) {
+        result.failures.push_back(label + " idempotence: " + diff);
+      }
+      result.idempotence_checked = true;
+    }
+  }
+  return result;
+}
+
 }  // namespace
+
+const char* ToString(SsdRestartFault fault) {
+  switch (fault) {
+    case SsdRestartFault::kClean:
+      return "clean";
+    case SsdRestartFault::kTornJournalTail:
+      return "torn-journal-tail";
+    case SsdRestartFault::kStaleJournal:
+      return "stale-journal";
+    case SsdRestartFault::kCorruptFrameHeader:
+      return "corrupt-frame-header";
+  }
+  return "unknown";
+}
 
 std::map<std::string, int> CrashHarness::ProbeCrashPoints() {
   return RunWorkload(options_, {}, /*capture_first_hits=*/false,
@@ -477,6 +750,60 @@ CrashMatrixResult CrashHarness::RunMatrix(bool quick) {
       if (cap.point != kEndPoint) points.insert(cap.point);
       for (const bool torn : {false, true}) {
         const CrashScenarioResult r = VerifyCapture(options_, run, cap, torn);
+        ++m.scenarios_run;
+        m.failures.insert(m.failures.end(), r.failures.begin(),
+                          r.failures.end());
+      }
+    }
+  };
+  sweep(first);
+  sweep(second);
+  m.points_covered = static_cast<int>(points.size());
+  return m;
+}
+
+CrashScenarioResult CrashHarness::RunWarmRestartScenario(
+    const std::string& point, int hit, SsdRestartFault fault) {
+  TURBOBP_CHECK(options_.persistent_ssd);
+  std::map<std::string, std::set<int>> requests;
+  requests[point].insert(hit);
+  WorkloadRun run = RunWorkload(options_, requests,
+                                /*capture_first_hits=*/false,
+                                /*capture_end=*/point == kEndPoint);
+  const auto it = run.captures.find({point, hit});
+  if (it == run.captures.end()) return CrashScenarioResult{};
+  return VerifyWarmCapture(options_, run, it->second, fault);
+}
+
+CrashMatrixResult CrashHarness::RunWarmRestartMatrix(bool quick) {
+  TURBOBP_CHECK(options_.persistent_ssd);
+  CrashMatrixResult m;
+  // Pass 1: first hit of every point that fires, plus the quiescent end
+  // state. Full mode adds a second pass crashing at each point's middle hit.
+  WorkloadRun first = RunWorkload(options_, {}, /*capture_first_hits=*/true,
+                                  /*capture_end=*/true);
+  std::map<std::string, std::set<int>> requests;
+  if (!quick) {
+    for (const auto& [point, count] : first.hits) {
+      if (count >= 3) requests[point].insert(1 + count / 2);
+    }
+  }
+  WorkloadRun second;
+  if (!requests.empty()) {
+    second = RunWorkload(options_, requests, /*capture_first_hits=*/false,
+                         /*capture_end=*/false);
+  }
+
+  constexpr SsdRestartFault kFaults[] = {
+      SsdRestartFault::kClean, SsdRestartFault::kTornJournalTail,
+      SsdRestartFault::kStaleJournal, SsdRestartFault::kCorruptFrameHeader};
+  std::set<std::string> points;
+  const auto sweep = [&](const WorkloadRun& run) {
+    for (const auto& [key, cap] : run.captures) {
+      if (cap.point != kEndPoint) points.insert(cap.point);
+      for (const SsdRestartFault fault : kFaults) {
+        const CrashScenarioResult r =
+            VerifyWarmCapture(options_, run, cap, fault);
         ++m.scenarios_run;
         m.failures.insert(m.failures.end(), r.failures.begin(),
                           r.failures.end());

@@ -6,9 +6,25 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/ssd_manager.h"
 #include "wal/recovery.h"
 
 namespace turbobp {
+
+// Restart fault applied to the surviving SSD image before a warm
+// (persistent-cache) recovery. Each models one way the SSD's durable state
+// can be damaged between power cut and restart — the warm matrix requires
+// recovery to stay oracle-exact under every one of them (losing warmth is
+// fine; losing correctness is not).
+enum class SsdRestartFault {
+  kClean = 0,           // SSD survives byte-exact
+  kTornJournalTail,     // journal append tail holds a CRC-torn page
+  kStaleJournal,        // current epoch's seal destroyed: journal is stale,
+                        //   frames on the device are newer than its entries
+  kCorruptFrameHeader,  // one journal-listed frame's content corrupted
+};
+
+const char* ToString(SsdRestartFault fault);
 
 // Deterministic crash-point torture harness.
 //
@@ -53,6 +69,11 @@ struct CrashHarnessOptions {
   uint64_t db_pages = 192;
   uint64_t bp_frames = 16;
   int64_t ssd_frames = 48;
+  // Persistent-cache mode: the workload runs with persistent_ssd_cache on,
+  // crash captures additionally snapshot the SSD device (frames + metadata
+  // journal region), and warm scenarios recover via
+  // DbSystem::RecoverPersistent instead of reformatting the SSD.
+  bool persistent_ssd = false;
 };
 
 struct CrashScenarioResult {
@@ -65,6 +86,11 @@ struct CrashScenarioResult {
   RecoveryStats recovery;       // stats of the post-crash recovery pass
   int64_t oracle_cells = 0;     // oracle cells compared
   bool idempotence_checked = false;
+  // Warm scenarios only: the SSD reconciliation outcome, and whether the
+  // requested restart fault found something to damage (an empty journal
+  // leaves kCorruptFrameHeader nothing to corrupt, for example).
+  PersistentRestoreStats persistent;
+  bool ssd_fault_armed = false;
 
   bool ok() const { return failures.empty(); }
 };
@@ -98,6 +124,23 @@ class CrashHarness {
   // tail). This is the {design, seed} slice of the ISSUE's matrix; tests and
   // scripts/crash_torture.sh iterate designs and seeds around it.
   CrashMatrixResult RunMatrix(bool quick = true);
+
+  // Warm-restart scenario (requires options.persistent_ssd): crash at the
+  // hit-th firing of `point`, restore the surviving SSD image, damage it per
+  // `fault`, recover via RecoverPersistent and verify — oracle exactness
+  // through the buffer pool (restored dirty frames legitimately shadow the
+  // disk), the horizon rule (no re-attached frame's LSN exceeds the WAL
+  // durable horizon), auditor + frame-header audit clean, convergence (an
+  // immediate re-crash after recovery redoes nothing), determinism (a second
+  // recovery from the same image yields a byte-identical volume), and
+  // mid-redo idempotence.
+  CrashScenarioResult RunWarmRestartScenario(const std::string& point, int hit,
+                                             SsdRestartFault fault);
+
+  // Sweeps every crash point that fires under this design × all four restart
+  // faults. Quick mode crashes at the first hit of each point; full mode adds
+  // the middle hit. Both include the end-of-workload crash.
+  CrashMatrixResult RunWarmRestartMatrix(bool quick = true);
 
   // Satellite: crash recovery itself at *every* k-th applied redo record of
   // an end-of-workload crash, recover again, and require the re-recovered

@@ -2,6 +2,9 @@
 #define TURBOBP_STORAGE_SIM_DEVICE_H_
 
 #include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/device_model.h"
 #include "storage/mem_device.h"
@@ -33,6 +36,19 @@ class SimDevice : public StorageDevice {
 
   MemDevice& store() { return store_; }
   DeviceTimeline& timeline() { return timeline_; }
+
+  // Crash simulation (src/fault/crash_harness): snapshot/restore of the
+  // materialized medium content. The persistent SSD cache depends on this
+  // covering the *whole* device — frame area plus the metadata-journal
+  // region carved out at the tail — so a restored device replays exactly
+  // what a power cut left behind.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> SnapshotContent() const {
+    return store_.SnapshotContent();
+  }
+  void RestoreContent(
+      std::unordered_map<uint64_t, std::vector<uint8_t>> pages) {
+    store_.RestoreContent(std::move(pages));
+  }
 
  private:
   MemDevice store_;

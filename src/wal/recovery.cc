@@ -44,9 +44,14 @@ RecoveryStats RecoveryManager::Recover(
   // durable to any client, so dropping them is the correct recovery.
   stats.records_truncated = static_cast<int64_t>(log_->TruncateTornTail());
   stats.redo_start_lsn = FindRedoStart();
+  // The override can only move redo EARLIER. kInvalidLsn from FindRedoStart
+  // means "no completed checkpoint: scan from the very beginning" — the
+  // earliest possible start, which no override may narrow. (A restored-SSD
+  // min-dirty LSN replacing it would skip the log prefix that rebuilds
+  // pages whose SSD copies were dropped at restore verification.)
   if (redo_start_override != kInvalidLsn &&
-      (stats.redo_start_lsn == kInvalidLsn ||
-       redo_start_override < stats.redo_start_lsn)) {
+      stats.redo_start_lsn != kInvalidLsn &&
+      redo_start_override < stats.redo_start_lsn) {
     stats.redo_start_lsn = redo_start_override;
   }
 

@@ -1,0 +1,174 @@
+// The restart-torture matrix for the persistent SSD cache: run each design
+// with persistent_ssd_cache on, cut power, damage the surviving SSD image in
+// each of the four ways ({clean, torn journal tail, stale journal + newer
+// frames, corrupted frame header}), and hold warm recovery to the oracle —
+// exact contents through the buffer pool, the horizon rule (no re-attached
+// frame beyond the WAL durable horizon), clean audits including per-frame
+// header verification, convergent and idempotent redo. Damage may cost
+// warmth (fewer frames re-attached), never correctness.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "fault/crash_harness.h"
+#include "fault/crash_point.h"
+
+namespace turbobp {
+namespace {
+
+constexpr char kEndPoint[] = "end-of-workload";
+
+constexpr SsdRestartFault kAllFaults[] = {
+    SsdRestartFault::kClean, SsdRestartFault::kTornJournalTail,
+    SsdRestartFault::kStaleJournal, SsdRestartFault::kCorruptFrameHeader};
+
+std::vector<uint64_t> SeedsFromEnv() {
+  const char* env = std::getenv("TURBOBP_TORTURE_SEEDS");
+  if (env == nullptr || *env == '\0') return {1, 2};
+  std::vector<uint64_t> seeds;
+  uint64_t current = 0;
+  bool in_number = false;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      current = current * 10 + static_cast<uint64_t>(*p - '0');
+      in_number = true;
+    } else {
+      if (in_number) seeds.push_back(current);
+      current = 0;
+      in_number = false;
+      if (*p == '\0') break;
+    }
+  }
+  return seeds.empty() ? std::vector<uint64_t>{1, 2} : seeds;
+}
+
+// The default run is the quick subset; CI's restart-torture job sets
+// TURBOBP_TORTURE_FULL / TURBOBP_TORTURE_SEEDS for the full sweep.
+bool FullSweep() {
+  const char* env = std::getenv("TURBOBP_TORTURE_FULL");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+CrashHarnessOptions PersistentOptions(SsdDesign design, uint64_t seed) {
+  CrashHarnessOptions opts;
+  opts.design = design;
+  opts.seed = seed;
+  opts.persistent_ssd = true;
+  return opts;
+}
+
+class RestartMatrixTest : public ::testing::TestWithParam<SsdDesign> {};
+
+// {design} x {fault} x {seed} at the maximal-redo-tail crash (quiescent end
+// of workload, largest surviving SSD population).
+TEST_P(RestartMatrixTest, WarmRestartSurvivesEveryRestartFault) {
+  if (!CrashPointsCompiledIn()) {
+    GTEST_SKIP() << "built with TURBOBP_CRASH_POINTS=OFF";
+  }
+  for (const uint64_t seed : SeedsFromEnv()) {
+    for (const SsdRestartFault fault : kAllFaults) {
+      CrashHarness harness(PersistentOptions(GetParam(), seed));
+      const CrashScenarioResult r =
+          harness.RunWarmRestartScenario(kEndPoint, /*hit=*/1, fault);
+      ASSERT_TRUE(r.triggered);
+      for (const std::string& f : r.failures) ADD_FAILURE() << f;
+      EXPECT_GT(r.oracle_cells, 0);
+
+      if (fault == SsdRestartFault::kClean) {
+        // An undamaged image must actually warm the cache: the journal is
+        // adopted and at least one frame survives reconciliation.
+        EXPECT_TRUE(r.persistent.journal_valid)
+            << ToString(GetParam()) << " seed " << seed;
+        EXPECT_GT(r.persistent.restored, 0u)
+            << ToString(GetParam()) << " seed " << seed
+            << " warm restart re-attached nothing";
+      }
+      if (fault == SsdRestartFault::kStaleJournal && r.ssd_fault_armed) {
+        // A destroyed seal forces the fallback ladder: older epoch or no
+        // journal, supplemented by the lazy frame scan.
+        EXPECT_TRUE(r.persistent.scan_fallback)
+            << ToString(GetParam()) << " seed " << seed;
+      }
+      if (fault == SsdRestartFault::kCorruptFrameHeader && r.ssd_fault_armed) {
+        // The damaged frame must be caught by content verification (and
+        // counted), not silently served.
+        EXPECT_GE(r.persistent.dropped_verification, 1u)
+            << ToString(GetParam()) << " seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSsdDesigns, RestartMatrixTest,
+                         ::testing::Values(SsdDesign::kCleanWrite,
+                                           SsdDesign::kDualWrite,
+                                           SsdDesign::kLazyCleaning,
+                                           SsdDesign::kTac),
+                         [](const auto& param_info) {
+                           return std::string(ToString(param_info.param));
+                         });
+
+// The full warm matrix for the richest design: every crash point that fires
+// under persistent LC (including the journal's own durability edges) x all
+// four restart faults.
+TEST(RestartTortureMatrixTest, LazyCleaningWarmMatrixAcrossCrashPoints) {
+  if (!CrashPointsCompiledIn()) {
+    GTEST_SKIP() << "built with TURBOBP_CRASH_POINTS=OFF";
+  }
+  CrashHarness harness(PersistentOptions(SsdDesign::kLazyCleaning, 1));
+  const CrashMatrixResult m = harness.RunWarmRestartMatrix(!FullSweep());
+  for (const std::string& f : m.failures) ADD_FAILURE() << f;
+  EXPECT_GE(m.points_covered, 10);
+  EXPECT_GT(m.scenarios_run, 4 * m.points_covered);
+}
+
+// Warm restart before ANY completed checkpoint: redo has no checkpoint to
+// start from and must scan the whole log. A dropped journal entry (e.g. a
+// frame whose header fails verification) then forces redo to rebuild that
+// page from its disk base — the log prefix below the restored frames'
+// min-dirty LSN must NOT be skipped, or the dropped page silently loses its
+// earliest committed updates. (Regression: the redo-start override used to
+// replace the "no checkpoint: scan from the beginning" sentinel.)
+TEST(RestartTortureMatrixTest, NoCheckpointWarmRestartCoversDroppedFrames) {
+  if (!CrashPointsCompiledIn()) {
+    GTEST_SKIP() << "built with TURBOBP_CRASH_POINTS=OFF";
+  }
+  for (const uint64_t seed : SeedsFromEnv()) {
+    for (const SsdRestartFault fault :
+         {SsdRestartFault::kClean, SsdRestartFault::kCorruptFrameHeader}) {
+      CrashHarnessOptions opts =
+          PersistentOptions(SsdDesign::kLazyCleaning, seed);
+      opts.checkpoint_every = 0;  // crash before any checkpoint exists
+      CrashHarness harness(opts);
+      const CrashScenarioResult r =
+          harness.RunWarmRestartScenario(kEndPoint, /*hit=*/1, fault);
+      ASSERT_TRUE(r.triggered);
+      for (const std::string& f : r.failures) ADD_FAILURE() << f;
+      EXPECT_GT(r.oracle_cells, 0);
+    }
+  }
+}
+
+// Persistent mode must not regress the classic cold-restart contract: the
+// full cold crash matrix (which ignores the surviving SSD) stays exact with
+// the journal running underneath, and the journal's durability edges fire.
+TEST(RestartTortureMatrixTest, PersistentModeKeepsColdMatrixExact) {
+  if (!CrashPointsCompiledIn()) {
+    GTEST_SKIP() << "built with TURBOBP_CRASH_POINTS=OFF";
+  }
+  CrashHarness harness(PersistentOptions(SsdDesign::kLazyCleaning, 1));
+  const auto points = harness.ProbeCrashPoints();
+  EXPECT_TRUE(points.contains("ssd/journal-append"))
+      << "journal append edge never fired";
+  EXPECT_TRUE(points.contains("ssd/journal-seal"))
+      << "journal seal edge never fired";
+  const CrashMatrixResult m = harness.RunMatrix(/*quick=*/true);
+  for (const std::string& f : m.failures) ADD_FAILURE() << f;
+}
+
+}  // namespace
+}  // namespace turbobp

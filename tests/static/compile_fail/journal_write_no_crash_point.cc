@@ -1,0 +1,23 @@
+// Negative test for tools/analysis/static_check.py, rule `crash-point`,
+// device-receiver form.
+//
+// A journal-style flush writes sealed metadata pages straight through a
+// StorageDevice (`device_->Write`, the raw call the SSD metadata journal
+// uses) without a TURBOBP_CRASH_POINT. That durable write is exactly the
+// publish edge the restart-torture matrix must be able to cut power on —
+// the checker must flag the function; ctest asserts a non-zero exit.
+//
+// Never compiled; a fixture parsed by the structural checker.
+
+namespace turbobp {
+
+IoResult BadJournalFlushWithoutCrashPoint(StorageDevice* device_,
+                                          uint64_t seal_page,
+                                          std::span<const uint8_t> sealed,
+                                          IoContext& ctx) {
+  // BAD: the seal page hits the medium with no named durability edge.
+  const IoResult w = device_->Write(seal_page, 1, sealed, ctx.now, ctx.charge);
+  return w;
+}
+
+}  // namespace turbobp
