@@ -32,6 +32,7 @@ cases=(
   "latch_order_inversion:latch-order"
   "dropped_ioresult:ioresult"
   "missing_crash_point:crash-point"
+  "submit_under_latch:async-io"
 )
 for spec in "${cases[@]}"; do
   name=${spec%%:*}

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "fault/crash_point.h"
+#include "io/async_io_engine.h"
 
 namespace turbobp {
 
@@ -58,8 +59,10 @@ void PageGuard::Release() {
 // ------------------------------------------------------------ BufferPool
 
 BufferPool::BufferPool(const Options& options, DiskManager* disk,
-                       LogManager* log, SsdManager* ssd)
-    : options_(options), disk_(disk), log_(log), ssd_(ssd) {
+                       LogManager* log, SsdManager* ssd,
+                       AsyncIoEngine* io_engine)
+    : options_(options), disk_(disk), log_(log), ssd_(ssd),
+      io_engine_(io_engine) {
   TURBOBP_CHECK(disk != nullptr);
   TURBOBP_CHECK(options.num_frames > 0);
   TURBOBP_CHECK(options.page_bytes == disk->page_bytes());
@@ -520,6 +523,49 @@ void BufferPool::PrefetchRange(PageId first, uint32_t n, IoContext& ctx) {
   }
   if (lo >= hi) return;
 
+  if (io_engine_ != nullptr) {
+    // Deep-queue path: one engine request per pending page, installed from
+    // the completion callback. The engine coalesces contiguous runs into
+    // vectored device ops bounded by its stripe-sized batch limit, so a
+    // 64-page window becomes several independent ops that a deep queue runs
+    // on all spindles at once (the serial path's single huge request already
+    // parallelises inside the striped array; the win here is overlapping
+    // the SSD-split and gap-split fragments). Callbacks take shard latches,
+    // so no pool latch may be held here.
+    uint32_t submitted = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      const Pending& ent = pages[i];
+      if (ent.probe == SsdProbe::kNewerCopy) {
+        // Newer SSD copy (LC): never read this page from disk (see the
+        // serial path below). Extra SSD read; drop the placeholder on
+        // failure.
+        if (!read_via_ssd(ent)) AbortRead(ent.frame, ent.pid);
+        continue;
+      }
+      AsyncIoRequest req;
+      req.op = IoOp::kRead;
+      req.first_page = ent.pid;
+      req.num_pages = 1;
+      req.out = FrameSpan(ent.frame);
+      req.on_complete = [this, &ctx, ent](const IoCompletion& c) {
+        TURBOBP_CHECK_OK(c.result.status);
+        VerifyFrameChecksum(ent.frame, ent.pid);
+        ssd_->OnDiskRead(ent.pid, FrameSpan(ent.frame),
+                         AccessKind::kSequential, ctx);
+        FinishPrefetch(ent.frame, ent.pid, ctx);
+        StatCounters::Bump(counters_.prefetch_pages);
+      };
+      io_engine_->Submit(req, ctx);
+      ++submitted;
+    }
+    if (submitted > 0) {
+      StatCounters::Bump(counters_.disk_page_reads, submitted);
+      ctx.disk_reads += submitted;
+      ctx.Wait(io_engine_->Drain(ctx));
+    }
+    return;
+  }
+
   // One contiguous disk read covering the remaining span (it may include
   // pages that are already resident or cached on the SSD; those disk copies
   // are discarded).
@@ -707,6 +753,7 @@ void BufferPool::EvictFrameLocked(Shard& sh, ShardLock& lock, int32_t frame,
 }
 
 Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {
+  if (io_engine_ != nullptr) return FlushAllDirtyAsync(ctx, for_checkpoint);
   Time last = ctx.now;
   std::vector<uint8_t> snapshot(options_.page_bytes);
   for (const auto& shp : shards_) {
@@ -762,6 +809,111 @@ Time BufferPool::FlushAllDirty(IoContext& ctx, bool for_checkpoint) {
       }
     }
   }
+  return last;
+}
+
+Time BufferPool::FlushAllDirtyAsync(IoContext& ctx, bool for_checkpoint) {
+  Time last = ctx.now;
+  struct Staged {
+    PageId pid = kInvalidPageId;
+    int32_t frame = -1;
+    AccessKind kind = AccessKind::kRandom;
+    Lsn lsn = kInvalidLsn;
+    std::vector<uint8_t> snapshot;
+  };
+  // A window of ~2x the ring keeps the device saturated while bounding the
+  // staging memory to a few dozen page images.
+  const size_t window =
+      static_cast<size_t>(io_engine_->queue_depth()) * 2;
+  std::vector<Staged> staged;
+  staged.reserve(window);
+
+  auto flush_window = [&]() {
+    if (staged.empty()) return;
+    // Sorting by page id lets the engine coalesce contiguous dirty runs
+    // into vectored writes.
+    std::sort(staged.begin(), staged.end(),
+              [](const Staged& a, const Staged& b) { return a.pid < b.pid; });
+    // WAL rule, once per window: the log must be durable through every
+    // staged page's LSN BEFORE any write is acknowledged to the queue (the
+    // sim backend may move bytes to the device inside Submit). Forcing to
+    // the window maximum over-forces at worst, never under-forces.
+    Lsn max_lsn = kInvalidLsn;
+    for (const Staged& s : staged) max_lsn = std::max(max_lsn, s.lsn);
+    const Time log_done =
+        log_ != nullptr ? log_->FlushTo(max_lsn, ctx) : ctx.now;
+    IoContext io_ctx = ctx;
+    io_ctx.now = std::max(ctx.now, log_done);
+    for (Staged& s : staged) {
+      AsyncIoRequest req;
+      req.op = IoOp::kWrite;
+      req.first_page = s.pid;
+      req.num_pages = 1;
+      req.data = std::span<const uint8_t>(s.snapshot);
+      // `staged` gains no elements until the window drains: the pointer
+      // stays valid for the callback's lifetime.
+      Staged* sp = &s;
+      req.on_complete = [this, &ctx, for_checkpoint,
+                         sp](const IoCompletion& c) {
+        TURBOBP_CHECK_OK(c.result.status);
+        // One dirty frame flushed; same durability edge as the serial
+        // path's per-page write. No pool latch is held (the engine dropped
+        // its own latch before calling back).
+        TURBOBP_CRASH_POINT("bp/flush-page");
+        if (for_checkpoint) {
+          IoContext ck_ctx = ctx;
+          ssd_->OnCheckpointWrite(sp->pid,
+                                  std::span<const uint8_t>(sp->snapshot),
+                                  sp->kind, sp->lsn, ck_ctx);
+          StatCounters::Bump(counters_.checkpoint_writes);
+        }
+        Shard& sh = ShardOfFrame(sp->frame);
+        ShardLock lock = LockShard(sh);
+        Frame& f = frames_[sp->frame];
+        f.dirty = false;
+        f.state.store(FrameState::kResident, std::memory_order_relaxed);
+        --sh.transient;
+        BumpEpochAndNotify(sp->frame);
+        NotifyAvail(sh);
+      };
+      io_engine_->Submit(req, io_ctx);
+    }
+    last = std::max(last, io_engine_->Drain(io_ctx));
+    staged.clear();
+  };
+
+  for (const auto& shp : shards_) {
+    Shard& sh = *shp;
+    for (int32_t i = sh.frame_begin; i < sh.frame_end; ++i) {
+      {
+        ShardLock lock = LockShard(sh);
+        Frame& f = frames_[i];
+        if (f.page_id == kInvalidPageId || !f.dirty ||
+            f.state.load(std::memory_order_relaxed) !=
+                FrameState::kResident) {
+          continue;  // empty, clean, or already being written elsewhere
+        }
+        Staged s;
+        s.pid = f.page_id;
+        s.frame = i;
+        s.kind = f.kind;
+        // kWriting until the completion callback settles the frame.
+        f.state.store(FrameState::kWriting, std::memory_order_relaxed);
+        ++sh.transient;
+        s.snapshot.resize(options_.page_bytes);
+        std::memcpy(s.snapshot.data(), FrameData(i), options_.page_bytes);
+        staged.push_back(std::move(s));
+      }
+      {
+        Staged& s = staged.back();
+        PageView v{std::span<uint8_t>(s.snapshot)};
+        v.SealChecksum();
+        s.lsn = v.header().lsn;
+      }
+      if (staged.size() >= window) flush_window();
+    }
+  }
+  flush_window();
   return last;
 }
 

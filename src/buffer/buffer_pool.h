@@ -21,6 +21,7 @@
 
 namespace turbobp {
 
+class AsyncIoEngine;
 class BufferPool;
 class InvariantAuditor;
 struct AuditAccess;
@@ -117,8 +118,13 @@ class BufferPool {
     uint32_t num_shards = 0;
   };
 
+  // `io_engine`, when provided, must wrap the same device `disk` mediates;
+  // PrefetchRange and FlushAllDirty then run as deep-queue submitters
+  // (DESIGN.md §12) instead of serial call-and-wait loops. Null keeps every
+  // path synchronous — the mode the unit tests that pin DiskManager request
+  // counts construct.
   BufferPool(const Options& options, DiskManager* disk, LogManager* log,
-             SsdManager* ssd);
+             SsdManager* ssd, AsyncIoEngine* io_engine = nullptr);
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -350,6 +356,13 @@ class BufferPool {
   void WaitWhileWriting(int32_t frame, ShardLock& lock)
       TURBOBP_NO_THREAD_SAFETY_ANALYSIS;
 
+  // Deep-queue checkpoint/shutdown drain: stages dirty frames in windows,
+  // forces the WAL once per window, submits per-page writes to io_engine_
+  // (which coalesces contiguous runs), and settles each frame from the
+  // completion callback. Only called when io_engine_ != nullptr.
+  Time FlushAllDirtyAsync(IoContext& ctx, bool for_checkpoint)
+      TURBOBP_NO_THREAD_SAFETY_ANALYSIS;
+
   // Wakes frame-waiters after a settle (shard latch held).
   void BumpEpochAndNotify(int32_t frame);
   // Wakes ClaimFrame waiters of `sh` (shard latch held).
@@ -370,6 +383,7 @@ class BufferPool {
   DiskManager* disk_;
   LogManager* log_;
   SsdManager* ssd_;
+  AsyncIoEngine* io_engine_ = nullptr;  // optional; wraps disk_'s device
   NoSsdManager fallback_ssd_;  // used when ssd == nullptr
 
   std::vector<uint8_t> arena_;

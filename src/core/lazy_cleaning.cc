@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "fault/crash_point.h"
+#include "io/async_io_engine.h"
 #include "storage/page.h"
 
 namespace turbobp {
@@ -185,11 +186,35 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   // admitted: the buffer pool forces the log before any dirty-page write.)
   IoContext write_ctx = ctx;
   write_ctx.now = last_ssd_read;
-  const IoResult wres = disk_->WritePages(
-      seed_pid, static_cast<uint32_t>(group.size()), buffer, write_ctx);
-  // The disk array is the durable home; its failure has no fallback.
-  TURBOBP_CHECK_OK(wres.status);
-  const Time done = wres.time;
+  Time done;
+  if (options_.disk_io_engine != nullptr) {
+    // Deep-queue path: one engine request per group page. Healthy groups
+    // still reach the device as coalesced vectored writes, but a transient
+    // EIO makes the engine split the batch and retry ONLY the failing page
+    // — DiskManager::WritePages' whole-request retry would re-write every
+    // already-durable neighbour in the group.
+    for (size_t i = 0; i < group.size(); ++i) {
+      AsyncIoRequest req;
+      req.op = IoOp::kWrite;
+      req.first_page = group[i].pid;
+      req.num_pages = 1;
+      req.data = std::span<const uint8_t>(
+          buffer.data() + i * page_bytes, page_bytes);
+      req.on_complete = [](const IoCompletion& c) {
+        // The disk array is the durable home; failure past the engine's
+        // bounded per-request retry has no fallback (serial-path parity).
+        TURBOBP_CHECK_OK(c.result.status);
+      };
+      options_.disk_io_engine->Submit(req, write_ctx);
+    }
+    done = options_.disk_io_engine->Drain(write_ctx);
+  } else {
+    const IoResult wres = disk_->WritePages(
+        seed_pid, static_cast<uint32_t>(group.size()), buffer, write_ctx);
+    // The disk array is the durable home; its failure has no fallback.
+    TURBOBP_CHECK_OK(wres.status);
+    done = wres.time;
+  }
   // The SSD→disk copy landed but the frames are still marked dirty: a crash
   // here must be harmless in either direction (the copy is idempotent).
   TURBOBP_CRASH_POINT("lc/clean-disk-write");

@@ -27,6 +27,7 @@ const char* ToString(LatchClass c) {
     case LatchClass::kSsdJournal: return "ssd-journal";
     case LatchClass::kSsdFault: return "ssd-fault";
     case LatchClass::kTacLatch: return "tac-latch";
+    case LatchClass::kIoEngine: return "io-engine";
     case LatchClass::kFaultDevice: return "fault-device";
     case LatchClass::kDevice: return "device";
   }

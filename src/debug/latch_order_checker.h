@@ -44,8 +44,9 @@ namespace turbobp {
 //   4     kSsdJournal    SsdMetadataJournal::mu_          forbidden
 //   5     kSsdFault      SsdCacheBase::fault_mu_          forbidden
 //   6     kTacLatch      TacCache::latch_mu_              forbidden
-//   7     kFaultDevice   FaultInjectingDevice::mu_        allowed
-//   8     kDevice        storage-device internals         allowed
+//   7     kIoEngine      AsyncIoEngine::mu_               forbidden
+//   8     kFaultDevice   FaultInjectingDevice::mu_        allowed
+//   9     kDevice        storage-device internals         allowed
 // END LATCH ORDER SPEC
 //
 // Notes per class: kBufferPool is outermost and never held across device
@@ -56,7 +57,11 @@ namespace turbobp {
 // in-memory staging state only — sealed pages are written to the device
 // *after* the latch is dropped (publish-then-seal), hence device-io
 // forbidden; kSsdFault guards the lost-page set and degradation state;
-// kTacLatch guards the pending-admission latch table; kDevice is innermost
+// kTacLatch guards the pending-admission latch table; kIoEngine guards the
+// async engine's submission/completion queues only — the engine DROPS its
+// mutex before every device call and before invoking completion callbacks
+// (which re-enter the frame state machine and may take rank-0 latches on a
+// fresh stack), hence device-io forbidden; kDevice is innermost
 // (MemDevice internals).
 enum class LatchClass : uint8_t {
   kBufferPool = 0,
@@ -66,10 +71,11 @@ enum class LatchClass : uint8_t {
   kSsdJournal = 4,
   kSsdFault = 5,
   kTacLatch = 6,
-  kFaultDevice = 7,
-  kDevice = 8,
+  kIoEngine = 7,
+  kFaultDevice = 8,
+  kDevice = 9,
 };
-inline constexpr int kNumLatchClasses = 9;
+inline constexpr int kNumLatchClasses = 10;
 
 const char* ToString(LatchClass c);
 

@@ -12,13 +12,15 @@ namespace {
 std::unique_ptr<SsdManager> BuildSsdManager(const SystemConfig& config,
                                             StorageDevice* ssd_device,
                                             DiskManager* disk,
-                                            SimExecutor* executor) {
+                                            SimExecutor* executor,
+                                            AsyncIoEngine* disk_engine) {
   if (config.design == SsdDesign::kNoSsd || ssd_device == nullptr) {
     return std::make_unique<NoSsdManager>();
   }
   SsdCacheOptions opts = config.ssd_options;
   opts.num_frames = config.ssd_frames;
   opts.persistent_cache = config.persistent_ssd_cache;
+  opts.disk_io_engine = disk_engine;
   switch (config.design) {
     case SsdDesign::kCleanWrite:
       return std::make_unique<CleanWriteCache>(ssd_device, disk, opts,
@@ -71,20 +73,30 @@ DbSystem::DbSystem(const SystemConfig& config)
           config_.log_device_pages, config_.page_bytes,
           std::make_unique<HddModel>(config_.log_params))),
       disk_manager_(disk_array_.get()),
+      disk_io_engine_(config_.io_queue_depth > 0
+                          ? std::make_unique<AsyncIoEngine>(
+                                disk_array_.get(),
+                                AsyncIoEngine::Options{
+                                    .queue_depth = config_.io_queue_depth})
+                          : nullptr),
       log_(log_device_.get()),
       ssd_manager_(BuildSsdManager(config_,
                                    ssd_fault_device_ != nullptr
                                        ? static_cast<StorageDevice*>(
                                              ssd_fault_device_.get())
                                        : ssd_device_.get(),
-                                   &disk_manager_, &executor_)),
-      buffer_pool_(std::make_unique<BufferPool>(config_.bp_options,
-                                                &disk_manager_, &log_,
-                                                ssd_manager_.get())),
+                                   &disk_manager_, &executor_,
+                                   disk_io_engine_.get())),
+      buffer_pool_(std::make_unique<BufferPool>(
+          config_.bp_options, &disk_manager_, &log_, ssd_manager_.get(),
+          disk_io_engine_.get())),
       checkpoint_(std::make_unique<CheckpointManager>(
           buffer_pool_.get(), ssd_manager_.get(), &log_, &executor_)) {}
 
 void DbSystem::Crash() {
+  // The engine's submission queue is volatile: queued-but-unissued requests
+  // die with the power, exactly like the pool's dirty frames.
+  if (disk_io_engine_ != nullptr) disk_io_engine_->Reset();
   buffer_pool_->Reset();
   log_.DropUnflushed();
   // A restart reformats the SSD buffer pool: no design to date reuses its
@@ -95,18 +107,19 @@ void DbSystem::Crash() {
                                      ? static_cast<StorageDevice*>(
                                            ssd_fault_device_.get())
                                      : ssd_device_.get(),
-                                 &disk_manager_, &executor_);
+                                 &disk_manager_, &executor_,
+                                 disk_io_engine_.get());
   buffer_pool_->set_ssd_manager(ssd_manager_.get());
   checkpoint_->set_ssd_manager(ssd_manager_.get());
 }
 
 RecoveryStats DbSystem::Recover(IoContext& ctx) {
-  RecoveryManager recovery(&disk_manager_, &log_);
+  RecoveryManager recovery(&disk_manager_, &log_, disk_io_engine_.get());
   return recovery.Recover(ctx);
 }
 
 std::pair<RecoveryStats, size_t> DbSystem::RecoverWithSsdTable(IoContext& ctx) {
-  RecoveryManager recovery(&disk_manager_, &log_);
+  RecoveryManager recovery(&disk_manager_, &log_, disk_io_engine_.get());
   const SsdTableSnapshot* snapshot = checkpoint_->latest_snapshot();
   if (snapshot == nullptr) {
     return {recovery.Recover(ctx), 0};
@@ -155,7 +168,7 @@ std::pair<RecoveryStats, PersistentRestoreStats> DbSystem::RecoverPersistent(
   std::unordered_map<PageId, Lsn> covered;
   ssd_manager_->RecoverPersistentState(horizon, ctx, &max_update_lsn, &covered,
                                        &pstats);
-  RecoveryManager recovery(&disk_manager_, &log_);
+  RecoveryManager recovery(&disk_manager_, &log_, disk_io_engine_.get());
   RecoveryStats stats =
       recovery.Recover(ctx, pstats.min_dirty_lsn, nullptr, &covered);
   stats.records_truncated += static_cast<int64_t>(truncated);

@@ -28,6 +28,7 @@ Status DiskManager::ReadPages(PageId first, uint32_t n, std::span<uint8_t> out,
   if (ctx.charge) {
     reads_.fetch_add(1, std::memory_order_relaxed);
     pages_read_.fetch_add(n, std::memory_order_relaxed);
+    if (n > 1) multi_page_reads_.fetch_add(1, std::memory_order_relaxed);
     ctx.disk_reads += n;
   }
   if (!res.ok()) {

@@ -71,6 +71,12 @@ class DiskManager {
   int64_t pages_read() const {
     return pages_read_.load(std::memory_order_relaxed);
   }
+  // Contiguous multi-page runs (n > 1) issued as ONE vectored device
+  // request — the paper's trimming optimisation, counted per request rather
+  // than per page so the accounting reflects what the device actually saw.
+  int64_t multi_page_reads() const {
+    return multi_page_reads_.load(std::memory_order_relaxed);
+  }
   int64_t pages_written() const {
     return pages_written_.load(std::memory_order_relaxed);
   }
@@ -88,6 +94,7 @@ class DiskManager {
   std::atomic<int64_t> reads_{0};
   std::atomic<int64_t> writes_{0};
   std::atomic<int64_t> pages_read_{0};
+  std::atomic<int64_t> multi_page_reads_{0};
   std::atomic<int64_t> pages_written_{0};
   std::atomic<int64_t> io_retries_{0};
   std::atomic<int64_t> io_errors_{0};

@@ -9,6 +9,8 @@
 
 namespace turbobp {
 
+class AsyncIoEngine;
+
 struct RecoveryStats {
   Lsn redo_start_lsn = kInvalidLsn;
   int64_t records_scanned = 0;
@@ -30,7 +32,14 @@ struct RecoveryStats {
 // applying each update record whose LSN is newer than the on-disk page LSN.
 class RecoveryManager {
  public:
-  RecoveryManager(DiskManager* disk, LogManager* log);
+  // `io_engine`, when provided, batches the redo pass's page reads: the
+  // records to replay are grouped into windows of distinct pages, each
+  // window's pages are prefetched through the engine's deep queue (reads of
+  // one page are also deduplicated within a window), and redo applies from
+  // the prefetched images. Page writes stay synchronous, preserving the
+  // per-record "recovery/redo-apply" idempotence edge.
+  RecoveryManager(DiskManager* disk, LogManager* log,
+                  AsyncIoEngine* io_engine = nullptr);
 
   // Replays the durable log from the latest completed checkpoint (or from
   // the beginning if none). Reads and writes pages directly through the
@@ -55,6 +64,7 @@ class RecoveryManager {
 
   DiskManager* disk_;
   LogManager* log_;
+  AsyncIoEngine* io_engine_;
 };
 
 }  // namespace turbobp

@@ -153,6 +153,43 @@ TEST(RestartTortureMatrixTest, NoCheckpointWarmRestartCoversDroppedFrames) {
   }
 }
 
+// The async I/O engine's submission queue is volatile: a write acknowledged
+// by Submit but not yet issued has moved no bytes, so a crash on the
+// "io/queued-write" edge loses it outright — it must NOT be treated as
+// durable. The WAL rule (log forced through the window's max LSN before any
+// Submit) is what makes the loss recoverable; this scenario holds recovery
+// to the exact-oracle standard on both engine edges, cold and warm.
+TEST(RestartTortureMatrixTest, QueuedButUnsubmittedWriteIsNotDurable) {
+  if (!CrashPointsCompiledIn()) {
+    GTEST_SKIP() << "built with TURBOBP_CRASH_POINTS=OFF";
+  }
+  CrashHarness harness(PersistentOptions(SsdDesign::kLazyCleaning, 1));
+  const auto points = harness.ProbeCrashPoints();
+  ASSERT_TRUE(points.contains("io/queued-write"))
+      << "checkpoint drain never staged a write on the engine";
+  ASSERT_TRUE(points.contains("io/submitted-write"))
+      << "engine never issued a write to the device";
+
+  for (const char* point : {"io/queued-write", "io/submitted-write"}) {
+    // Cold: the SSD is reformatted, redo alone rebuilds the lost write.
+    CrashHarnessOptions cold;
+    cold.design = SsdDesign::kLazyCleaning;
+    cold.seed = 1;
+    CrashScenarioResult r =
+        CrashHarness(cold).RunScenario(point, /*hit=*/1, /*torn_tail=*/false);
+    ASSERT_TRUE(r.triggered) << point;
+    for (const std::string& f : r.failures) ADD_FAILURE() << f;
+    EXPECT_GT(r.oracle_cells, 0);
+
+    // Warm: surviving SSD frames re-attach around the lost disk write.
+    r = harness.RunWarmRestartScenario(point, /*hit=*/1,
+                                       SsdRestartFault::kClean);
+    ASSERT_TRUE(r.triggered) << point;
+    for (const std::string& f : r.failures) ADD_FAILURE() << f;
+    EXPECT_GT(r.oracle_cells, 0);
+  }
+}
+
 // Persistent mode must not regress the classic cold-restart contract: the
 // full cold crash matrix (which ignores the surviving SSD) stays exact with
 // the journal running underneath, and the journal's durability edges fire.

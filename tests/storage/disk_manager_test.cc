@@ -45,6 +45,27 @@ TEST(DiskManagerTest, MultiPageReadIsOneRequest) {
   EXPECT_LT(ctx.now, 2 * dev.EstimateReadTime(AccessKind::kRandom));
 }
 
+TEST(DiskManagerTest, MultiPageReadsCountVectoredRequestsNotPages) {
+  SimDevice dev(1 << 10, 8192, std::make_unique<HddModel>());
+  DiskManager dm(&dev);
+  IoContext ctx;
+  std::vector<uint8_t> one(8192);
+  std::vector<uint8_t> many(8 * 8192);
+  ASSERT_TRUE(dm.ReadPage(0, one, ctx).ok());       // single-page: not counted
+  ASSERT_TRUE(dm.ReadPages(0, 8, many, ctx).ok());  // vectored: one increment
+  ASSERT_TRUE(dm.ReadPages(8, 1, one, ctx).ok());   // n == 1: not vectored
+  ASSERT_TRUE(dm.ReadPages(0, 4, many, ctx).ok());
+  EXPECT_EQ(dm.multi_page_reads(), 2);
+  EXPECT_EQ(dm.reads_issued(), 4);
+  EXPECT_EQ(dm.pages_read(), 14);
+
+  // Loader mode moves data without charging any counter.
+  IoContext free_ctx;
+  free_ctx.charge = false;
+  ASSERT_TRUE(dm.ReadPages(0, 8, many, free_ctx).ok());
+  EXPECT_EQ(dm.multi_page_reads(), 2);
+}
+
 TEST(DiskManagerTest, LoaderModeIsFree) {
   SimDevice dev(1 << 10, 8192, std::make_unique<HddModel>());
   DiskManager dm(&dev);

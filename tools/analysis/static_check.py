@@ -23,10 +23,18 @@ applied over lock-scope nesting reconstructed from the source text:
                   are violations. Statement scanning covers lambda bodies
                   and #define macro bodies.
   crash-point     Every function in the durability layers (src/buffer,
-                  src/core, src/wal, src/engine) that performs a durable
-                  write (device Write*, WriteFrame, WritePage[s]) must
-                  contain a TURBOBP_CRASH_POINT, so new durability edges
-                  cannot dodge the crash-torture matrix.
+                  src/core, src/wal, src/engine, src/io) that performs a
+                  durable write (device Write*, WriteFrame, WritePage[s])
+                  must contain a TURBOBP_CRASH_POINT, so new durability
+                  edges cannot dodge the crash-torture matrix.
+  async-io        No AsyncIoEngine entry point (Submit/TrySubmit/Reap/
+                  Drain on an engine-like receiver) while holding a
+                  kBufferPool, kBufferFrame or kSsdPartition latch:
+                  completion callbacks re-enter the frame state machine and
+                  take those latches on a fresh stack, so an engine call
+                  under one deadlocks (DESIGN.md §12 completion-context
+                  rules). Mirrors the TURBOBP_EXCLUDES contracts on the
+                  engine API for builds without Clang TSA.
 
 Sanctioned exceptions carry a `// check: allow(<rule>[: reason])` directive
 on the offending line or the line above it.
@@ -55,12 +63,14 @@ REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 SPEC_HEADER = os.path.join("src", "debug", "latch_order_checker.h")
 
-RULES = ("latch-order", "io-under-latch", "ioresult", "crash-point")
+RULES = ("latch-order", "io-under-latch", "ioresult", "crash-point",
+         "async-io")
 
 # Directories whose functions fall under the crash-point rule (durable-write
 # layers). Device models (src/storage), the fault injector (a decorator, not
 # a durability edge) and the sim are exempt.
-CRASH_POINT_DIRS = ("src/buffer", "src/core", "src/wal", "src/engine")
+CRASH_POINT_DIRS = ("src/buffer", "src/core", "src/wal", "src/engine",
+                    "src/io")
 
 # Method names that are blocking device I/O wherever they appear.
 IO_CALL_ANY_RECV = {
@@ -74,6 +84,14 @@ DEVICE_RECV = re.compile(r"^(?:\w*device\w*|base_|data_|disk_?|ssd_device_)$")
 
 # Durable-write calls for the crash-point rule (write side only).
 DURABLE_WRITE_ANY_RECV = {"WritePage", "WritePages", "WriteFrame"}
+
+# AsyncIoEngine entry points (async-io rule): only through an engine-like
+# receiver, so unrelated Submit/Drain methods on other objects are not
+# flagged. Completion callbacks take pool shard/frame and SSD partition
+# latches, so calling into the engine while holding one deadlocks.
+ENGINE_CALLS = {"Submit", "TrySubmit", "Reap", "Drain"}
+ENGINE_RECV = re.compile(r"^\w*engine\w*$")
+ENGINE_FORBIDDEN = {"kBufferPool", "kBufferFrame", "kSsdPartition"}
 
 # Functions whose IoResult/Status return must be consumed.
 RESULT_FNS_ANY_RECV = {
@@ -497,6 +515,18 @@ class FileChecker:
 
         for cm in CALL_RE.finditer(stmt):
             recv, fn = cm.group(1), cm.group(2)
+            if fn in ENGINE_CALLS and recv and ENGINE_RECV.match(recv):
+                held_engine_forbidden = [
+                    h for h in self.held_locks()
+                    if h.latch in ENGINE_FORBIDDEN]
+                if held_engine_forbidden:
+                    h = held_engine_forbidden[0]
+                    self._report(
+                        line, "async-io",
+                        f"AsyncIoEngine::{fn}() while holding {h.latch} "
+                        f"(acquired line {h.line}); engine completion "
+                        f"callbacks take that latch class on a fresh stack "
+                        f"-- release it before entering the engine")
             is_io = fn in IO_CALL_ANY_RECV or (
                 fn in ("Read", "Write") and recv and DEVICE_RECV.match(recv))
             if not is_io:
