@@ -186,6 +186,21 @@ void AddPoolLatchFields(std::string& j, const Stats& bp) {
   }
 }
 
+// Adds the SSD self-healing counters where the stats struct has them (same
+// A/B-checkout trick as AddPoolLatchFields: the branch is discarded against
+// an SsdManagerStats that predates per-partition degradation).
+template <typename Stats>
+void AddSsdHealthFields(std::string& j, const Stats& ssd) {
+  if constexpr (requires { ssd.partitions_degraded; }) {
+    JsonAdd(j, "ssd_partitions_degraded", ssd.partitions_degraded);
+    JsonAdd(j, "ssd_partitions_recovered", ssd.partitions_recovered);
+    JsonAdd(j, "ssd_scrub_frames_verified", ssd.scrub_frames_verified);
+    JsonAdd(j, "ssd_scrub_frames_repaired", ssd.scrub_frames_repaired);
+    JsonAdd(j, "ssd_io_timeouts", ssd.io_timeouts);
+    JsonAdd(j, "ssd_hedged_reads", ssd.hedged_reads);
+  }
+}
+
 // Renders one driver run. Compiles against both the current BufferPoolStats
 // and older ones without the shard-latch counters, so the same bench source
 // can be dropped into a pre-change checkout for A/B comparisons.
@@ -208,6 +223,7 @@ inline std::string ResultJson(const DriverResult& r) {
               std::max<int64_t>(1, r.bp.misses));
   JsonAdd(j, "bp_latch_wait_ms", ToMillis(r.bp.latch_wait_time));
   AddPoolLatchFields(j, r.bp);
+  AddSsdHealthFields(j, r.ssd);
   j += "}";
   return j;
 }

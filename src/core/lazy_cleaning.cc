@@ -254,38 +254,45 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   return done;
 }
 
-void LazyCleaningCache::OnDegrade(IoContext& ctx) {
-  // Emergency cleaner flush: the SSD is being written off, but LC's dirty
-  // frames hold the *only* current copies of their pages. Salvage every
-  // frame that still reads back verifiably (bounded retries absorb
-  // transient errors) to disk; the rest become lost pages, served only by
-  // a hard error until WAL redo or a full rewrite supersedes them.
+void LazyCleaningCache::SalvagePartitionDirty(Partition& part,
+                                              IoContext& ctx) {
+  // Emergency cleaner flush for one partition: its dirty frames hold the
+  // *only* current copies of their pages. Salvage every frame that still
+  // reads back verifiably (bounded retries absorb transient errors) to
+  // disk; the rest become lost pages, served only by a hard error until
+  // WAL redo or a full rewrite supersedes them.
   std::vector<uint8_t> buf(disk_->page_bytes());
-  for (auto& p : partitions_) {
-    TrackedLockGuard lock(p->mu);
-    for (int32_t rec = 0; rec < p->table.capacity(); ++rec) {
-      SsdFrameRecord& r = p->table.record(rec);
-      if (r.state != SsdFrameState::kDirty) continue;
-      const PageId pid = r.page_id;
-      const Status rs = ReadFrameVerified(*p, rec, pid, buf, ctx);
-      if (rs.ok()) {
-        const IoResult w = disk_->WritePage(pid, buf, ctx);
-        TURBOBP_CHECK_OK(w.status);
-        ctx.Wait(w.time);
-        // The salvage copy reached the disk; the frame is still marked
-        // dirty, so a crash in either half of this window is idempotent.
-        TURBOBP_CRASH_POINT("lc/degrade-salvage");
-        r.state = SsdFrameState::kClean;
-        r.page_lsn = PageView(buf.data(), disk_->page_bytes()).header().lsn;
-        dirty_frames_.fetch_sub(1);
-        p->heap.DirtyToClean(rec);
-        Counters::Bump(counters_.emergency_cleaned);
-      } else {
-        QuarantineFrameLocked(*p, rec);
-        RecordLostPage(pid);
-      }
+  TrackedLockGuard lock(part.mu);
+  for (int32_t rec = 0; rec < part.table.capacity(); ++rec) {
+    SsdFrameRecord& r = part.table.record(rec);
+    if (r.state != SsdFrameState::kDirty) continue;
+    const PageId pid = r.page_id;
+    const Status rs = ReadFrameVerified(part, rec, pid, buf, ctx);
+    if (rs.ok()) {
+      const IoResult w = disk_->WritePage(pid, buf, ctx);
+      TURBOBP_CHECK_OK(w.status);
+      ctx.Wait(w.time);
+      // The salvage copy reached the disk; the frame is still marked
+      // dirty, so a crash in either half of this window is idempotent.
+      TURBOBP_CRASH_POINT("lc/degrade-salvage");
+      r.state = SsdFrameState::kClean;
+      r.page_lsn = PageView(buf.data(), disk_->page_bytes()).header().lsn;
+      dirty_frames_.fetch_sub(1);
+      part.heap.DirtyToClean(rec);
+      Counters::Bump(counters_.emergency_cleaned);
+    } else {
+      QuarantineFrameLocked(part, rec);
+      RecordLostPage(pid);
     }
   }
+}
+
+void LazyCleaningCache::OnDegrade(IoContext& ctx) {
+  for (auto& p : partitions_) SalvagePartitionDirty(*p, ctx);
+}
+
+void LazyCleaningCache::OnPartitionDegrade(Partition& part, IoContext& ctx) {
+  SalvagePartitionDirty(part, ctx);
 }
 
 IoResult LazyCleaningCache::FlushAllDirty(IoContext& ctx) {

@@ -83,6 +83,12 @@ class LazyCleaningCache : public SsdCacheBase {
   // goes silent every readable dirty frame is copied to disk; unreadable
   // ones become lost pages.
   void OnDegrade(IoContext& ctx) override;
+  // Per-partition variant: salvage only the failing partition's dirty
+  // frames before DegradePartition purges it — the rest of the cache keeps
+  // serving untouched.
+  void OnPartitionDegrade(Partition& part, IoContext& ctx) override;
+  // Shared salvage body (one partition, latch taken inside).
+  void SalvagePartitionDirty(Partition& part, IoContext& ctx);
 
   std::atomic<bool> in_checkpoint_{false};
   std::atomic<bool> cleaner_running_{false};

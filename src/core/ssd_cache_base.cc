@@ -1,9 +1,12 @@
 #include "core/ssd_cache_base.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/status.h"
 #include "fault/crash_point.h"
+#include "io/async_io_engine.h"
+#include "sim/sim_executor.h"
 #include "storage/page.h"
 
 namespace turbobp {
@@ -60,6 +63,20 @@ SsdCacheBase::SsdCacheBase(StorageDevice* ssd_device, DiskManager* disk,
           return recs;
         });
   }
+  if (options.scrub_interval > 0 && executor_ != nullptr) {
+    // Self-scheduling patrol actor (paced like LC's cleaner). Caller-driven
+    // setups (tests, the chaos soak) leave scrub_interval at 0 and call
+    // ScrubTick themselves. The weak liveness token lets a queued event
+    // outlive this cache (Crash() rebuilds the manager) without firing into
+    // freed memory, and StopBackground() stops the rescheduling chain.
+    scrub_alive_ = std::make_shared<bool>(true);
+    std::weak_ptr<bool> alive = scrub_alive_;
+    executor_->ScheduleAt(executor_->now() + options.scrub_interval,
+                          [this, alive] {
+                            const auto a = alive.lock();
+                            if (a != nullptr && *a) ScrubStep();
+                          });
+  }
 }
 
 double SsdCacheBase::HeapKey(const Partition& part, int32_t rec) const {
@@ -72,6 +89,7 @@ SsdProbe SsdCacheBase::Probe(PageId pid) const {
   if (IsLostPage(pid)) return SsdProbe::kNewerCopy;
   if (degraded()) return SsdProbe::kAbsent;
   const Partition& part = PartitionFor(pid);
+  if (part.degraded.load(std::memory_order_acquire)) return SsdProbe::kAbsent;
   TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) return SsdProbe::kAbsent;
@@ -101,6 +119,12 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
     return false;
   }
   Partition& part = PartitionFor(pid);
+  if (part.degraded.load(std::memory_order_acquire)) {
+    // The partition was purged when it degraded, so it cannot hold a dirty
+    // copy — disk fallback is always safe here.
+    Counters::Bump(counters_.probe_misses);
+    return false;
+  }
   TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) {
@@ -124,7 +148,10 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
     if (!must_read) return false;  // clean copy also lives on disk
     ctx.Wait(r.ready_at);          // dirty copy exists only here
   }
-  const Status read = ReadFrameVerified(part, rec, pid, out, ctx);
+  // A clean frame's disk copy is identical, so its read may hedge to disk
+  // at the deadline; a dirty frame's may not (the SSD holds the only copy).
+  const Status read =
+      ReadFrameVerified(part, rec, pid, out, ctx, /*hedge_ok=*/!must_read);
   if (read.ok()) {
     r.Touch(ctx.now);
     part.heap.UpdateKey(rec);
@@ -229,6 +256,7 @@ bool SsdCacheBase::AdmitPageImpl(PageId pid, std::span<const uint8_t> data,
   MaybeDegrade(ctx);
   if (degraded()) return false;
   Partition& part = PartitionFor(pid);
+  if (part.degraded.load(std::memory_order_acquire)) return false;
   TrackedLockGuard lock(part.mu);
   int32_t rec = part.table.Lookup(pid);
   if (rec != -1) {
@@ -334,7 +362,10 @@ IoResult SsdCacheBase::WriteFrame(Partition& part, int32_t rec,
     TURBOBP_CRASH_POINT("ssd/frame-write");
     if (res.ok()) return res;
     Counters::Bump(counters_.device_write_errors);
-    RecordDeviceError();
+    RecordDeviceError(part, at);
+    // A failed attempt still occupies the device until its completion time;
+    // the next attempt's backoff counts from there, not from submission.
+    if (ctx.charge) at = std::max(at, res.time);
     if (res.status.IsUnavailable()) break;  // dead device: retries are moot
   }
   return res;
@@ -348,27 +379,69 @@ IoResult SsdCacheBase::ReadFrame(Partition& part, int32_t rec,
     ctx.Wait(res.time);
   } else {
     Counters::Bump(counters_.device_read_errors);
-    RecordDeviceError();
+    RecordDeviceError(part, ctx.now);
   }
   return res;
 }
 
 Status SsdCacheBase::ReadFrameVerified(Partition& part, int32_t rec, PageId pid,
-                                       std::span<uint8_t> out, IoContext& ctx) {
+                                       std::span<uint8_t> out, IoContext& ctx,
+                                       bool hedge_ok) {
   Status last;
   for (int attempt = 0; attempt < options_.io_retry_limit; ++attempt) {
     if (attempt > 0) {
       Counters::Bump(counters_.read_retries);
       if (ctx.charge) ctx.now += options_.io_retry_backoff;
     }
+    const Time issued = ctx.now;
     const IoResult res =
         ssd_device_->Read(FrameOf(part, rec), 1, out, ctx.now, ctx.charge);
     if (!res.ok()) {
       last = res.status;
       Counters::Bump(counters_.device_read_errors);
-      RecordDeviceError();
+      RecordDeviceError(part, ctx.now);
+      // A failed attempt still occupied the device until its completion
+      // time: charge it, so latency spikes and retry backoff compose the
+      // same way on failing and succeeding attempts.
+      ctx.Wait(res.time);
       if (res.status.IsUnavailable()) break;
       continue;
+    }
+    // The deadline clock starts when the device begins *servicing* the
+    // request, not when it arrives: time spent queued behind other traffic
+    // is congestion (the throttle controller's business), and counting it
+    // as sickness makes a busy cache degrade its own healthy partitions —
+    // a self-sustaining cascade, since every purge-and-refill adds more
+    // queueing. Devices that do not model a queue report service_start=0
+    // and fall back to the arrival instant.
+    const Time svc_begin = std::max(issued, res.service_start);
+    if (options_.read_deadline > 0 && ctx.charge &&
+        res.time > svc_begin + options_.read_deadline) {
+      // The device answered, but too late: a hung request. Charge the
+      // partition's budget either way; for clean frames (the disk copy
+      // is identical) hedge the read to disk at the deadline instead of
+      // waiting out the stall.
+      const Time deadline_at = svc_begin + options_.read_deadline;
+      Counters::Bump(counters_.io_timeouts);
+      RecordDeviceError(part, deadline_at);
+      if (hedge_ok && options_.hedge_reads) {
+        ctx.Wait(deadline_at);
+        // Scratch buffer: a failed hedge must not clobber the SSD data that
+        // the fall-through verification below still wants to inspect.
+        std::vector<uint8_t> hedge_buf(out.size());
+        const Status ds = disk_->ReadPage(pid, hedge_buf, ctx);
+        if (ds.ok()) {
+          const PageView dv(hedge_buf.data(),
+                            static_cast<uint32_t>(hedge_buf.size()));
+          if (dv.header().page_id == pid && dv.VerifyChecksum()) {
+            std::memcpy(out.data(), hedge_buf.data(), out.size());
+            Counters::Bump(counters_.hedged_reads);
+            return Status::Ok();
+          }
+        }
+        // The disk hedge failed too; fall through and wait out the SSD
+        // read — its data may still verify.
+      }
     }
     ctx.Wait(res.time);
     const PageView v(out.data(), static_cast<uint32_t>(out.size()));
@@ -378,7 +451,7 @@ Status SsdCacheBase::ReadFrameVerified(Partition& part, int32_t rec, PageId pid,
     // damaged content.
     last = Status::Corruption("ssd frame failed checksum verification");
     Counters::Bump(counters_.frame_corruptions);
-    RecordDeviceError();
+    RecordDeviceError(part, ctx.now);
   }
   return last.ok() ? Status::IoError("ssd frame read failed") : last;
 }
@@ -417,17 +490,47 @@ void SsdCacheBase::QuarantineRestoredFrame(Partition& part, int32_t rec) {
   quarantined_frames_.fetch_add(1);
 }
 
-void SsdCacheBase::RecordDeviceError() {
+void SsdCacheBase::RecordDeviceError(Partition& part, Time now) {
   device_errors_.fetch_add(1, std::memory_order_relaxed);
+  // Time-decayed budget: a fresh window opens when the previous one lapsed.
+  // All relaxed — in a race two errors may split across adjacent windows,
+  // which only delays the degradation verdict by one event.
+  const Time start = part.window_start.load(std::memory_order_relaxed);
+  if (now - start > options_.error_window) {
+    part.window_start.store(now, std::memory_order_relaxed);
+    part.window_errors.store(1, std::memory_order_relaxed);
+  } else {
+    part.window_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  part.last_error_at.store(now, std::memory_order_relaxed);
+}
+
+void SsdCacheBase::RecordJournalError(Time now) {
+  // The journal region shares the medium with every partition's frames:
+  // charge all budgets (matching the old cache-global accounting).
+  for (auto& partp : partitions_) RecordDeviceError(*partp, now);
+}
+
+int64_t SsdCacheBase::WindowErrors(const Partition& part, Time now) const {
+  const Time start = part.window_start.load(std::memory_order_relaxed);
+  if (now - start > options_.error_window) return 0;  // window lapsed
+  return part.window_errors.load(std::memory_order_relaxed);
 }
 
 void SsdCacheBase::MaybeDegrade(IoContext& ctx) {
   if (degraded_.load(std::memory_order_acquire)) return;
-  if (device_errors_.load(std::memory_order_relaxed) <
-      options_.degrade_error_limit) {
-    return;
+  // Cheap hot-path early-out: nothing to scan unless an error landed since
+  // the last sweep.
+  const int64_t events = device_errors_.load(std::memory_order_relaxed);
+  if (events == degrade_scanned_.load(std::memory_order_relaxed)) return;
+  degrade_scanned_.store(events, std::memory_order_relaxed);
+  for (auto& partp : partitions_) {
+    Partition& part = *partp;
+    if (part.degraded.load(std::memory_order_acquire)) continue;
+    if (WindowErrors(part, ctx.now) < options_.degrade_error_limit) continue;
+    DegradePartition(part, ctx);
+    if (degraded_.load(std::memory_order_acquire)) return;  // kill switch
   }
-  EnterDegradedMode(ctx);
 }
 
 void SsdCacheBase::EnterDegradedMode(IoContext& ctx) {
@@ -439,6 +542,245 @@ void SsdCacheBase::EnterDegradedMode(IoContext& ctx) {
   // Last rites while the device may still answer: LC salvages its dirty
   // frames (the only newer copies) to disk before the cache goes silent.
   OnDegrade(ctx);
+}
+
+void SsdCacheBase::DegradePartition(Partition& part, IoContext& ctx) {
+  bool expected = false;
+  if (!part.degraded.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+    return;
+  }
+  degraded_partitions_.fetch_add(1, std::memory_order_acq_rel);
+  Counters::Bump(counters_.partitions_degraded);
+  // Salvage while the device may still answer (LC writes this partition's
+  // dirty frames — the only newer copies — to disk), then purge: pass-
+  // through writes go to disk, so any frame left behind would serve stale
+  // data after a later re-enable.
+  OnPartitionDegrade(part, ctx);
+  PurgePartition(part);
+  MaintainJournal(ctx);
+  if (!options_.self_healing) {
+    // The old terminal cliff: the first partition failure takes the whole
+    // cache down for good.
+    EnterDegradedMode(ctx);
+  }
+}
+
+void SsdCacheBase::PurgePartition(Partition& part) {
+  TrackedLockGuard lock(part.mu);
+  for (int32_t rec = 0; rec < part.capacity; ++rec) {
+    SsdFrameRecord& r = part.table.record(rec);
+    if (r.state == SsdFrameState::kFree ||
+        r.state == SsdFrameState::kQuarantined) {
+      continue;
+    }
+    if (r.state == SsdFrameState::kDirty) {
+      dirty_frames_.fetch_sub(1);
+      // Defensive: the salvage hook already wrote (or lost-page-recorded)
+      // every dirty frame; a frame still dirty here lost its only copy.
+      RecordLostPage(r.page_id);
+    }
+    if (r.state == SsdFrameState::kInvalid) invalid_frames_.fetch_sub(1);
+    const uint64_t frame = FrameOf(part, rec);
+    DetachRecord(part, rec);
+    part.table.PushFree(rec);
+    used_frames_.fetch_sub(1);
+    NoteJournalErase(frame);
+  }
+}
+
+void SsdCacheBase::TryHealPartition(Partition& part, IoContext& ctx) {
+  // Hysteresis gate 1: a minimum quiet window since the last error.
+  if (ctx.now - part.last_error_at.load(std::memory_order_relaxed) <
+      options_.quiet_window) {
+    return;
+  }
+  // Canary probe: write a self-checksummed throwaway page to a free frame
+  // and read it back. kInvalidPageId keeps a crash-surviving canary from
+  // being re-attached by the lazy restart scan.
+  int32_t rec = -1;
+  {
+    TrackedLockGuard lock(part.mu);
+    rec = part.table.PopFree();
+  }
+  if (rec == -1) return;  // every cell quarantined: unhealable
+  const uint32_t page_bytes = ssd_device_->page_bytes();
+  std::vector<uint8_t> buf(page_bytes);
+  PageView v(buf.data(), page_bytes);
+  v.Format(kInvalidPageId, PageType::kRaw);
+  std::memset(v.payload(), 0xC5, v.payload_bytes());
+  v.SealChecksum();
+  const IoResult w =
+      ssd_device_->Write(FrameOf(part, rec), 1, buf, ctx.now, ctx.charge);
+  // The canary just landed on (or bounced off) the suspect medium; a crash
+  // here must leave recovery unaffected: the frame is free-listed and the
+  // canary page self-identifies as no page at all.
+  TURBOBP_CRASH_POINT("ssd/canary-write");
+  bool probe_ok = false;
+  if (w.ok()) {
+    ctx.Wait(w.time);
+    std::vector<uint8_t> readback(page_bytes);
+    const IoResult r =
+        ssd_device_->Read(FrameOf(part, rec), 1, readback, ctx.now, ctx.charge);
+    if (r.ok()) {
+      ctx.Wait(r.time);
+      const PageView rv(readback.data(), page_bytes);
+      probe_ok = rv.VerifyChecksum() &&
+                 std::memcmp(readback.data(), buf.data(), page_bytes) == 0;
+    }
+  }
+  {
+    TrackedLockGuard lock(part.mu);
+    part.table.PushFree(rec);
+  }
+  if (!probe_ok) {
+    // The probe itself is evidence the medium is still sick; the error
+    // extends the quiet window.
+    RecordDeviceError(part, ctx.now);
+    return;
+  }
+  // Hysteresis gate 2: the decayed budget must sit at or below the recover
+  // threshold (<< degrade threshold), so a marginal device cannot flap.
+  if (WindowErrors(part, ctx.now) > options_.recover_error_limit) return;
+  part.window_errors.store(0, std::memory_order_relaxed);
+  part.window_start.store(ctx.now, std::memory_order_relaxed);
+  part.degraded.store(false, std::memory_order_release);
+  degraded_partitions_.fetch_sub(1, std::memory_order_acq_rel);
+  Counters::Bump(counters_.partitions_recovered);
+  // The partition is live again (empty, journal-consistent). A crash here
+  // re-degrades nothing: restart sees an empty healthy partition.
+  TURBOBP_CRASH_POINT("ssd/reenable");
+  MaintainJournal(ctx, /*force=*/true);
+}
+
+int SsdCacheBase::ScrubTick(IoContext& ctx) {
+  MaybeDegrade(ctx);
+  // Terminal kill switch only — NOT the derived all-partitions predicate:
+  // canary probes must keep running when every partition is degraded, or
+  // nothing would ever heal.
+  if (degraded_.load(std::memory_order_acquire)) return 0;
+  int verified = 0;
+  if (!partitions_.empty()) {
+    std::vector<uint8_t> buf(ssd_device_->page_bytes());
+    const int budget = std::max(1, options_.scrub_frames_per_tick);
+    for (int i = 0; i < budget; ++i) {
+      if (ScrubOneSlot(ctx, buf)) ++verified;
+    }
+  }
+  if (degraded_partitions_.load(std::memory_order_acquire) > 0) {
+    for (auto& partp : partitions_) {
+      if (partp->degraded.load(std::memory_order_acquire)) {
+        TryHealPartition(*partp, ctx);
+      }
+    }
+  }
+  MaintainJournal(ctx);
+  return verified;
+}
+
+bool SsdCacheBase::ScrubOneSlot(IoContext& ctx, std::vector<uint8_t>& buf) {
+  size_t pi;
+  int32_t rec;
+  {
+    // scrub_mu_ guards only the cursor copy/advance — released before the
+    // partition latch or any device call (latch-order spec, rank 6).
+    TrackedLockGuard lock(scrub_mu_);
+    if (scrub_part_ >= partitions_.size()) scrub_part_ = 0;
+    pi = scrub_part_;
+    rec = scrub_rec_;
+    if (rec + 1 >= partitions_[pi]->capacity) {
+      scrub_rec_ = 0;
+      scrub_part_ = (pi + 1) % partitions_.size();
+    } else {
+      scrub_rec_ = rec + 1;
+    }
+  }
+  Partition& part = *partitions_[pi];
+  if (part.degraded.load(std::memory_order_acquire)) return false;
+  PageId repair_pid = kInvalidPageId;
+  bool ok = false;
+  {
+    TrackedLockGuard lock(part.mu);
+    if (rec >= part.table.capacity()) return false;
+    SsdFrameRecord& r = part.table.record(rec);
+    if (r.state != SsdFrameState::kClean &&
+        r.state != SsdFrameState::kDirty) {
+      return false;  // free/invalid/quarantined: nothing to verify
+    }
+    if (r.ready_at > ctx.now) return false;  // admission write in flight
+    const bool was_dirty = r.state == SsdFrameState::kDirty;
+    const PageId pid = r.page_id;
+    const Status vs = ReadFrameVerified(part, rec, pid, buf, ctx);
+    if (vs.ok()) {
+      Counters::Bump(counters_.scrub_frames_verified);
+      ok = true;
+    } else if (vs.IsCorruption()) {
+      // Latent corruption caught by patrol, not by a client read.
+      QuarantineFrameLocked(part, rec);
+      if (was_dirty) {
+        RecordLostPage(pid);  // the only copy died in place
+      } else {
+        repair_pid = pid;  // the disk copy is identical: re-seed it
+      }
+    }
+    // Transient device errors: leave the frame alone — the budget was
+    // charged; a client read (or the next patrol lap) retries.
+  }
+  if (repair_pid != kInvalidPageId) RepairFrame(repair_pid, ctx);
+  return ok;
+}
+
+void SsdCacheBase::RepairFrame(PageId pid, IoContext& ctx) {
+  std::vector<uint8_t> buf(disk_->page_bytes());
+  Status rs = Status::Ok();
+  if (options_.disk_io_engine != nullptr) {
+    // Patrol repairs ride the low-priority lane: they must never starve
+    // foreground I/O.
+    AsyncIoRequest req;
+    req.op = IoOp::kRead;
+    req.first_page = pid;
+    req.num_pages = 1;
+    req.out = std::span<uint8_t>(buf);
+    req.low_priority = true;
+    Status got = Status::Ok();
+    req.on_complete = [&got](const IoCompletion& c) { got = c.result.status; };
+    options_.disk_io_engine->Submit(req, ctx);
+    ctx.Wait(options_.disk_io_engine->Drain(ctx));
+    rs = got;
+  } else {
+    rs = disk_->ReadPage(pid, buf, ctx);
+  }
+  if (!rs.ok()) return;  // disk unreadable: the quarantine already happened
+  const PageView v(buf.data(), disk_->page_bytes());
+  if (v.header().page_id != pid || !v.VerifyChecksum()) return;
+  if (AdmitPage(pid, buf, AccessKind::kRandom, /*dirty=*/false, kInvalidLsn,
+                ctx)) {
+    // The repaired copy sits on a healthy frame and its journal record is
+    // staged; a crash here re-runs at most the (idempotent) re-admission.
+    TURBOBP_CRASH_POINT("ssd/scrub-repair");
+    Counters::Bump(counters_.scrub_frames_repaired);
+  }
+}
+
+void SsdCacheBase::DegradePartitionAt(size_t index, IoContext& ctx) {
+  TURBOBP_CHECK(index < partitions_.size());
+  DegradePartition(*partitions_[index], ctx);
+}
+
+void SsdCacheBase::ScrubStep() {
+  // Terminal degradation stops the actor for good (matching the old cliff);
+  // per-partition degradation keeps it running — that is the healer.
+  if (degraded_.load(std::memory_order_acquire)) return;
+  IoContext ctx;
+  ctx.now = executor_->now();
+  ctx.executor = executor_;
+  ScrubTick(ctx);
+  std::weak_ptr<bool> alive = scrub_alive_;
+  executor_->ScheduleAt(executor_->now() + options_.scrub_interval,
+                        [this, alive] {
+                          const auto a = alive.lock();
+                          if (a != nullptr && *a) ScrubStep();
+                        });
 }
 
 bool SsdCacheBase::IsLostPage(PageId pid) const {
@@ -536,7 +878,7 @@ size_t SsdCacheBase::RestoreEntries(
           PageView(buf.data(), ssd_device_->page_bytes()).VerifyChecksum();
     } else {
       Counters::Bump(counters_.device_read_errors);
-      RecordDeviceError();
+      RecordDeviceError(part, ctx.now);
     }
     if (!rres.ok() || !checksum_ok) {
       const Status vs = ReadFrameVerified(part, rec, e.page_id, buf, ctx);
@@ -681,7 +1023,7 @@ std::vector<SsdManager::CheckpointEntry> SsdCacheBase::LazyScanEntries(
           ssd_device_->Read(frame, 1, buf, ctx.now, ctx.charge);
       if (!rres.ok()) {
         Counters::Bump(counters_.device_read_errors);
-        RecordDeviceError();
+        RecordDeviceError(part, ctx.now);
         continue;
       }
       ctx.Wait(rres.time);
@@ -786,7 +1128,7 @@ bool SsdCacheBase::RecoverPersistentState(
   const IoResult c = journal_->Compact(ctx);
   if (!c.ok()) {
     Counters::Bump(counters_.device_write_errors);
-    RecordDeviceError();
+    RecordJournalError(ctx.now);
   }
   return true;
 }
@@ -802,7 +1144,7 @@ void SsdCacheBase::MaintainJournal(IoContext& ctx, bool force) {
     // only costs warm-restart coverage) but still count toward the device's
     // degradation budget: the journal shares the medium with the frames.
     Counters::Bump(counters_.device_write_errors);
-    RecordDeviceError();
+    RecordJournalError(ctx.now);
   }
 }
 
@@ -843,6 +1185,12 @@ SsdManagerStats SsdCacheBase::stats() const {
   s.emergency_cleaned = ld(counters_.emergency_cleaned);
   s.checkpoint_flush_failures = ld(counters_.checkpoint_flush_failures);
   s.degraded = degraded();
+  s.partitions_degraded = ld(counters_.partitions_degraded);
+  s.partitions_recovered = ld(counters_.partitions_recovered);
+  s.scrub_frames_verified = ld(counters_.scrub_frames_verified);
+  s.scrub_frames_repaired = ld(counters_.scrub_frames_repaired);
+  s.io_timeouts = ld(counters_.io_timeouts);
+  s.hedged_reads = ld(counters_.hedged_reads);
   if (journal_ != nullptr) {
     s.journal_records_appended = journal_->records_appended();
     s.journal_pages_written = journal_->pages_written();

@@ -33,12 +33,38 @@ struct SsdCacheOptions {
   double lc_watermark_gap = 0.0001;  // clean to ~0.01% of S below lambda
   // Fault tolerance (src/fault): transient SSD errors and checksum
   // mismatches are retried up to io_retry_limit attempts with
-  // io_retry_backoff of virtual time between them; once the device has
-  // produced degrade_error_limit errors in total, the cache gives up on the
-  // SSD and flips to pass-through (NoSsdManager-equivalent) mode.
+  // io_retry_backoff of virtual time between them. Device errors charge a
+  // time-decayed per-partition budget: once a partition accumulates
+  // degrade_error_limit errors inside one error_window, that partition
+  // (alone) flips to pass-through — the rest of the cache keeps serving.
   int io_retry_limit = 3;
   Time io_retry_backoff = Micros(500);
   int64_t degrade_error_limit = 8;
+  Time error_window = Seconds(10);
+  // Self-healing (scrub & re-admission). A degraded partition is probed
+  // with canary writes once it has been error-free for quiet_window; it is
+  // re-enabled only while its window budget is at or below
+  // recover_error_limit (hysteresis: recover threshold << degrade
+  // threshold). self_healing=false restores the old terminal cliff: the
+  // first partition degradation takes the whole cache down for good
+  // (bench_chaos_degrade's A/B baseline).
+  bool self_healing = true;
+  int64_t recover_error_limit = 1;
+  Time quiet_window = Seconds(5);
+  // Patrol scrubber: ScrubTick verifies up to scrub_frames_per_tick frames
+  // per call. scrub_interval > 0 additionally self-schedules ticks on the
+  // executor (0 leaves the scrubber caller-driven: tests, chaos soak).
+  Time scrub_interval = 0;
+  int scrub_frames_per_tick = 64;
+  // Read deadlines and hedging: an SSD frame read whose device *service*
+  // time (completion minus IoResult::service_start — queue wait excluded,
+  // so congestion on a busy cache is never booked as sickness) exceeds
+  // read_deadline counts as an io_timeout toward the partition's error
+  // budget; for clean frames (disk holds an identical copy) the read is
+  // hedged to disk at the deadline instead of waiting out the stall.
+  // 0 disables deadlines.
+  Time read_deadline = 0;
+  bool hedge_reads = true;
   // Persistent SSD cache: journal the buffer table to a metadata region at
   // the tail of the SSD device (past the frame area), so cache contents
   // survive a restart. The device must provide num_frames +
@@ -104,15 +130,49 @@ class SsdCacheBase : public SsdManager {
 
   // --- graceful degradation (survive a flaky or dying SSD) ------------------
 
-  // True once the cache has flipped to pass-through mode: every SsdManager
-  // entry point then behaves like NoSsdManager.
+  // True once the whole cache behaves like NoSsdManager: either the global
+  // kill switch fired (Degrade / self_healing=false) or every partition is
+  // independently degraded.
   bool degraded() const override {
-    return degraded_.load(std::memory_order_acquire);
+    return degraded_.load(std::memory_order_acquire) ||
+           degraded_partitions_.load(std::memory_order_acquire) >=
+               static_cast<int>(partitions_.size());
   }
 
-  // Forces degradation now (tests/operator action); normally it triggers
-  // itself once device errors reach options().degrade_error_limit.
+  // Forces whole-cache degradation now (tests/operator action); normally
+  // degradation is per-partition, triggered by the partition's error budget.
   void Degrade(IoContext& ctx) { EnterDegradedMode(ctx); }
+
+  // --- self-healing (scrub, canary probes, re-admission) --------------------
+
+  // One patrol pass: verifies up to options().scrub_frames_per_tick frames
+  // (round-robin cursor across partitions), quarantines-and-repairs corrupt
+  // ones from their disk copies, then probes every degraded partition with
+  // a canary write and re-enables those whose error budget has recovered
+  // under hysteresis. Returns the number of frames whose checksum verified.
+  // Must be called without partition latches (it takes them itself).
+  int ScrubTick(IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+
+  // Degrades one partition by index (tests/operator action; chaos harness).
+  void DegradePartitionAt(size_t index, IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+
+  // Stops the self-scheduling scrub actor (idempotent). Driver::Run calls
+  // this before draining the executor to idle; Crash() safety is handled by
+  // the liveness token (a pending ScrubStep event outliving this object
+  // no-ops instead of firing into freed memory).
+  void StopBackground() override {
+    if (scrub_alive_ != nullptr) *scrub_alive_ = false;
+  }
+
+  size_t partition_count() const { return partitions_.size(); }
+  bool partition_degraded(size_t index) const {
+    return partitions_[index]->degraded.load(std::memory_order_acquire);
+  }
+  int64_t degraded_partition_count() const {
+    return degraded_partitions_.load(std::memory_order_acquire);
+  }
 
   // Pages whose only current copy sat in a dirty SSD frame that could not
   // be salvaged. Reads of these pages fail hard (disk would be stale);
@@ -122,11 +182,20 @@ class SsdCacheBase : public SsdManager {
 
  protected:
   struct Partition {
-    Partition(int32_t capacity, SsdSplitHeap::KeyFn key)
-        : table(capacity), heap(&table, std::move(key)) {}
+    Partition(int32_t cap, SsdSplitHeap::KeyFn key)
+        : table(cap), heap(&table, std::move(key)), capacity(cap) {}
     SsdBufferTable table TURBOBP_GUARDED_BY(mu);
     SsdSplitHeap heap TURBOBP_GUARDED_BY(mu);
     int64_t frame_base = 0;  // device page of this partition's frame 0
+    int32_t capacity = 0;    // table.capacity(), readable without mu
+    // Health state (self-healing v2). Plain atomics, not guarded by mu:
+    // they are read on hot paths before the latch is taken, and written
+    // from error paths that may or may not hold it. The races are benign —
+    // an error event can land in the closing instants of a stale window.
+    std::atomic<bool> degraded{false};
+    std::atomic<int64_t> window_errors{0};  // errors inside current window
+    std::atomic<Time> window_start{0};      // when the current window opened
+    std::atomic<Time> last_error_at{0};     // quiet-window clock for canaries
     // SSD device I/O runs *under* mu by design (one partition per hardware
     // context, Section 3.3.4) — see the latch-order spec table.
     mutable TrackedMutex<LatchClass::kSsdPartition> mu;
@@ -198,10 +267,14 @@ class SsdCacheBase : public SsdManager {
   // ReadFrame plus verification that `out` really holds `pid` at a valid
   // checksum, retrying (re-reading) transient errors and corruptions up to
   // options().io_retry_limit attempts. kCorruption after the last attempt
-  // means the frame itself is bad (candidate for quarantine).
+  // means the frame itself is bad (candidate for quarantine). With
+  // `hedge_ok` (clean frames only: the disk copy is identical) a read whose
+  // device completion exceeds options().read_deadline is hedged: the page
+  // is re-read from disk at the deadline instant instead of waiting out the
+  // stall, and the timeout still charges the partition's error budget.
   Status ReadFrameVerified(Partition& part, int32_t rec, PageId pid,
-                           std::span<uint8_t> out, IoContext& ctx)
-      TURBOBP_REQUIRES(part.mu);
+                           std::span<uint8_t> out, IoContext& ctx,
+                           bool hedge_ok = false) TURBOBP_REQUIRES(part.mu);
 
   // Takes `rec` out of service permanently: detached from hash and heap,
   // never returned to the free list (the flash cells are bad), state
@@ -209,21 +282,46 @@ class SsdCacheBase : public SsdManager {
   void QuarantineFrameLocked(Partition& part, int32_t rec)
       TURBOBP_REQUIRES(part.mu);
 
-  // Counts one device error; safe under a partition lock (it only bumps an
-  // atomic — the actual mode flip is deferred to MaybeDegrade).
-  void RecordDeviceError();
-  // Consume the deferred error count and, past the threshold, flip to
-  // pass-through mode. Must be called WITHOUT any partition lock held:
-  // EnterDegradedMode runs OnDegrade, and LC's emergency flush takes every
-  // partition lock in turn.
+  // Counts one device error against `part`'s time-decayed budget (errors
+  // within the last options().error_window); safe under a partition lock
+  // (it only touches atomics — the actual mode flip is deferred to
+  // MaybeDegrade). `now` stamps the error for window decay and the
+  // quiet-window clock.
+  void RecordDeviceError(Partition& part, Time now);
+  // Journal write failures share the medium with every partition's frames:
+  // charge all budgets (matching the old cache-global accounting).
+  void RecordJournalError(Time now);
+  // `part`'s error budget as of `now`: 0 once the window has lapsed.
+  int64_t WindowErrors(const Partition& part, Time now) const;
+  // Consume the deferred error events and flip any partition whose budget
+  // is blown into pass-through. Must be called WITHOUT any partition lock
+  // held: DegradePartition runs the design's salvage hook, which takes the
+  // failing partition's lock.
   void MaybeDegrade(IoContext& ctx)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  // Whole-cache kill switch (Degrade(), self_healing=false). Runs the
+  // design's global OnDegrade last rites; partitions are not purged — this
+  // is terminal, nothing will be re-enabled.
   void EnterDegradedMode(IoContext& ctx)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  // Flips one partition into pass-through: salvage hook, then purge (every
+  // in-service frame released and journal-erased — pass-through writes go
+  // to disk, so stale frames must not survive to a later re-enable).
+  void DegradePartition(Partition& part, IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  void PurgePartition(Partition& part)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  // Canary-probes a degraded partition and re-enables it when the probe
+  // succeeds and the error budget has recovered under hysteresis.
+  void TryHealPartition(Partition& part, IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
 
-  // Design-specific last rites before pass-through mode; LC overrides this
-  // with the emergency cleaner flush of its dirty frames.
+  // Design-specific last rites before whole-cache pass-through; LC
+  // overrides this with the emergency cleaner flush of its dirty frames.
   virtual void OnDegrade(IoContext& ctx) {}
+  // Per-partition variant, run by DegradePartition before the purge; LC
+  // overrides it to salvage only the failing partition's dirty frames.
+  virtual void OnPartitionDegrade(Partition& part, IoContext& ctx) {}
 
   // Records that the only current copy of `pid` is gone.
   void RecordLostPage(PageId pid) TURBOBP_EXCLUDES(fault_mu_);
@@ -272,11 +370,27 @@ class SsdCacheBase : public SsdManager {
   std::atomic<int64_t> invalid_frames_{0};
   std::atomic<int64_t> quarantined_frames_{0};
 
-  // Degradation state. device_errors_ counts every failed SSD attempt;
-  // degraded_ is checked (acquire) at every entry point before any
-  // partition lock is taken.
+  // Degradation state. device_errors_ counts every failed SSD attempt
+  // (lifetime, for stats and the cheap has-anything-changed check in
+  // MaybeDegrade); degraded_ is the terminal whole-cache kill switch;
+  // degraded_partitions_ mirrors the per-partition flags so degraded() and
+  // the auditor need no O(partitions) scan.
   std::atomic<int64_t> device_errors_{0};
+  std::atomic<int64_t> degrade_scanned_{0};  // device_errors_ at last scan
   std::atomic<bool> degraded_{false};
+  std::atomic<int64_t> degraded_partitions_{0};
+
+  // Patrol cursor of the background scrubber. scrub_mu_ is held only for
+  // the copy/advance arithmetic — never across a partition latch or device
+  // I/O (see the latch-order spec).
+  mutable TrackedMutex<LatchClass::kSsdScrub> scrub_mu_;
+  size_t scrub_part_ TURBOBP_GUARDED_BY(scrub_mu_) = 0;
+  int32_t scrub_rec_ TURBOBP_GUARDED_BY(scrub_mu_) = 0;
+  // Liveness token for the scrub actor: scheduled events hold a weak_ptr,
+  // so an event that outlives this cache (Crash() rebuilds the manager with
+  // events still queued) no-ops instead of touching freed memory. Setting
+  // the bool false (StopBackground) stops rescheduling without waiting.
+  std::shared_ptr<bool> scrub_alive_;
 
   // Lost pages (dirty copies that died with the device). lost_live_ is a
   // lock-free emptiness guard so the hot read path skips fault_mu_ while
@@ -304,6 +418,12 @@ class SsdCacheBase : public SsdManager {
     std::atomic<int64_t> frame_corruptions{0};
     std::atomic<int64_t> emergency_cleaned{0};
     std::atomic<int64_t> checkpoint_flush_failures{0};
+    std::atomic<int64_t> partitions_degraded{0};
+    std::atomic<int64_t> partitions_recovered{0};
+    std::atomic<int64_t> scrub_frames_verified{0};
+    std::atomic<int64_t> scrub_frames_repaired{0};
+    std::atomic<int64_t> io_timeouts{0};
+    std::atomic<int64_t> hedged_reads{0};
 
     static void Bump(std::atomic<int64_t>& c, int64_t by = 1) {
       c.fetch_add(by, std::memory_order_relaxed);
@@ -317,6 +437,18 @@ class SsdCacheBase : public SsdManager {
   bool AdmitPageImpl(PageId pid, std::span<const uint8_t> data,
                      AccessKind kind, bool dirty, Lsn page_lsn,
                      IoContext& ctx);
+
+  // One patrol step: verify the frame under the scrub cursor (advancing it).
+  // Returns true when a frame's checksum verified. `buf` is the caller's
+  // page-sized scratch buffer (reused across the tick).
+  bool ScrubOneSlot(IoContext& ctx, std::vector<uint8_t>& buf)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  // Re-seeds a quarantined-then-lost *clean* page from its disk copy into a
+  // healthy frame (low-priority via the disk engine when configured).
+  void RepairFrame(PageId pid, IoContext& ctx)
+      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  // Self-scheduling executor actor driving ScrubTick every scrub_interval.
+  void ScrubStep();
 
   // Shared restore engine behind RestoreFromCheckpoint and
   // RecoverPersistentState; `stats` (optional) receives the drop/reseed

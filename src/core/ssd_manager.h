@@ -53,7 +53,14 @@ struct SsdManagerStats {
   int64_t lost_pages = 0;           // dirty pages whose only copy is gone
   int64_t emergency_cleaned = 0;    // LC: dirty frames salvaged at degrade
   int64_t checkpoint_flush_failures = 0;  // FlushAllDirty calls that failed
-  bool degraded = false;            // cache flipped to pass-through
+  bool degraded = false;            // ALL partitions (or the cache) passed-through
+  // Self-healing (per-partition degradation + background scrub).
+  int64_t partitions_degraded = 0;  // partitions that entered pass-through
+  int64_t partitions_recovered = 0; // partitions re-enabled after healing
+  int64_t scrub_frames_verified = 0;  // patrol reads that verified clean
+  int64_t scrub_frames_repaired = 0;  // corrupt frames re-seeded from disk
+  int64_t io_timeouts = 0;          // reads that blew their deadline
+  int64_t hedged_reads = 0;         // reads completed from disk via hedging
   // Persistent-cache metadata journal (persistent_ssd_cache mode only).
   int64_t journal_records_appended = 0;
   int64_t journal_pages_written = 0;
@@ -228,6 +235,11 @@ class SsdManager {
   // True once the manager has given up on the SSD and behaves like
   // NoSsdManager (graceful degradation after repeated device errors).
   virtual bool degraded() const { return false; }
+
+  // Stops self-rescheduling background actors (the patrol scrubber) so a
+  // drain to executor idle terminates — the SSD-manager analogue of
+  // CheckpointManager::StopPeriodic(). Idempotent; no-op by default.
+  virtual void StopBackground() {}
 };
 
 // Baseline: the stock buffer manager with no SSD.

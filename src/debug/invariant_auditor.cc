@@ -188,9 +188,12 @@ AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
   int64_t dirty_total = 0;
   int64_t invalid_total = 0;
   int64_t quarantined_total = 0;
+  int64_t degraded_total = 0;
   for (size_t pi = 0; pi < cache.partitions_.size(); ++pi) {
     const auto& part = *cache.partitions_[pi];
     const std::string where = "partition " + std::to_string(pi);
+    const bool part_degraded = part.degraded.load(std::memory_order_acquire);
+    if (part_degraded) ++degraded_total;
     TrackedLockGuard lock(part.mu);
     const SsdBufferTable& table = part.table;
     const SsdSplitHeap& heap = part.heap;
@@ -273,6 +276,14 @@ AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
           PidStr(r.page_id) + ")";
       const bool hashed = in_hash[static_cast<size_t>(rec)] != 0;
       const bool freed = on_free[static_cast<size_t>(rec)] != 0;
+      // A degraded partition was purged when it dropped out of service, and
+      // nothing may admit into it while its flag is up: only free and
+      // quarantined records are legal until the canary re-enables it.
+      if (part_degraded && r.state != SsdFrameState::kFree &&
+          r.state != SsdFrameState::kQuarantined) {
+        report.Add("ssd.degraded",
+                   who + ": in-service record inside a degraded partition");
+      }
       switch (r.state) {
         case SsdFrameState::kFree:
           if (hashed) {
@@ -411,6 +422,12 @@ AuditReport InvariantAuditor::AuditSsdCache(const SsdCacheBase& cache) {
                "invalid_frames counter " +
                    std::to_string(cache.invalid_frames_.load()) +
                    " != invalid-record total " + std::to_string(invalid_total));
+  }
+  if (degraded_total != cache.degraded_partitions_.load()) {
+    report.Add("ssd.counters",
+               "degraded_partitions gauge " +
+                   std::to_string(cache.degraded_partitions_.load()) +
+                   " != degraded-flag total " + std::to_string(degraded_total));
   }
   return report;
 }

@@ -26,6 +26,7 @@ const char* ToString(LatchClass c) {
     case LatchClass::kSsdPartition: return "ssd-partition";
     case LatchClass::kSsdJournal: return "ssd-journal";
     case LatchClass::kSsdFault: return "ssd-fault";
+    case LatchClass::kSsdScrub: return "ssd-scrub";
     case LatchClass::kTacLatch: return "tac-latch";
     case LatchClass::kIoEngine: return "io-engine";
     case LatchClass::kFaultDevice: return "fault-device";

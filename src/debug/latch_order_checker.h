@@ -43,10 +43,11 @@ namespace turbobp {
 //   3     kSsdPartition  SsdCacheBase::Partition::mu      allowed
 //   4     kSsdJournal    SsdMetadataJournal::mu_          forbidden
 //   5     kSsdFault      SsdCacheBase::fault_mu_          forbidden
-//   6     kTacLatch      TacCache::latch_mu_              forbidden
-//   7     kIoEngine      AsyncIoEngine::mu_               forbidden
-//   8     kFaultDevice   FaultInjectingDevice::mu_        allowed
-//   9     kDevice        storage-device internals         allowed
+//   6     kSsdScrub      SsdCacheBase::scrub_mu_          forbidden
+//   7     kTacLatch      TacCache::latch_mu_              forbidden
+//   8     kIoEngine      AsyncIoEngine::mu_               forbidden
+//   9     kFaultDevice   FaultInjectingDevice::mu_        allowed
+//   10    kDevice        storage-device internals         allowed
 // END LATCH ORDER SPEC
 //
 // Notes per class: kBufferPool is outermost and never held across device
@@ -57,7 +58,11 @@ namespace turbobp {
 // in-memory staging state only — sealed pages are written to the device
 // *after* the latch is dropped (publish-then-seal), hence device-io
 // forbidden; kSsdFault guards the lost-page set and degradation state;
-// kTacLatch guards the pending-admission latch table; kIoEngine guards the
+// kSsdScrub guards only the scrubber's patrol cursor — held strictly for
+// the cursor copy/advance arithmetic and released before any partition
+// latch or device call (it is a leaf in practice; no other latch is ever
+// taken under it), hence device-io forbidden; kTacLatch guards the
+// pending-admission latch table; kIoEngine guards the
 // async engine's submission/completion queues only — the engine DROPS its
 // mutex before every device call and before invoking completion callbacks
 // (which re-enter the frame state machine and may take rank-0 latches on a
@@ -70,12 +75,13 @@ enum class LatchClass : uint8_t {
   kSsdPartition = 3,
   kSsdJournal = 4,
   kSsdFault = 5,
-  kTacLatch = 6,
-  kIoEngine = 7,
-  kFaultDevice = 8,
-  kDevice = 9,
+  kSsdScrub = 6,
+  kTacLatch = 7,
+  kIoEngine = 8,
+  kFaultDevice = 9,
+  kDevice = 10,
 };
-inline constexpr int kNumLatchClasses = 10;
+inline constexpr int kNumLatchClasses = 11;
 
 const char* ToString(LatchClass c);
 

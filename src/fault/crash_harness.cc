@@ -141,6 +141,50 @@ void Sync(DbSystem& system, IoContext& ctx) {
   ctx.now = std::max(ctx.now, system.executor().now());
 }
 
+// Reads one SSD device page, XORs `mask` into the byte at `offset` and
+// writes the page back — the damaged-but-present image a torn write or a
+// decayed cell leaves behind. Uncharged: the mutation models medium damage,
+// not I/O traffic.
+void FlipDeviceByte(StorageDevice* dev, uint64_t page, uint32_t offset,
+                    uint8_t mask) {
+  std::vector<uint8_t> buf(dev->page_bytes());
+  dev->Read(page, 1, buf, /*now=*/0, /*charge=*/false);
+  buf[offset] ^= mask;
+  dev->Write(page, 1, buf, /*now=*/0, /*charge=*/false);
+}
+
+// Drives the self-healing machinery mid-workload so its crash points fire
+// while the observer is armed: corrupts one clean in-service SSD frame and
+// lets a scrub tick quarantine-and-repair it (content-neutral — the disk
+// copy is identical), then degrades partition 0 and advances virtual time
+// past the error and quiet windows so the next tick's canary probe
+// re-enables it. Deterministic: depends only on the op index and the
+// (seeded) cache state, never on which captures were requested.
+void ExerciseSelfHealing(DbSystem& system, IoContext& ctx) {
+  auto* cache = dynamic_cast<SsdCacheBase*>(&system.ssd_manager());
+  if (cache == nullptr || cache->degraded()) return;
+  Sync(system, ctx);
+  StorageDevice* dev = system.ssd_device();
+  if (dev != nullptr) {
+    for (const auto& e : cache->SnapshotForCheckpoint()) {
+      if (e.dirty) continue;
+      // Payload corruption: the header stays legible but the checksum
+      // fails, so the patrol must quarantine the frame and re-seed the page
+      // from its disk copy ("ssd/scrub-repair").
+      FlipDeviceByte(dev, e.frame, dev->page_bytes() / 2, 0xFF);
+      cache->ScrubTick(ctx);
+      break;
+    }
+  }
+  cache->DegradePartitionAt(0, ctx);
+  // Let the degrade-time error budget lapse and the quiet window pass; the
+  // canary probe then re-enables the partition ("ssd/canary-write",
+  // "ssd/reenable").
+  ctx.now += cache->options().error_window + cache->options().quiet_window;
+  Sync(system, ctx);
+  cache->ScrubTick(ctx);
+}
+
 void WriteSlot(DbSystem& system, WorkloadRun& run, PageId pid, uint32_t slot,
                uint32_t value, uint64_t txn, bool commit, IoContext& ctx) {
   {
@@ -211,6 +255,9 @@ WorkloadRun RunWorkload(const CrashHarnessOptions& o,
         Sync(system, ctx);
         const Time end = system.checkpoint().RunCheckpoint(ctx);
         ctx.now = std::max(ctx.now, end);
+      }
+      if (o.exercise_self_healing && i == o.num_ops / 2) {
+        ExerciseSelfHealing(system, ctx);
       }
       const uint64_t r = rng.Uniform(100);
       if (r < 50) {
@@ -284,18 +331,6 @@ struct RecoveredDb {
   bool torn_injected = false;
   bool ssd_fault_armed = false;
 };
-
-// Reads one SSD device page, XORs `mask` into the byte at `offset` and
-// writes the page back — the damaged-but-present image a torn write or a
-// decayed cell leaves behind. Uncharged: the mutation models medium damage,
-// not I/O traffic.
-void FlipDeviceByte(StorageDevice* dev, uint64_t page, uint32_t offset,
-                    uint8_t mask) {
-  std::vector<uint8_t> buf(dev->page_bytes());
-  dev->Read(page, 1, buf, /*now=*/0, /*charge=*/false);
-  buf[offset] ^= mask;
-  dev->Write(page, 1, buf, /*now=*/0, /*charge=*/false);
-}
 
 // Damages the restored SSD image per `fault`, after the log's durable state
 // is already in place (the frame-corruption fault prefers a frame whose

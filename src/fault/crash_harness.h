@@ -74,6 +74,13 @@ struct CrashHarnessOptions {
   // journal region), and warm scenarios recover via
   // DbSystem::RecoverPersistent instead of reformatting the SSD.
   bool persistent_ssd = false;
+  // Drives the self-healing machinery mid-workload (corrupt one clean frame
+  // -> scrub repair; degrade partition 0 -> canary re-enable), so the
+  // "ssd/scrub-repair", "ssd/canary-write" and "ssd/reenable" crash points
+  // fire under the torture matrix. Content-neutral: repairs re-seed from
+  // identical disk copies and a degrade only purges cached copies, so every
+  // oracle/audit check applies unchanged.
+  bool exercise_self_healing = false;
 };
 
 struct CrashScenarioResult {

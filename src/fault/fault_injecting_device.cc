@@ -15,6 +15,7 @@ const char* ToString(FaultKind kind) {
     case FaultKind::kBitFlip: return "bit-flip";
     case FaultKind::kLatencySpike: return "latency-spike";
     case FaultKind::kDeviceOffline: return "device-offline";
+    case FaultKind::kStuckIo: return "stuck-io";
   }
   return "unknown";
 }
@@ -25,7 +26,8 @@ FaultInjectingDevice::FaultInjectingDevice(StorageDevice* base,
   TURBOBP_CHECK(base != nullptr);
 }
 
-FaultKind FaultInjectingDevice::NextFault(IoOp op) {
+FaultKind FaultInjectingDevice::NextFault(IoOp op, Time now,
+                                          uint64_t first_page) {
   const int64_t index = op_index_++;
   ++stats_.ops;
   FaultKind kind = FaultKind::kNone;
@@ -34,11 +36,29 @@ FaultKind FaultInjectingDevice::NextFault(IoOp op) {
   } else if (plan_.offline_at_op >= 0 && index >= plan_.offline_at_op) {
     kind = FaultKind::kDeviceOffline;
   } else {
-    // Fixed draw order per op keeps the stream deterministic.
-    const bool transient = rng_.Bernoulli(plan_.transient_error_rate);
-    const bool torn = op == IoOp::kWrite && rng_.Bernoulli(plan_.torn_write_rate);
-    const bool flip = op == IoOp::kRead && rng_.Bernoulli(plan_.bit_flip_rate);
-    const bool spike = rng_.Bernoulli(plan_.latency_spike_rate);
+    // Effective rates: base rates plus every window covering (now, page).
+    double transient_rate = plan_.transient_error_rate;
+    double torn_rate = plan_.torn_write_rate;
+    double flip_rate = plan_.bit_flip_rate;
+    double spike_rate = plan_.latency_spike_rate;
+    double stuck_rate = plan_.stuck_io_rate;
+    for (const FaultWindow& w : plan_.windows) {
+      if (!w.Covers(now, first_page)) continue;
+      transient_rate += w.transient_error_rate;
+      torn_rate += w.torn_write_rate;
+      flip_rate += w.bit_flip_rate;
+      spike_rate += w.latency_spike_rate;
+      stuck_rate += w.stuck_io_rate;
+    }
+    // Fixed draw order per op keeps the stream deterministic. The stuck-I/O
+    // Bernoulli exists only for plans that can produce stuck faults, so
+    // pre-existing plans keep their historical draw streams bit-identical.
+    const bool can_stick = plan_.stuck_io_rate > 0 || !plan_.windows.empty();
+    const bool transient = rng_.Bernoulli(transient_rate);
+    const bool torn = op == IoOp::kWrite && rng_.Bernoulli(torn_rate);
+    const bool flip = op == IoOp::kRead && rng_.Bernoulli(flip_rate);
+    const bool spike = rng_.Bernoulli(spike_rate);
+    const bool stuck = can_stick && rng_.Bernoulli(stuck_rate);
     if (transient) {
       kind = FaultKind::kTransientError;
     } else if (torn) {
@@ -47,6 +67,8 @@ FaultKind FaultInjectingDevice::NextFault(IoOp op) {
       kind = FaultKind::kBitFlip;
     } else if (spike) {
       kind = FaultKind::kLatencySpike;
+    } else if (stuck) {
+      kind = FaultKind::kStuckIo;
     }
   }
   switch (kind) {
@@ -55,6 +77,7 @@ FaultKind FaultInjectingDevice::NextFault(IoOp op) {
     case FaultKind::kTornWrite: ++stats_.torn_writes; break;
     case FaultKind::kBitFlip: ++stats_.bit_flips; break;
     case FaultKind::kLatencySpike: ++stats_.latency_spikes; break;
+    case FaultKind::kStuckIo: ++stats_.stuck_ios; break;
     case FaultKind::kDeviceOffline:
       offline_ = true;
       stats_.offline = true;
@@ -75,7 +98,7 @@ IoResult FaultInjectingDevice::Read(uint64_t first_page, uint32_t num_pages,
   // deterministic fault stream covers only modeled operations.
   if (!charge) return base_->Read(first_page, num_pages, out, now, charge);
 
-  const FaultKind fault = NextFault(IoOp::kRead);
+  const FaultKind fault = NextFault(IoOp::kRead, now, first_page);
   if (fault == FaultKind::kTransientError) {
     return IoResult{now, Status::IoError("injected transient read error")};
   }
@@ -92,6 +115,7 @@ IoResult FaultInjectingDevice::Read(uint64_t first_page, uint32_t num_pages,
     out[byte] ^= static_cast<uint8_t>(1u << rng_.Uniform(8));
   }
   if (fault == FaultKind::kLatencySpike) res.time += plan_.latency_spike;
+  if (fault == FaultKind::kStuckIo) res.time += plan_.stuck_delay;
   return res;
 }
 
@@ -105,7 +129,7 @@ IoResult FaultInjectingDevice::Write(uint64_t first_page, uint32_t num_pages,
   }
   if (!charge) return base_->Write(first_page, num_pages, data, now, charge);
 
-  const FaultKind fault = NextFault(IoOp::kWrite);
+  const FaultKind fault = NextFault(IoOp::kWrite, now, first_page);
   if (fault == FaultKind::kTransientError) {
     return IoResult{now, Status::IoError("injected transient write error")};
   }
@@ -139,6 +163,9 @@ IoResult FaultInjectingDevice::Write(uint64_t first_page, uint32_t num_pages,
   IoResult res = base_->Write(first_page, num_pages, data, now, charge);
   if (res.ok() && fault == FaultKind::kLatencySpike) {
     res.time += plan_.latency_spike;
+  }
+  if (res.ok() && fault == FaultKind::kStuckIo) {
+    res.time += plan_.stuck_delay;
   }
   return res;
 }

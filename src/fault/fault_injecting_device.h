@@ -46,8 +46,11 @@ class FaultInjectingDevice : public StorageDevice {
  private:
   // Decides the fault for the next operation and advances the op counter.
   // `charge == false` ops (the loader) pass through unfaulted and undrawn,
-  // keeping population traffic out of the deterministic stream.
-  FaultKind NextFault(IoOp op) TURBOBP_REQUIRES(mu_);
+  // keeping population traffic out of the deterministic stream. `now` and
+  // `first_page` select which FaultWindows apply (windowed rates add to the
+  // base rates).
+  FaultKind NextFault(IoOp op, Time now, uint64_t first_page)
+      TURBOBP_REQUIRES(mu_);
 
   StorageDevice* const base_;
   const FaultPlan plan_;

@@ -1,6 +1,7 @@
 #include "io/async_io_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <utility>
 
@@ -44,28 +45,52 @@ AsyncIoEngine::~AsyncIoEngine() {
 }
 
 AsyncIoEngine::Batch AsyncIoEngine::PopBatchLocked() {
+  // Normal lane first; the low-priority lane only drains when it is empty.
+  std::deque<Pending>& q = staged_.empty() ? staged_low_ : staged_;
   Batch batch;
-  batch.reqs.push_back(std::move(staged_.front()));
-  staged_.pop_front();
+  batch.reqs.push_back(std::move(q.front()));
+  q.pop_front();
   const Pending& head = batch.reqs.front();
   batch.op = head.req.op;
   batch.charge = head.charge;
   batch.total_pages = head.req.num_pages;
-  if (!options_.coalesce || head.no_coalesce) return batch;
-  while (!staged_.empty()) {
-    const Pending& next = staged_.front();
+  // Deadline'd requests are never coalesced: the budget must map onto
+  // exactly one device op (a neighbour's pages would inherit its verdict).
+  if (!options_.coalesce || head.no_coalesce || head.req.deadline > 0) {
+    return batch;
+  }
+  while (!q.empty()) {
+    const Pending& next = q.front();
     const Pending& last = batch.reqs.back();
-    if (next.no_coalesce || next.req.op != batch.op ||
-        next.charge != batch.charge ||
+    if (next.no_coalesce || next.req.deadline > 0 ||
+        next.req.op != batch.op || next.charge != batch.charge ||
         next.req.first_page != last.req.first_page + last.req.num_pages ||
         batch.total_pages + next.req.num_pages > options_.max_coalesced_pages) {
       break;
     }
     batch.total_pages += next.req.num_pages;
-    batch.reqs.push_back(std::move(staged_.front()));
-    staged_.pop_front();
+    batch.reqs.push_back(std::move(q.front()));
+    q.pop_front();
   }
   return batch;
+}
+
+void AsyncIoEngine::ApplyDeadlineLocked(Batch& batch, Time at,
+                                        int64_t wall_us) {
+  if (batch.reqs.size() != 1) return;  // deadline'd requests never coalesce
+  const Time deadline = batch.reqs.front().req.deadline;
+  if (deadline <= 0 || !batch.result.ok()) return;
+  const bool late = wall_us >= 0 ? wall_us > deadline
+                                 : batch.result.time > at + deadline;
+  if (!late) return;
+  // Abandoned, not failed: the device may still have performed the op, so
+  // a timed-out WRITE's frame is suspect (callers treat it like a torn
+  // write) and a timed-out read's buffer must be ignored. kTimedOut is not
+  // IsIoError(), so HarvestOne delivers it instead of retrying — that is
+  // what bounds a consumer's wait on a stuck device.
+  batch.result.status = Status::TimedOut("device request exceeded deadline");
+  if (wall_us < 0) batch.result.time = at + deadline;
+  ++stats_.timeouts;
 }
 
 IoResult AsyncIoEngine::IssueBatch(Batch& batch, Time at) {
@@ -123,7 +148,7 @@ IoResult AsyncIoEngine::IssueBatch(Batch& batch, Time at) {
 void AsyncIoEngine::Kick(Time now) {
   EngineLock lock(mu_);
   clock_ = std::max(clock_, now);
-  while (!staged_.empty() &&
+  while (HasStagedLocked() &&
          static_cast<int>(issued_.size()) + issuing_ < options_.queue_depth) {
     Batch batch = PopBatchLocked();
     Time at = clock_;
@@ -140,7 +165,8 @@ void AsyncIoEngine::Kick(Time now) {
     const IoResult res = IssueBatch(batch, at);
     lock.lock();
     batch.result = res;
-    issued_.emplace(res.time, std::move(batch));
+    ApplyDeadlineLocked(batch, at, /*wall_us=*/-1);
+    issued_.emplace(batch.result.time, std::move(batch));
   }
 }
 
@@ -214,10 +240,13 @@ IoToken AsyncIoEngine::Submit(const AsyncIoRequest& req, IoContext& ctx) {
   {
     EngineLock lock(mu_);
     clock_ = std::max(clock_, ctx.now);
-    if (static_cast<int>(staged_.size()) >= options_.queue_depth) {
+    // Per-lane backpressure: a backlog of background patrol work must not
+    // block (or slow) a foreground submission, and vice versa.
+    std::deque<Pending>& q = req.low_priority ? staged_low_ : staged_;
+    if (static_cast<int>(q.size()) >= options_.queue_depth) {
       ++stats_.queue_full_waits;
       if (!workers_.empty()) {
-        while (static_cast<int>(staged_.size()) >= options_.queue_depth &&
+        while (static_cast<int>(q.size()) >= options_.queue_depth &&
                !stopping_) {
           space_cv_.wait(lock);
         }
@@ -229,7 +258,7 @@ IoToken AsyncIoEngine::Submit(const AsyncIoRequest& req, IoContext& ctx) {
     token = next_token_++;
     p.token = token;
     ++stats_.submitted;
-    staged_.push_back(std::move(p));
+    q.push_back(std::move(p));
   }
   if (is_write) {
     // Acknowledged to the queue, not yet on the device: a crash here loses
@@ -247,7 +276,7 @@ IoToken AsyncIoEngine::Submit(const AsyncIoRequest& req, IoContext& ctx) {
 IoToken AsyncIoEngine::TrySubmit(const AsyncIoRequest& req, IoContext& ctx) {
   {
     EngineLock lock(mu_);
-    if (static_cast<int>(staged_.size()) +
+    if (static_cast<int>(staged_.size()) + static_cast<int>(staged_low_.size()) +
             static_cast<int>(issued_.size()) + issuing_ >=
         2 * options_.queue_depth) {
       ++stats_.queue_full_waits;
@@ -267,7 +296,7 @@ std::vector<IoCompletion> AsyncIoEngine::Reap(int max, Time deadline,
     while (static_cast<int>(out.size()) < max) {
       {
         EngineLock lock(mu_);
-        while (issued_.empty() && (!staged_.empty() || issuing_ > 0)) {
+        while (issued_.empty() && (HasStagedLocked() || issuing_ > 0)) {
           reap_cv_.wait(lock);
         }
         if (issued_.empty()) break;
@@ -300,7 +329,8 @@ Time AsyncIoEngine::Drain(IoContext& ctx) {
 
 int64_t AsyncIoEngine::Outstanding() const {
   EngineLock lock(mu_);
-  int64_t n = static_cast<int64_t>(staged_.size()) + issuing_;
+  int64_t n = static_cast<int64_t>(staged_.size()) +
+              static_cast<int64_t>(staged_low_.size()) + issuing_;
   for (const auto& [done, batch] : issued_) {
     n += static_cast<int64_t>(batch.reqs.size());
   }
@@ -313,6 +343,7 @@ void AsyncIoEngine::Reset() {
   // queues are cleared.
   while (issuing_ > 0) reap_cv_.wait(lock);
   staged_.clear();
+  staged_low_.clear();
   issued_.clear();
   clock_ = 0;
   last_completion_ = 0;
@@ -326,8 +357,8 @@ AsyncIoEngine::Stats AsyncIoEngine::stats() const {
 void AsyncIoEngine::WorkerLoop() {
   EngineLock lock(mu_);
   while (true) {
-    while (staged_.empty() && !stopping_) work_cv_.wait(lock);
-    if (staged_.empty() && stopping_) return;
+    while (!HasStagedLocked() && !stopping_) work_cv_.wait(lock);
+    if (!HasStagedLocked() && stopping_) return;
     Batch batch = PopBatchLocked();
     Time at = clock_;
     for (Pending& p : batch.reqs) {
@@ -342,12 +373,20 @@ void AsyncIoEngine::WorkerLoop() {
     ++issuing_;
     lock.unlock();
     space_cv_.notify_all();
+    const auto wall_start = std::chrono::steady_clock::now();
     const IoResult res = IssueBatch(batch, at);
+    const int64_t wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     lock.lock();
     --issuing_;
     batch.result = res;
+    // Threaded backend: deadlines are wall-clock — the device call's real
+    // duration is what a hung request looks like to a blocked consumer.
+    ApplyDeadlineLocked(batch, at, wall_us);
     clock_ = std::max(clock_, res.time);
-    issued_.emplace(res.time, std::move(batch));
+    issued_.emplace(batch.result.time, std::move(batch));
     reap_cv_.notify_all();
   }
 }

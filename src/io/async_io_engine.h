@@ -51,6 +51,20 @@ struct AsyncIoRequest {
   std::span<const uint8_t> data{};  // kWrite source
   uint64_t tag = 0;
   IoCompletionFn on_complete;       // optional
+  // Hung-request detection: a per-request completion budget measured from
+  // the instant the request is issued to the device (virtual time in the
+  // sim backend, wall-clock microseconds in the threaded backend; 0 = no
+  // deadline). A request whose device call finishes past its deadline is
+  // delivered as kTimedOut at the deadline instant — it is never retried
+  // (the operation was abandoned, not failed; the device may still have
+  // performed it), so a stuck device can never stall a consumer that
+  // reaps. Deadline'd requests are never coalesced: the budget applies to
+  // exactly one device op.
+  Time deadline = 0;
+  // Background lane (scrub patrol, repairs): popped only when the normal
+  // submission queue is empty, so maintenance I/O never starves foreground
+  // work. Each lane has its own queue_depth worth of staging room.
+  bool low_priority = false;
 };
 
 // io_uring-shaped asynchronous I/O engine over one StorageDevice: a
@@ -117,6 +131,7 @@ class AsyncIoEngine {
     int64_t queue_full_waits = 0;   // submissions that found the ring full
     int64_t retries = 0;            // per-request re-issues after kIoError
     int64_t errors = 0;             // completions delivered with !ok()
+    int64_t timeouts = 0;           // completions converted to kTimedOut
   };
 
   AsyncIoEngine(StorageDevice* device, const Options& options);
@@ -202,8 +217,19 @@ class AsyncIoEngine {
     IoResult result;
   };
 
-  // Pops a maximal coalescable run off the submission queue.
+  // Pops a maximal coalescable run off the submission queues (normal lane
+  // first; the low-priority lane is drained only when the normal lane is
+  // empty).
   Batch PopBatchLocked() TURBOBP_REQUIRES(mu_);
+  bool HasStagedLocked() const TURBOBP_REQUIRES(mu_) {
+    return !staged_.empty() || !staged_low_.empty();
+  }
+  // Converts a late single-request completion to kTimedOut at its deadline.
+  // `wall_us` is the device call's measured wall-clock duration (threaded
+  // backend; pass -1 for the sim backend, which compares the virtual
+  // completion instant against issue time + deadline instead).
+  void ApplyDeadlineLocked(Batch& batch, Time at, int64_t wall_us)
+      TURBOBP_REQUIRES(mu_);
   // Performs the blocking device call for `batch` arriving at `at`
   // (gathers writes / scatters coalesced reads through a bounce buffer).
   // Called with no engine latch held.
@@ -227,6 +253,11 @@ class AsyncIoEngine {
 
   mutable EngineMutex mu_;
   std::deque<Pending> staged_ TURBOBP_GUARDED_BY(mu_);
+  // Low-priority lane (AsyncIoRequest::low_priority): background scrub and
+  // repair traffic, issued only when `staged_` is empty. Retries of either
+  // lane re-stage at the front of `staged_` — a request that already made
+  // it to the device has earned its slot.
+  std::deque<Pending> staged_low_ TURBOBP_GUARDED_BY(mu_);
   // In-flight and harvestable batches keyed by completion instant. The ring
   // bound compares issued_.size() against queue_depth: a batch occupies its
   // slot until harvested, like an unreaped CQE pinning its ring entry.

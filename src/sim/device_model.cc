@@ -103,7 +103,8 @@ DeviceTimeline::DeviceTimeline(DeviceModel* model, uint32_t page_bytes)
   TURBOBP_CHECK(model != nullptr);
 }
 
-Time DeviceTimeline::Schedule(const IoRequest& req, Time now) {
+Time DeviceTimeline::Schedule(const IoRequest& req, Time now,
+                              Time* service_start) {
   const Time service = model_->ServiceTime(req);
   // Earliest idle interval at or after `now` that fits `service`.
   Time start = now;
@@ -117,6 +118,7 @@ Time DeviceTimeline::Schedule(const IoRequest& req, Time now) {
     ++it;
   }
   const Time completion = start + service;
+  if (service_start != nullptr) *service_start = start;
   busy_.emplace(start, completion);
   free_at_ = std::max(free_at_, completion);
   busy_time_ += service;

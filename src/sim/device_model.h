@@ -116,8 +116,11 @@ class DeviceTimeline {
  public:
   DeviceTimeline(DeviceModel* model, uint32_t page_bytes);
 
-  // Schedules `req` arriving at `now`; returns its completion time.
-  Time Schedule(const IoRequest& req, Time now);
+  // Schedules `req` arriving at `now`; returns its completion time. If
+  // `service_start` is non-null it receives the instant the device begins
+  // servicing the request (completion minus service time — the queue wait
+  // is the gap from `now` to there).
+  Time Schedule(const IoRequest& req, Time now, Time* service_start = nullptr);
 
   // Number of requests still pending (not yet completed) at `now`.
   int QueueLength(Time now);

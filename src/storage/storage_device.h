@@ -21,6 +21,13 @@ namespace turbobp {
 struct IoResult {
   Time time = 0;     // completion instant of the request
   Status status;     // kOk, kIoError (transient), kUnavailable (dead), ...
+  // Instant the device began servicing the request (completion minus the
+  // in-device service time; the gap from arrival to here is queue wait).
+  // Hung-request detection keys deadlines off this rather than the arrival
+  // instant, so queueing congestion — the throttle controller's business —
+  // is never mistaken for device sickness. 0 means the device does not
+  // model a queue; consumers fall back to the arrival instant.
+  Time service_start = 0;
 
   bool ok() const { return status.ok(); }
 };

@@ -62,8 +62,10 @@ DriverResult Driver::Run() {
   }
   ex.RunUntil(end_);
   // Let in-flight transactions and background work drain (they no longer
-  // count); periodic checkpoints must stop rescheduling first.
+  // count); periodic checkpoints and the SSD patrol scrubber must stop
+  // rescheduling first.
   system_->checkpoint().StopPeriodic();
+  system_->ssd_manager().StopBackground();
   ex.RunUntilIdle();
 
   result_.run_end = end_;

@@ -103,6 +103,45 @@ TEST_P(RestartMatrixTest, WarmRestartSurvivesEveryRestartFault) {
   }
 }
 
+// Crash-during-heal: with the self-healing exercise armed, the workload
+// corrupts a clean frame mid-run (scrub quarantines and repairs it) and
+// degrades partition 0 (a later canary probe re-enables it), so the three
+// healing crash points fire. Power cuts at each of them — the repaired
+// admission staged but maybe unjournaled, the canary freshly landed on the
+// device, the partition just re-enabled — must recover oracle-exact under
+// every restart fault: healing is journal-consistent, never a correctness
+// hazard.
+TEST_P(RestartMatrixTest, CrashDuringHealRecoversExact) {
+  if (!CrashPointsCompiledIn()) {
+    GTEST_SKIP() << "built with TURBOBP_CRASH_POINTS=OFF";
+  }
+  for (const uint64_t seed : SeedsFromEnv()) {
+    CrashHarnessOptions opts = PersistentOptions(GetParam(), seed);
+    opts.exercise_self_healing = true;
+    CrashHarness harness(opts);
+    const auto points = harness.ProbeCrashPoints();
+    ASSERT_TRUE(points.contains("ssd/scrub-repair"))
+        << ToString(GetParam()) << " seed " << seed
+        << ": patrol never repaired the corrupted frame";
+    ASSERT_TRUE(points.contains("ssd/canary-write"))
+        << ToString(GetParam()) << " seed " << seed
+        << ": no canary probe reached the device";
+    ASSERT_TRUE(points.contains("ssd/reenable"))
+        << ToString(GetParam()) << " seed " << seed
+        << ": the degraded partition never re-enabled";
+    for (const char* point :
+         {"ssd/scrub-repair", "ssd/canary-write", "ssd/reenable"}) {
+      for (const SsdRestartFault fault : kAllFaults) {
+        const CrashScenarioResult r =
+            harness.RunWarmRestartScenario(point, /*hit=*/1, fault);
+        ASSERT_TRUE(r.triggered) << point;
+        for (const std::string& f : r.failures) ADD_FAILURE() << f;
+        EXPECT_GT(r.oracle_cells, 0);
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSsdDesigns, RestartMatrixTest,
                          ::testing::Values(SsdDesign::kCleanWrite,
                                            SsdDesign::kDualWrite,

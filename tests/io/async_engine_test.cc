@@ -548,5 +548,87 @@ TEST(AsyncEngineTest, ThreadedBackendDrainsOnDestruction) {
   }
 }
 
+// ------------------------------------------------------------ deadlines
+
+// A stuck request (the device answers, but seconds late, with no error)
+// converts to kTimedOut at its deadline instant: a consumer that reaps is
+// unblocked at issue + deadline, never at the device's real completion —
+// the engine half of "a hung SSD can never stall a fetch indefinitely".
+// The operation was abandoned, not failed, so it is never retried.
+TEST(AsyncEngineTest, StuckRequestDeliversTimedOutAtTheDeadline) {
+  MemDevice mem(16, kPage);
+  FaultPlan plan;
+  plan.scripted[0] = FaultKind::kStuckIo;
+  plan.stuck_delay = Seconds(2);
+  FaultInjectingDevice dev(&mem, plan);
+  AsyncIoEngine engine(&dev, {.queue_depth = 4});
+  IoContext ctx = Ctx();
+
+  std::vector<uint8_t> out(kPage);
+  AsyncIoRequest req = ReadReq(3, out);
+  req.deadline = Millis(10);
+  ASSERT_NE(engine.Submit(req, ctx), 0u);
+
+  // Reap far before the stuck completion (2s away): the timed-out
+  // completion must already be harvestable at the deadline instant.
+  const std::vector<IoCompletion> done = engine.Reap(8, Millis(100), ctx);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].result.status.IsTimedOut())
+      << done[0].result.status.ToString();
+  EXPECT_EQ(done[0].result.time, Millis(10));
+  EXPECT_LT(done[0].result.time, plan.stuck_delay);
+  EXPECT_TRUE(engine.Idle());
+
+  const AsyncIoEngine::Stats s = engine.stats();
+  EXPECT_EQ(s.timeouts, 1);
+  EXPECT_EQ(s.retries, 0);
+}
+
+// A deadline generous enough for the device changes nothing: data round
+// trips, no timeout is recorded, and stats stay clean.
+TEST(AsyncEngineTest, OnTimeRequestPassesItsDeadlineUntouched) {
+  MemDevice dev(16, kPage);
+  AsyncIoEngine engine(&dev, {.queue_depth = 4});
+  IoContext ctx = Ctx();
+
+  const auto data = Fill(0x5A);
+  AsyncIoRequest w = WriteReq(5, data);
+  w.deadline = Seconds(1);
+  ASSERT_NE(engine.Submit(w, ctx), 0u);
+  engine.Drain(ctx);
+
+  std::vector<uint8_t> out(kPage);
+  AsyncIoRequest r = ReadReq(5, out);
+  r.deadline = Seconds(1);
+  ASSERT_NE(engine.Submit(r, ctx), 0u);
+  engine.Drain(ctx);
+
+  EXPECT_EQ(out, data);
+  const AsyncIoEngine::Stats s = engine.stats();
+  EXPECT_EQ(s.timeouts, 0);
+  EXPECT_EQ(s.errors, 0);
+}
+
+// Deadline'd requests are never coalesced: each budget covers exactly one
+// device op, so a contiguous run of them issues one op per request.
+TEST(AsyncEngineTest, DeadlinedRequestsNeverCoalesce) {
+  MemDevice dev(32, kPage);
+  AsyncIoEngine engine(&dev, {.queue_depth = 1});  // force staging
+  IoContext ctx = Ctx();
+
+  const auto data = Fill(0x11);
+  for (int i = 0; i < 4; ++i) {
+    AsyncIoRequest w = WriteReq(PageId(8 + i), data);
+    w.deadline = Seconds(1);
+    ASSERT_NE(engine.Submit(w, ctx), 0u);
+  }
+  engine.Drain(ctx);
+
+  const AsyncIoEngine::Stats s = engine.stats();
+  EXPECT_EQ(s.device_ops, 4);
+  EXPECT_EQ(s.coalesced_batches, 0);
+  EXPECT_EQ(s.timeouts, 0);
+}
+
 }  // namespace
 }  // namespace turbobp

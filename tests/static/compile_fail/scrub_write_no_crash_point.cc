@@ -1,0 +1,26 @@
+// Negative test for tools/analysis/static_check.py, rule `crash-point`,
+// scrubber form.
+//
+// A patrol-repair re-seeds a quarantine-adjacent SSD frame from the disk
+// copy with a raw `ssd_device_->Write` but names no TURBOBP_CRASH_POINT.
+// Scrub repairs run concurrently with client traffic and mutate durable
+// cache state, so a crash mid-repair is exactly the edge the restart
+// matrix's crash-during-heal scenarios cut power on — the checker must
+// flag the function; ctest asserts a non-zero exit.
+//
+// Never compiled; a fixture parsed by the structural checker.
+
+namespace turbobp {
+
+bool BadScrubRepairWithoutCrashPoint(StorageDevice* ssd_device_,
+                                     uint64_t frame,
+                                     std::span<const uint8_t> disk_copy,
+                                     IoContext& ctx) {
+  // BAD: the repaired frame lands on the medium with no named durability
+  // edge, so the crash-torture matrix cannot cover a crash mid-heal.
+  const IoResult w =
+      ssd_device_->Write(frame, 1, disk_copy, ctx.now, ctx.charge);
+  return w.ok();
+}
+
+}  // namespace turbobp

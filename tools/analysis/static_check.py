@@ -29,12 +29,19 @@ applied over lock-scope nesting reconstructed from the source text:
                   edges cannot dodge the crash-torture matrix.
   async-io        No AsyncIoEngine entry point (Submit/TrySubmit/Reap/
                   Drain on an engine-like receiver) while holding a
-                  kBufferPool, kBufferFrame or kSsdPartition latch:
-                  completion callbacks re-enter the frame state machine and
-                  take those latches on a fresh stack, so an engine call
-                  under one deadlocks (DESIGN.md §12 completion-context
-                  rules). Mirrors the TURBOBP_EXCLUDES contracts on the
-                  engine API for builds without Clang TSA.
+                  kBufferPool, kBufferFrame, kSsdPartition or kSsdScrub
+                  latch: completion callbacks re-enter the frame state
+                  machine and take those latches on a fresh stack, so an
+                  engine call under one deadlocks (DESIGN.md §12
+                  completion-context rules), and the scrub cursor latch is
+                  a declared leaf (below). Mirrors the TURBOBP_EXCLUDES
+                  contracts on the engine API for builds without Clang TSA.
+
+The latch-order rule additionally enforces leaf discipline: latches the
+spec note declares leaves (kSsdScrub, the scrubber's patrol cursor) may
+never have *any* tracked latch acquired under them, regardless of rank —
+the scrubber holds its cursor latch only for the copy/advance arithmetic
+and must release it before touching a partition or the device.
 
 Sanctioned exceptions carry a `// check: allow(<rule>[: reason])` directive
 on the offending line or the line above it.
@@ -88,10 +95,20 @@ DURABLE_WRITE_ANY_RECV = {"WritePage", "WritePages", "WriteFrame"}
 # AsyncIoEngine entry points (async-io rule): only through an engine-like
 # receiver, so unrelated Submit/Drain methods on other objects are not
 # flagged. Completion callbacks take pool shard/frame and SSD partition
-# latches, so calling into the engine while holding one deadlocks.
+# latches, so calling into the engine while holding one deadlocks; the
+# scrub cursor latch is a declared leaf, so an engine call under it is a
+# discipline breach even though no callback takes it.
 ENGINE_CALLS = {"Submit", "TrySubmit", "Reap", "Drain"}
 ENGINE_RECV = re.compile(r"^\w*engine\w*$")
-ENGINE_FORBIDDEN = {"kBufferPool", "kBufferFrame", "kSsdPartition"}
+ENGINE_FORBIDDEN = {"kBufferPool", "kBufferFrame", "kSsdPartition",
+                    "kSsdScrub"}
+
+# Leaf latches (latch-order rule): nothing — whatever its rank — may be
+# acquired while one of these is held. The scrubber's patrol-cursor latch
+# guards only the cursor copy/advance arithmetic; holding it across a
+# partition acquisition (or any other latch) would serialize patrol against
+# foreground reads and invert the independence DESIGN.md §13 promises.
+LEAF_LATCHES = {"kSsdScrub"}
 
 # Functions whose IoResult/Status return must be consumed.
 RESULT_FNS_ANY_RECV = {
@@ -395,6 +412,14 @@ class FileChecker:
 
     def acquire(self, latch, var, line):
         for h in self.held_locks():
+            if h.latch in LEAF_LATCHES:
+                self._report(
+                    line, "latch-order",
+                    f"acquiring {latch} while holding the leaf latch "
+                    f"{h.latch} (line {h.line}): the spec declares "
+                    f"{h.latch} a leaf — release it before taking any "
+                    f"other latch")
+                continue
             hr, nr = self.spec[h.latch].rank, self.spec[latch].rank
             if hr == nr:
                 self._report(
