@@ -307,7 +307,7 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx,
       Touch(f, ctx.now);
       f.kind = kind;
       ++f.pin_count;
-      StatCounters::Bump(counters_.hits);
+      counters_.Classified(counters_.hits);
       ++ctx.bp_hits;
       lock.unlock();
       // TAC pathology (Section 2.5): a pending SSD admission write holds the
@@ -340,7 +340,7 @@ PageGuard BufferPool::FetchPage(PageId pid, AccessKind kind, IoContext& ctx,
     sh.page_table.emplace(pid, frame);
     // Commitment point: this call is a miss (counted exactly once even if
     // the claim retried above).
-    StatCounters::Bump(counters_.misses);
+    counters_.Classified(counters_.misses);
     ++ctx.bp_misses;
     break;
   }
@@ -981,8 +981,18 @@ void BufferPool::MarkDirtyLocked(int32_t frame, Lsn lsn) {
 
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats s;
-  s.hits = counters_.hits.load(std::memory_order_relaxed);
-  s.misses = counters_.misses.load(std::memory_order_relaxed);
+  // Consistent snapshot under concurrency: ops is bumped last (release) by
+  // every fetch classification and read first here (acquire), so even a
+  // single pass observes hits + misses >= ops. The re-read at the end of
+  // the pass upgrades that to a stable snapshot — ops unchanged means no
+  // classification ran while hits/misses were copied; otherwise retry
+  // (bounded: the ordered single pass is already invariant-preserving).
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    s.ops = counters_.ops.load(std::memory_order_acquire);
+    s.hits = counters_.hits.load(std::memory_order_relaxed);
+    s.misses = counters_.misses.load(std::memory_order_relaxed);
+    if (counters_.ops.load(std::memory_order_acquire) == s.ops) break;
+  }
   s.ssd_hits = counters_.ssd_hits.load(std::memory_order_relaxed);
   s.disk_page_reads = counters_.disk_page_reads.load(std::memory_order_relaxed);
   s.evictions_clean = counters_.evictions_clean.load(std::memory_order_relaxed);
@@ -1000,6 +1010,7 @@ BufferPoolStats BufferPool::stats() const {
 }
 
 void BufferPool::ResetStats() {
+  counters_.ops.store(0, std::memory_order_relaxed);
   counters_.hits.store(0, std::memory_order_relaxed);
   counters_.misses.store(0, std::memory_order_relaxed);
   counters_.ssd_hits.store(0, std::memory_order_relaxed);

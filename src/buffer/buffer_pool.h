@@ -66,6 +66,11 @@ class PageGuard {
 // mutated concurrently by every client; stats() copies them out so callers
 // never read a torn or racing value.
 struct BufferPoolStats {
+  // Fetch classifications: hits + misses >= ops holds in EVERY snapshot,
+  // including one taken mid-fetch from another thread (equality at
+  // quiescence). A naive field-by-field relaxed copy can tear and break
+  // it; stats() orders and retries its reads to keep it.
+  int64_t ops = 0;
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t ssd_hits = 0;          // misses served by the SSD manager
@@ -261,6 +266,10 @@ class BufferPool {
 
   // Live counters (relaxed atomics; see BufferPoolStats for the snapshot).
   struct StatCounters {
+    // Fetch classifications: bumped once per FetchPage hit/miss commitment,
+    // LAST and with release ordering, so a snapshot reading ops first
+    // (acquire) always observes hits + misses >= ops.
+    std::atomic<int64_t> ops{0};
     std::atomic<int64_t> hits{0};
     std::atomic<int64_t> misses{0};
     std::atomic<int64_t> ssd_hits{0};
@@ -276,6 +285,11 @@ class BufferPool {
 
     static void Bump(std::atomic<int64_t>& c, int64_t by = 1) {
       c.fetch_add(by, std::memory_order_relaxed);
+    }
+    // Bumps a classification counter and then seals the fetch into ops.
+    void Classified(std::atomic<int64_t>& c) {
+      c.fetch_add(1, std::memory_order_relaxed);
+      ops.fetch_add(1, std::memory_order_release);
     }
   };
 

@@ -29,6 +29,16 @@ double TimeSeries::AverageRate(Time from, Time to) const {
   return sum / (static_cast<double>(n) * ToSeconds(width_));
 }
 
+void TimeSeries::Merge(const TimeSeries& other) {
+  TURBOBP_CHECK(width_ == other.width_);
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0.0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
 std::vector<double> TimeSeries::SmoothedRates(int window) const {
   std::vector<double> out(buckets_.size(), 0.0);
   const int half = window / 2;

@@ -43,6 +43,11 @@ class TimeSeries {
   // Figure 6 curves with a 3-point moving average).
   std::vector<double> SmoothedRates(int window = 3) const;
 
+  // Bucket-wise sum of another series (same bucket width required). The
+  // threaded driver records per-thread series and merges them at report
+  // time instead of sharing one series across threads.
+  void Merge(const TimeSeries& other);
+
  private:
   Time width_;
   std::vector<double> buckets_;

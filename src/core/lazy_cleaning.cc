@@ -106,7 +106,7 @@ bool LazyCleaningCache::OldestDirty(Partition** part, int32_t* rec) {
 }
 
 Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
-  if (degraded()) return 0;  // OnDegrade already drained what it could
+  if (degraded()) return 0;  // the degrade path already drained what it could
   Partition* seed_part;
   int32_t seed_rec;
   if (!OldestDirty(&seed_part, &seed_rec)) return 0;
@@ -254,15 +254,16 @@ Time LazyCleaningCache::CleanOneGroup(IoContext& ctx) {
   return done;
 }
 
-void LazyCleaningCache::SalvagePartitionDirty(Partition& part,
-                                              IoContext& ctx) {
+void LazyCleaningCache::OnPartitionDegrade(Partition& part, IoContext& ctx) {
   // Emergency cleaner flush for one partition: its dirty frames hold the
   // *only* current copies of their pages. Salvage every frame that still
   // reads back verifiably (bounded retries absorb transient errors) to
   // disk; the rest become lost pages, served only by a hard error until
-  // WAL redo or a full rewrite supersedes them.
+  // WAL redo or a full rewrite supersedes them. The caller
+  // (DegradePartition) holds part.mu across salvage, purge and the
+  // pass-through publish, so no reader can observe the flag while a dirty
+  // frame still waits here.
   std::vector<uint8_t> buf(disk_->page_bytes());
-  TrackedLockGuard lock(part.mu);
   for (int32_t rec = 0; rec < part.table.capacity(); ++rec) {
     SsdFrameRecord& r = part.table.record(rec);
     if (r.state != SsdFrameState::kDirty) continue;
@@ -287,14 +288,6 @@ void LazyCleaningCache::SalvagePartitionDirty(Partition& part,
   }
 }
 
-void LazyCleaningCache::OnDegrade(IoContext& ctx) {
-  for (auto& p : partitions_) SalvagePartitionDirty(*p, ctx);
-}
-
-void LazyCleaningCache::OnPartitionDegrade(Partition& part, IoContext& ctx) {
-  SalvagePartitionDirty(part, ctx);
-}
-
 IoResult LazyCleaningCache::FlushAllDirty(IoContext& ctx) {
   Time last = ctx.now;
   const int64_t lost_before = lost_live_.load(std::memory_order_acquire);
@@ -304,7 +297,7 @@ IoResult LazyCleaningCache::FlushAllDirty(IoContext& ctx) {
     IoContext step_ctx = ctx;
     step_ctx.now = ctx.now;
     const Time done = CleanOneGroup(step_ctx);
-    if (done == 0) break;  // degraded mid-drain; OnDegrade salvaged the rest
+    if (done == 0) break;  // degraded mid-drain; salvage took the rest
     last = std::max(last, done);
     // The checkpoint drains the SSD as fast as the devices allow; each
     // group's I/O lands on the device timelines, so the elapsed time is

@@ -79,16 +79,13 @@ class LazyCleaningCache : public SsdCacheBase {
   bool OldestDirty(Partition** part, int32_t* rec);
 
   // Emergency cleaner flush (degradation, Section 2.3's safety argument):
-  // LC's dirty frames hold the only current copies, so before the cache
-  // goes silent every readable dirty frame is copied to disk; unreadable
-  // ones become lost pages.
-  void OnDegrade(IoContext& ctx) override;
-  // Per-partition variant: salvage only the failing partition's dirty
-  // frames before DegradePartition purges it — the rest of the cache keeps
-  // serving untouched.
-  void OnPartitionDegrade(Partition& part, IoContext& ctx) override;
-  // Shared salvage body (one partition, latch taken inside).
-  void SalvagePartitionDirty(Partition& part, IoContext& ctx);
+  // LC's dirty frames hold the only current copies, so before the failing
+  // partition goes silent every readable dirty frame is copied to disk;
+  // unreadable ones become lost pages. Runs under the partition latch that
+  // DegradePartition holds across salvage+purge+publish — the rest of the
+  // cache keeps serving untouched.
+  void OnPartitionDegrade(Partition& part, IoContext& ctx)
+      TURBOBP_REQUIRES(part.mu) override;
 
   std::atomic<bool> in_checkpoint_{false};
   std::atomic<bool> cleaner_running_{false};

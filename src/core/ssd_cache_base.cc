@@ -115,25 +115,28 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
     return false;
   }
   if (degraded()) {
-    Counters::Bump(counters_.probe_misses);
+    counters_.Classified(counters_.probe_misses);
     return false;
   }
   Partition& part = PartitionFor(pid);
   if (part.degraded.load(std::memory_order_acquire)) {
-    // The partition was purged when it degraded, so it cannot hold a dirty
-    // copy — disk fallback is always safe here.
-    Counters::Bump(counters_.probe_misses);
+    // Safe to skip the latch: the flag is published only after the
+    // partition was salvaged and purged under it (DegradePartition), so
+    // observing it proves the partition holds nothing newer than disk. A
+    // reader racing with an in-flight degrade sees the flag still false,
+    // queues on the latch below, and finds an empty table.
+    counters_.Classified(counters_.probe_misses);
     return false;
   }
   TrackedLockGuard lock(part.mu);
   const int32_t rec = part.table.Lookup(pid);
   if (rec == -1) {
-    Counters::Bump(counters_.probe_misses);
+    counters_.Classified(counters_.probe_misses);
     return false;
   }
   SsdFrameRecord& r = part.table.record(rec);
   if (r.state != SsdFrameState::kClean && r.state != SsdFrameState::kDirty) {
-    Counters::Bump(counters_.probe_misses);
+    counters_.Classified(counters_.probe_misses);
     return false;
   }
   const bool must_read = r.state == SsdFrameState::kDirty;
@@ -155,7 +158,7 @@ bool SsdCacheBase::TryReadPage(PageId pid, std::span<uint8_t> out,
   if (read.ok()) {
     r.Touch(ctx.now);
     part.heap.UpdateKey(rec);
-    Counters::Bump(counters_.hits);
+    counters_.Classified(counters_.hits);
     // The paper attributes LC's TPC-C win to re-referenced dirty SSD pages
     // ("about 83% of the total SSD references are to dirty SSD pages").
     if (must_read) Counters::Bump(counters_.hits_dirty);
@@ -258,6 +261,14 @@ bool SsdCacheBase::AdmitPageImpl(PageId pid, std::span<const uint8_t> data,
   Partition& part = PartitionFor(pid);
   if (part.degraded.load(std::memory_order_acquire)) return false;
   TrackedLockGuard lock(part.mu);
+  if (part.degraded.load(std::memory_order_acquire)) {
+    // The partition degraded while we queued on its latch (the pre-latch
+    // check above is only a fast path). It has already been purged and the
+    // pass-through flag published, so admitting now would strand a frame no
+    // reader can see — for a dirty page, that frame would silently hold the
+    // only current copy. Decline; dirty evictions fall back to disk.
+    return false;
+  }
   int32_t rec = part.table.Lookup(pid);
   if (rec != -1) {
     // Already cached. A clean re-admission is content-identical: refresh
@@ -535,29 +546,41 @@ void SsdCacheBase::MaybeDegrade(IoContext& ctx) {
 
 void SsdCacheBase::EnterDegradedMode(IoContext& ctx) {
   bool expected = false;
-  if (!degraded_.compare_exchange_strong(expected, true,
-                                         std::memory_order_acq_rel)) {
+  if (!degrade_entered_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
     return;
   }
-  // Last rites while the device may still answer: LC salvages its dirty
-  // frames (the only newer copies) to disk before the cache goes silent.
-  OnDegrade(ctx);
+  // Take every partition through the per-partition salvage+purge+publish
+  // sequence while the device may still answer. The terminal flag is
+  // raised only afterwards: a reader that observes it skips every latch
+  // and falls back to disk, so it must never be visible while a dirty
+  // frame (the only current copy of its page) still sits in a table.
+  for (auto& partp : partitions_) DegradePartition(*partp, ctx);
+  degraded_.store(true, std::memory_order_release);
 }
 
 void SsdCacheBase::DegradePartition(Partition& part, IoContext& ctx) {
   bool expected = false;
-  if (!part.degraded.compare_exchange_strong(expected, true,
-                                             std::memory_order_acq_rel)) {
+  if (!part.degrading.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
     return;
+  }
+  {
+    TrackedLockGuard lock(part.mu);
+    // Salvage while the device may still answer (LC writes this partition's
+    // dirty frames — the only newer copies — to disk), then purge (pass-
+    // through writes go to disk, so any frame left behind would serve stale
+    // data after a later re-enable), and only then publish the flag, all
+    // under one latch hold. Readers treat part.degraded == true as a
+    // license to skip the latch and fall back to disk; publishing it before
+    // the salvage completed handed them stale disk copies of pages whose
+    // only current version was a dirty frame still awaiting salvage.
+    OnPartitionDegrade(part, ctx);
+    PurgePartitionLocked(part);
+    part.degraded.store(true, std::memory_order_release);
   }
   degraded_partitions_.fetch_add(1, std::memory_order_acq_rel);
   Counters::Bump(counters_.partitions_degraded);
-  // Salvage while the device may still answer (LC writes this partition's
-  // dirty frames — the only newer copies — to disk), then purge: pass-
-  // through writes go to disk, so any frame left behind would serve stale
-  // data after a later re-enable.
-  OnPartitionDegrade(part, ctx);
-  PurgePartition(part);
   MaintainJournal(ctx);
   if (!options_.self_healing) {
     // The old terminal cliff: the first partition failure takes the whole
@@ -566,8 +589,7 @@ void SsdCacheBase::DegradePartition(Partition& part, IoContext& ctx) {
   }
 }
 
-void SsdCacheBase::PurgePartition(Partition& part) {
-  TrackedLockGuard lock(part.mu);
+void SsdCacheBase::PurgePartitionLocked(Partition& part) {
   for (int32_t rec = 0; rec < part.capacity; ++rec) {
     SsdFrameRecord& r = part.table.record(rec);
     if (r.state == SsdFrameState::kFree ||
@@ -647,6 +669,10 @@ void SsdCacheBase::TryHealPartition(Partition& part, IoContext& ctx) {
   part.degraded.store(false, std::memory_order_release);
   degraded_partitions_.fetch_sub(1, std::memory_order_acq_rel);
   Counters::Bump(counters_.partitions_recovered);
+  // Re-arm the degrade sequence last: clearing it earlier would let a
+  // concurrent DegradePartition re-run salvage+purge on a partition whose
+  // pass-through flag is still up and double-count the gauges above.
+  part.degrading.store(false, std::memory_order_release);
   // The partition is live again (empty, journal-consistent). A crash here
   // re-degrades nothing: restart sees an empty healthy partition.
   TURBOBP_CRASH_POINT("ssd/reenable");
@@ -1162,9 +1188,20 @@ SsdManagerStats SsdCacheBase::stats() const {
     return c.load(std::memory_order_relaxed);
   };
   SsdManagerStats s;
-  s.hits = ld(counters_.hits);
+  // Consistent snapshot under concurrency: ops is bumped last (release) by
+  // every probe classification and read first here (acquire), so even a
+  // single pass observes hits + probe_misses >= ops. The re-read at the end
+  // of the pass upgrades that to a stable snapshot — if ops did not move
+  // while the other counters were copied, no classification ran and the
+  // pass is atomic; otherwise retry (bounded: under a continuous write
+  // storm the ordered single pass is still invariant-preserving).
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    s.ops = counters_.ops.load(std::memory_order_acquire);
+    s.hits = ld(counters_.hits);
+    s.probe_misses = ld(counters_.probe_misses);
+    if (counters_.ops.load(std::memory_order_acquire) == s.ops) break;
+  }
   s.hits_dirty = ld(counters_.hits_dirty);
-  s.probe_misses = ld(counters_.probe_misses);
   s.admissions = ld(counters_.admissions);
   s.evictions = ld(counters_.evictions);
   s.throttled = ld(counters_.throttled);

@@ -192,7 +192,14 @@ class SsdCacheBase : public SsdManager {
     // they are read on hot paths before the latch is taken, and written
     // from error paths that may or may not hold it. The races are benign —
     // an error event can land in the closing instants of a stale window.
+    // Pass-through flag. Publish protocol: stored true only under mu, after
+    // the partition was salvaged AND purged — a reader that observes true
+    // may skip the latch and fall back to disk, so the flag must never be
+    // visible while the table can still hold a newer-than-disk frame.
     std::atomic<bool> degraded{false};
+    // Mutual-exclusion guard for the degrade sequence itself (the visible
+    // flag above is set too late to serve as one). Re-armed by a heal.
+    std::atomic<bool> degrading{false};
     std::atomic<int64_t> window_errors{0};  // errors inside current window
     std::atomic<Time> window_start{0};      // when the current window opened
     std::atomic<Time> last_error_at{0};     // quiet-window clock for canaries
@@ -295,33 +302,37 @@ class SsdCacheBase : public SsdManager {
   int64_t WindowErrors(const Partition& part, Time now) const;
   // Consume the deferred error events and flip any partition whose budget
   // is blown into pass-through. Must be called WITHOUT any partition lock
-  // held: DegradePartition runs the design's salvage hook, which takes the
-  // failing partition's lock.
+  // held: DegradePartition takes the failing partition's lock for the
+  // whole salvage+purge+publish sequence.
   void MaybeDegrade(IoContext& ctx)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
-  // Whole-cache kill switch (Degrade(), self_healing=false). Runs the
-  // design's global OnDegrade last rites; partitions are not purged — this
-  // is terminal, nothing will be re-enabled.
+  // Whole-cache kill switch (Degrade(), self_healing=false). Takes every
+  // partition through the per-partition salvage+purge+publish sequence
+  // first, then raises the terminal flag: readers skip all latches once
+  // they observe it, so it must not become visible while any partition
+  // still holds a newer-than-disk copy. Terminal: nothing re-enables.
   void EnterDegradedMode(IoContext& ctx)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
-  // Flips one partition into pass-through: salvage hook, then purge (every
-  // in-service frame released and journal-erased — pass-through writes go
-  // to disk, so stale frames must not survive to a later re-enable).
+  // Flips one partition into pass-through. Under ONE hold of part.mu:
+  // salvage hook, then purge (every in-service frame released and
+  // journal-erased — pass-through writes go to disk, so stale frames must
+  // not survive to a later re-enable), and only then the part.degraded
+  // store. Publishing the flag any earlier is a silent stale-read window:
+  // lock-free readers would bypass the latch and serve the stale disk copy
+  // while the only current copy sat in a dirty frame awaiting salvage.
   void DegradePartition(Partition& part, IoContext& ctx)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
-  void PurgePartition(Partition& part)
-      TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
+  void PurgePartitionLocked(Partition& part) TURBOBP_REQUIRES(part.mu);
   // Canary-probes a degraded partition and re-enables it when the probe
   // succeeds and the error budget has recovered under hysteresis.
   void TryHealPartition(Partition& part, IoContext& ctx)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kSsdPartition));
 
-  // Design-specific last rites before whole-cache pass-through; LC
-  // overrides this with the emergency cleaner flush of its dirty frames.
-  virtual void OnDegrade(IoContext& ctx) {}
-  // Per-partition variant, run by DegradePartition before the purge; LC
-  // overrides it to salvage only the failing partition's dirty frames.
-  virtual void OnPartitionDegrade(Partition& part, IoContext& ctx) {}
+  // Design-specific salvage, run by DegradePartition before the purge with
+  // part.mu already held; LC overrides it to emergency-flush the failing
+  // partition's dirty frames (the only current copies) to disk.
+  virtual void OnPartitionDegrade(Partition& part, IoContext& ctx)
+      TURBOBP_REQUIRES(part.mu) {}
 
   // Records that the only current copy of `pid` is gone.
   void RecordLostPage(PageId pid) TURBOBP_EXCLUDES(fault_mu_);
@@ -378,6 +389,10 @@ class SsdCacheBase : public SsdManager {
   std::atomic<int64_t> device_errors_{0};
   std::atomic<int64_t> degrade_scanned_{0};  // device_errors_ at last scan
   std::atomic<bool> degraded_{false};
+  // Guard for EnterDegradedMode: degraded_ itself is published only after
+  // every partition is salvaged and purged, so it cannot double as the
+  // sequence's mutual exclusion.
+  std::atomic<bool> degrade_entered_{false};
   std::atomic<int64_t> degraded_partitions_{0};
 
   // Patrol cursor of the background scrubber. scrub_mu_ is held only for
@@ -402,6 +417,12 @@ class SsdCacheBase : public SsdManager {
   // Stats counters: relaxed atomics, incremented from any thread (often
   // under a partition lock) and snapshotted by stats() without one.
   struct Counters {
+    // Probe classifications: bumped once per TryReadPage outcome that lands
+    // in hits or probe_misses (throttle skips and read errors classify as
+    // neither). Incremented LAST, with release ordering, so a snapshot that
+    // reads ops first (acquire) always observes hits + probe_misses >= ops
+    // — the conservation invariant stats() promises even mid-probe.
+    std::atomic<int64_t> ops{0};
     std::atomic<int64_t> hits{0};
     std::atomic<int64_t> hits_dirty{0};
     std::atomic<int64_t> probe_misses{0};
@@ -427,6 +448,11 @@ class SsdCacheBase : public SsdManager {
 
     static void Bump(std::atomic<int64_t>& c, int64_t by = 1) {
       c.fetch_add(by, std::memory_order_relaxed);
+    }
+    // Bumps a classification counter and then seals the probe into ops.
+    void Classified(std::atomic<int64_t>& c) {
+      c.fetch_add(1, std::memory_order_relaxed);
+      ops.fetch_add(1, std::memory_order_release);
     }
   };
   mutable Counters counters_;

@@ -30,6 +30,11 @@ struct EvictionOutcome {
 };
 
 struct SsdManagerStats {
+  // Probe classifications: hits + probe_misses >= ops holds in EVERY
+  // snapshot, including one taken mid-probe from another thread (equality
+  // at quiescence). A naive field-by-field relaxed copy can tear and break
+  // it; SsdCacheBase::stats() orders and retries its reads to keep it.
+  int64_t ops = 0;
   int64_t hits = 0;             // pages served from the SSD
   int64_t hits_dirty = 0;       // ... of which were dirty SSD pages (LC)
   int64_t probe_misses = 0;     // lookups that found nothing usable

@@ -48,6 +48,11 @@ LatchOrderChecker& LatchOrderChecker::Instance() {
   return checker;
 }
 
+LatchWaitStats& LatchWaitStats::Instance() {
+  static LatchWaitStats stats;
+  return stats;
+}
+
 void LatchOrderChecker::OnAcquire(LatchClass c) {
   LatchOrderChecker& self = Instance();
   if (!self.enabled()) return;

@@ -2,6 +2,7 @@
 #define TURBOBP_DEBUG_LATCH_ORDER_CHECKER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -39,7 +40,7 @@ namespace turbobp {
 //   rank  class          owner-latch                      device-io
 //   0     kBufferPool    BufferPool::Shard::mu            forbidden
 //   1     kBufferFrame   BufferPool::FrameSync::mu        forbidden
-//   2     kWal           LogManager::mu_                  allowed
+//   2     kWal           LogManager::mu_                  forbidden
 //   3     kSsdPartition  SsdCacheBase::Partition::mu      allowed
 //   4     kSsdJournal    SsdMetadataJournal::mu_          forbidden
 //   5     kSsdFault      SsdCacheBase::fault_mu_          forbidden
@@ -53,8 +54,13 @@ namespace turbobp {
 // Notes per class: kBufferPool is outermost and never held across device
 // I/O; kBufferFrame is the per-frame wait channel for in-flight I/O (taken
 // briefly to sleep on / signal a frame); kWal covers buffered appends (which
-// may run under a pool shard latch, kBufferPool -> kWal) *and* FlushToLocked's
-// log-device writes; kSsdJournal guards the persistent-metadata journal's
+// may run under a pool shard latch, kBufferPool -> kWal) and the
+// group-commit protocol state — the flush leader computes its batch under
+// mu_ but performs the log-device write with mu_ *released* (followers park
+// on a condvar), so device I/O under kWal is forbidden; the single
+// sanctioned exception is the legacy pre-group-commit A/B baseline in
+// FlushToLegacyLocked, waived inline; kSsdJournal guards the
+// persistent-metadata journal's
 // in-memory staging state only — sealed pages are written to the device
 // *after* the latch is dropped (publish-then-seal), hence device-io
 // forbidden; kSsdFault guards the lost-page set and degradation state;
@@ -130,6 +136,50 @@ class LatchOrderChecker {
   std::vector<std::string> violations_;
 };
 
+// Per-latch-class contention accounting. TrackedMutex takes the try_lock
+// fast path first; only a *contended* acquisition pays two steady_clock
+// reads and lands here, so the single-threaded simulator never records
+// anything and the hot uncontended path costs one extra try_lock. The
+// threaded driver snapshots/deltas this around a run to attribute wall time
+// to latch classes (the derived latch-wait breakdown in
+// BENCH_scaleout_threads.json).
+struct LatchWaitSnapshot {
+  int64_t waits[kNumLatchClasses] = {};
+  int64_t wait_ns[kNumLatchClasses] = {};
+};
+
+class LatchWaitStats {
+ public:
+  static LatchWaitStats& Instance();
+
+  void RecordWait(LatchClass c, int64_t ns) {
+    const int i = static_cast<int>(c);
+    waits_[i].fetch_add(1, std::memory_order_relaxed);
+    wait_ns_[i].fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  LatchWaitSnapshot Snapshot() const {
+    LatchWaitSnapshot s;
+    for (int i = 0; i < kNumLatchClasses; ++i) {
+      s.waits[i] = waits_[i].load(std::memory_order_relaxed);
+      s.wait_ns[i] = wait_ns_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  void Reset() {
+    for (int i = 0; i < kNumLatchClasses; ++i) {
+      waits_[i].store(0, std::memory_order_relaxed);
+      wait_ns_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  LatchWaitStats() = default;
+  std::atomic<int64_t> waits_[kNumLatchClasses] = {};
+  std::atomic<int64_t> wait_ns_[kNumLatchClasses] = {};
+};
+
 // Drop-in std::mutex replacement that reports its class to the
 // LatchOrderChecker. Satisfies Lockable, so std::unique_lock works unchanged
 // (the buffer pool's lock-juggling paths rely on that). Under Clang with
@@ -145,7 +195,13 @@ class TURBOBP_CAPABILITY("latch") TrackedMutex {
  public:
   void lock() TURBOBP_ACQUIRE(this, TURBOBP_LATCH_CAP(kClass)) {
     LatchOrderChecker::OnAcquire(kClass);
+    if (mu_.try_lock()) return;
+    const auto t0 = std::chrono::steady_clock::now();
     mu_.lock();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    LatchWaitStats::Instance().RecordWait(
+        kClass,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count());
   }
   bool try_lock() TURBOBP_TRY_ACQUIRE(true, this, TURBOBP_LATCH_CAP(kClass)) {
     if (!mu_.try_lock()) return false;

@@ -91,7 +91,15 @@ DbSystem::DbSystem(const SystemConfig& config)
           config_.bp_options, &disk_manager_, &log_, ssd_manager_.get(),
           disk_io_engine_.get())),
       checkpoint_(std::make_unique<CheckpointManager>(
-          buffer_pool_.get(), ssd_manager_.get(), &log_, &executor_)) {}
+          buffer_pool_.get(), ssd_manager_.get(), &log_, &executor_)) {
+  log_.set_group_commit(config_.wal_group_commit);
+  if (config_.persistent_ssd_cache) {
+    // RecoverPersistent scans the full durable log to judge restored SSD
+    // frames; checkpoint-driven WAL prefix truncation would hide updates
+    // older than the last checkpoint from that scan.
+    checkpoint_->set_wal_truncation(false);
+  }
+}
 
 void DbSystem::Crash() {
   // The engine's submission queue is volatile: queued-but-unissued requests
@@ -129,7 +137,7 @@ std::pair<RecoveryStats, size_t> DbSystem::RecoverWithSsdTable(IoContext& ctx) {
   // durable update postdates its snapshot-time page LSN, i.e. it is still
   // the newest version of its page.
   std::unordered_map<PageId, Lsn> max_update_lsn;
-  for (const LogRecord& rec : log_.records()) {
+  for (const LogRecord& rec : log_.records_for_recovery()) {
     if (!log_.IsDurable(rec.lsn)) break;
     if (rec.type != LogRecordType::kUpdate) continue;
     Lsn& maxl = max_update_lsn[rec.page_id];
@@ -159,7 +167,7 @@ std::pair<RecoveryStats, PersistentRestoreStats> DbSystem::RecoverPersistent(
   // Per-page highest durable update LSN: proves whether a recovered frame
   // is still the newest version of its page (in-memory log scan, no I/O).
   std::unordered_map<PageId, Lsn> max_update_lsn;
-  for (const LogRecord& rec : log_.records()) {
+  for (const LogRecord& rec : log_.records_for_recovery()) {
     if (!log_.IsDurable(rec.lsn)) break;
     if (rec.type != LogRecordType::kUpdate) continue;
     Lsn& maxl = max_update_lsn[rec.page_id];

@@ -82,6 +82,11 @@ struct SystemConfig {
   // commodity part of the stack.
   bool inject_ssd_faults = false;
   FaultPlan ssd_fault_plan = FaultPlan::Healthy();
+  // Leader-based WAL group commit (DESIGN.md §14). Off reinstates the
+  // pre-group-commit behavior — one log-device write per flush request,
+  // issued while holding the WAL latch — kept only as the A/B baseline for
+  // bench_scaleout_threads.
+  bool wal_group_commit = true;
   // Queue depth of the async I/O engine over the disk array (DESIGN.md §12):
   // read-ahead, checkpoint drain, LC group cleaning and recovery prefetch
   // submit through it. 0 disables the engine entirely — every consumer falls
@@ -99,6 +104,7 @@ class DbSystem {
   SimExecutor& executor() { return executor_; }
   StripedDiskArray& disk_array() { return *disk_array_; }
   SimDevice* ssd_device() { return ssd_device_.get(); }  // null for noSSD
+  SimDevice* log_device() { return log_device_.get(); }
   // Non-null iff config.inject_ssd_faults and the design uses an SSD.
   FaultInjectingDevice* ssd_fault() { return ssd_fault_device_.get(); }
   DiskManager& disk_manager() { return disk_manager_; }

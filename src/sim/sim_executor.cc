@@ -1,5 +1,6 @@
 #include "sim/sim_executor.h"
 
+#include <limits>
 #include <utility>
 
 #include "common/status.h"
@@ -7,29 +8,50 @@
 namespace turbobp {
 
 void SimExecutor::ScheduleAt(Time t, std::function<void()> fn) {
-  TURBOBP_CHECK(t >= now_);
+  std::lock_guard<std::mutex> lock(mu_);
+  const Time vnow = now_.load(std::memory_order_relaxed);
+  if (concurrent_) {
+    // A client thread's wall-anchored clock may trail the pump's virtual
+    // clock by a scheduling quantum; firing "as soon as possible" is the
+    // right semantics there, not an assertion.
+    if (t < vnow) t = vnow;
+  } else {
+    TURBOBP_CHECK(t >= vnow);
+  }
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
-bool SimExecutor::RunOne() {
-  if (queue_.empty()) return false;
+bool SimExecutor::PopReady(Time bound, Event* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty() || queue_.top().time > bound) return false;
   // std::priority_queue::top() returns const&; the event must be copied out
   // before pop. Move the function via const_cast, which is safe because the
   // element is removed immediately afterwards.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  *out = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  TURBOBP_CHECK(ev.time >= now_);
-  now_ = ev.time;
-  ++executed_;
-  ev.fn();
+  TURBOBP_CHECK(out->time >= now_.load(std::memory_order_relaxed));
+  now_.store(out->time, std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SimExecutor::RunOne() {
+  Event ev;
+  if (!PopReady(std::numeric_limits<Time>::max(), &ev)) return false;
+  ev.fn();  // outside mu_: the event may schedule follow-ups
   return true;
 }
 
 void SimExecutor::RunUntil(Time t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    RunOne();
+  Event ev;
+  while (PopReady(t, &ev)) {
+    ev.fn();
   }
-  if (t > now_) now_ = t;
+  // Advance to t even if no event landed exactly there.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (t > now_.load(std::memory_order_relaxed)) {
+    now_.store(t, std::memory_order_relaxed);
+  }
 }
 
 void SimExecutor::RunUntilIdle() {

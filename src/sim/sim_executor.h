@@ -1,8 +1,10 @@
 #ifndef TURBOBP_SIM_SIM_EXECUTOR_H_
 #define TURBOBP_SIM_SIM_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -19,18 +21,34 @@ namespace turbobp {
 // eviction writes, the lazy-cleaning thread, periodic checkpoints) is
 // likewise scheduled as events. Events fire in (time, insertion-sequence)
 // order, so runs are fully deterministic.
+//
+// Thread safety: the queue is protected by an internal mutex and now() is an
+// atomic read, so OS threads may ScheduleAt/ScheduleAfter concurrently with
+// one pump thread running events (the real-thread driver mode: clients run
+// on their own threads with ctx.executor == nullptr while a single pump
+// thread advances the executor for background actors). Events themselves
+// run OUTSIDE the mutex. Only one thread may call RunOne/RunUntil/
+// RunUntilIdle at a time. In concurrent mode (set_concurrent(true)) a
+// schedule time in the past is clamped to now() instead of asserting —
+// client wall-clocks legitimately trail the pump's virtual clock slightly;
+// the strict t >= now() check stays on in the deterministic simulator where
+// a past-time schedule is a bug.
 class SimExecutor {
  public:
   SimExecutor() = default;
   SimExecutor(const SimExecutor&) = delete;
   SimExecutor& operator=(const SimExecutor&) = delete;
 
-  Time now() const { return now_; }
+  Time now() const { return now_.load(std::memory_order_relaxed); }
 
-  // Schedules fn at absolute virtual time t (>= now).
+  // Real-thread mode switch: tolerate slightly-stale schedule times (clamp
+  // to now() instead of CHECK-failing). Set before client threads start.
+  void set_concurrent(bool on) { concurrent_ = on; }
+
+  // Schedules fn at absolute virtual time t (>= now, clamped if concurrent).
   void ScheduleAt(Time t, std::function<void()> fn);
   void ScheduleAfter(Time delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+    ScheduleAt(now() + delay, std::move(fn));
   }
 
   // Runs the earliest pending event, advancing now() to its time.
@@ -43,8 +61,13 @@ class SimExecutor {
   // Runs until no events remain.
   void RunUntilIdle();
 
-  size_t num_pending() const { return queue_.size(); }
-  uint64_t num_executed() const { return executed_; }
+  size_t num_pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  uint64_t num_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Event {
@@ -59,9 +82,15 @@ class SimExecutor {
     }
   };
 
-  Time now_ = 0;
+  // Pops the earliest event with time <= bound (or any event when bound is
+  // kMaxTime) and advances now(); returns false if none qualifies.
+  bool PopReady(Time bound, Event* out);
+
+  mutable std::mutex mu_;
+  std::atomic<Time> now_{0};
+  std::atomic<uint64_t> executed_{0};
+  bool concurrent_ = false;
   uint64_t next_seq_ = 0;
-  uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

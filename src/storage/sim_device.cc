@@ -14,6 +14,7 @@ IoResult SimDevice::Read(uint64_t first_page, uint32_t num_pages,
                          std::span<uint8_t> out, Time now, bool charge) {
   IoResult res = store_.Read(first_page, num_pages, out, now, charge);
   if (!charge || !res.ok()) return res;
+  TrackedLockGuard lock(mu_);
   res.time = timeline_.Schedule(IoRequest{IoOp::kRead, first_page, num_pages},
                                 now, &res.service_start);
   return res;
@@ -24,6 +25,7 @@ IoResult SimDevice::Write(uint64_t first_page, uint32_t num_pages,
                           bool charge) {
   IoResult res = store_.Write(first_page, num_pages, data, now, charge);
   if (!charge || !res.ok()) return res;
+  TrackedLockGuard lock(mu_);
   res.time = timeline_.Schedule(IoRequest{IoOp::kWrite, first_page, num_pages},
                                 now, &res.service_start);
   return res;

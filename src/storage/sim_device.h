@@ -15,6 +15,11 @@ namespace turbobp {
 // A storage device with simulated service times: an in-memory page store
 // (lazily materialized) combined with a calibrated DeviceModel and a FIFO
 // DeviceTimeline. One SimDevice models one spindle or one SSD.
+//
+// Thread-safe for concurrent Read/Write/QueueLength (real-thread driver
+// mode): the store is internally latched and a device-class latch serializes
+// timeline bookings. timeline()/store() direct access and crash
+// snapshot/restore remain single-threaded operations (setup, harness).
 class SimDevice : public StorageDevice {
  public:
   SimDevice(uint64_t num_pages, uint32_t page_bytes,
@@ -29,13 +34,20 @@ class SimDevice : public StorageDevice {
                  std::span<const uint8_t> data, Time now,
                  bool charge = true) override;
 
-  int QueueLength(Time now) override { return timeline_.QueueLength(now); }
+  int QueueLength(Time now) override {
+    TrackedLockGuard lock(mu_);
+    return timeline_.QueueLength(now);
+  }
   Time EstimateReadTime(AccessKind kind) const override {
     return model_->EstimateReadTime(kind);
   }
 
   MemDevice& store() { return store_; }
-  DeviceTimeline& timeline() { return timeline_; }
+  // Setup/teardown path (traffic attachment, bench inspection): callers run
+  // before client threads start or after they join.
+  DeviceTimeline& timeline() TURBOBP_NO_THREAD_SAFETY_ANALYSIS {
+    return timeline_;
+  }
 
   // Crash simulation (src/fault/crash_harness): snapshot/restore of the
   // materialized medium content. The persistent SSD cache depends on this
@@ -53,7 +65,10 @@ class SimDevice : public StorageDevice {
  private:
   MemDevice store_;
   std::unique_ptr<DeviceModel> model_;
-  DeviceTimeline timeline_;
+  // Innermost latch (kDevice, same rank as the store's own): taken only
+  // around timeline bookings, never while the store latch is held.
+  mutable TrackedMutex<LatchClass::kDevice> mu_;
+  DeviceTimeline timeline_ TURBOBP_GUARDED_BY(mu_);
 };
 
 }  // namespace turbobp

@@ -46,11 +46,12 @@ struct IoResult {
 // `charge == false` performs the data movement without consuming device
 // time; the loader uses it to populate multi-gigabyte databases for free.
 //
-// Read/Write carry TURBOBP_EXCLUDES over the buffer-pool shard and frame
-// latch-class tokens: no pool latch may be held across a blocking device
-// request (the PR-5 invariant, proven at compile time under
-// TURBOBP_THREAD_SAFETY=ON and structurally by the io-under-latch rule of
-// tools/analysis/static_check.py).
+// Read/Write carry TURBOBP_EXCLUDES over the buffer-pool shard, frame and
+// WAL latch-class tokens: no pool latch may be held across a blocking
+// device request (the PR-5 invariant), and since group commit moved the
+// flush write outside LogManager::mu_, no WAL latch either — both proven
+// at compile time under TURBOBP_THREAD_SAFETY=ON and structurally by the
+// io-under-latch rule of tools/analysis/static_check.py.
 class StorageDevice {
  public:
   virtual ~StorageDevice() = default;
@@ -64,7 +65,8 @@ class StorageDevice {
   virtual IoResult Read(uint64_t first_page, uint32_t num_pages,
                         std::span<uint8_t> out, Time now, bool charge = true)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kBufferPool),
-                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame)) = 0;
+                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame),
+                       TURBOBP_LATCH_CAP(LatchClass::kWal)) = 0;
 
   // Writes `num_pages` pages starting at `first_page` as one device request.
   // On error the write may have landed partially (torn); callers that care
@@ -73,7 +75,8 @@ class StorageDevice {
                          std::span<const uint8_t> data, Time now,
                          bool charge = true)
       TURBOBP_EXCLUDES(TURBOBP_LATCH_CAP(LatchClass::kBufferPool),
-                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame)) = 0;
+                       TURBOBP_LATCH_CAP(LatchClass::kBufferFrame),
+                       TURBOBP_LATCH_CAP(LatchClass::kWal)) = 0;
 
   // Number of requests pending (issued but not completed) at `now`. The SSD
   // throttle-control optimization (Section 3.3.2) keys off this.

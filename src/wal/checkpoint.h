@@ -62,6 +62,17 @@ class CheckpointManager {
   // whose end record is durable).
   const std::vector<Lsn>& completed() const { return completed_; }
 
+  // WAL in-memory prefix truncation: after a checkpoint completes, buffered
+  // log records below its begin-LSN (all durable by the checkpoint's commit
+  // edge) are released — recovery never replays below the last completed
+  // checkpoint, so retaining them only grows memory without bound on long
+  // threaded soaks. Default on; DbSystem turns it off for the restart
+  // extensions (persistent SSD cache, SSD-table checkpoints), whose
+  // recovery paths scan the full durable log to build per-page
+  // max-update-LSN maps.
+  void set_wal_truncation(bool on) { wal_truncation_ = on; }
+  bool wal_truncation() const { return wal_truncation_; }
+
   // Negative-test backdoor (crash harness): deliberately SKIP the LC
   // SSD-dirty drain while still writing the end-checkpoint record — the
   // WAL-compliance bug the torture harness must be able to catch. Never set
@@ -73,7 +84,12 @@ class CheckpointManager {
   // When enabled, checkpoints stop draining the SSD's dirty pages; instead
   // the SSD buffer table is snapshotted into the checkpoint record, and
   // DbSystem::RecoverWithSsdTable() re-attaches the SSD after a restart.
-  void EnableSsdTableCheckpoints() { ssd_table_mode_ = true; }
+  void EnableSsdTableCheckpoints() {
+    ssd_table_mode_ = true;
+    // RecoverWithSsdTable validates restored SSD frames against the full
+    // durable log; a truncated prefix would admit stale frames as current.
+    wal_truncation_ = false;
+  }
   // A restart replaces the SSD manager instance; re-point at the new one
   // (the durable snapshot_ is unaffected).
   void set_ssd_manager(SsdManager* ssd) { ssd_ = ssd; }
@@ -91,6 +107,7 @@ class CheckpointManager {
   SimExecutor* executor_;
   bool periodic_ = false;
   bool ssd_table_mode_ = false;
+  bool wal_truncation_ = true;
   bool skip_ssd_flush_for_test_ = false;
   SsdTableSnapshot snapshot_;
   CheckpointStats stats_;

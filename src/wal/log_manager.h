@@ -1,7 +1,9 @@
 #ifndef TURBOBP_WAL_LOG_MANAGER_H_
 #define TURBOBP_WAL_LOG_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -48,11 +50,26 @@ struct LogRecord {
 // the log through a given LSN with sequential page-sized writes, which is
 // the WAL obligation the buffer pool and the LC cleaner discharge before
 // writing any dirty page to the SSD or the disk (Section 2.4).
+//
+// Flushes use leader-based group commit (DESIGN.md §14): the first thread to
+// find no flush in flight becomes the leader, computes the batch under mu_,
+// and performs ONE device write covering every record appended so far with
+// mu_ *released* — appenders keep appending and followers park on a condvar
+// until the leader publishes the new durable LSN. kWal is therefore
+// device-io-forbidden in the latch-order spec. The pre-group-commit
+// behavior (device write while holding mu_, every committer serializing
+// behind device latency) is retained behind set_group_commit(false) as the
+// A/B baseline for bench_scaleout_threads.
 class LogManager {
  public:
   LogManager(StorageDevice* log_device);
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
+
+  // Toggles leader-based group commit (default on). The legacy mode exists
+  // only for A/B measurement; it reintroduces device I/O under mu_.
+  void set_group_commit(bool on) { group_commit_ = on; }
+  bool group_commit() const { return group_commit_; }
 
   Lsn AppendUpdate(uint64_t txn_id, PageId pid, uint32_t offset,
                    std::span<const uint8_t> bytes) TURBOBP_EXCLUDES(mu_);
@@ -62,7 +79,8 @@ class LogManager {
 
   // Forces the log through `lsn`. Asynchronous in virtual time: consumes
   // log-device time, returns the completion time, leaves ctx.now alone.
-  // Idempotent for already-durable LSNs.
+  // Idempotent for already-durable LSNs. May block (condvar) behind an
+  // in-flight leader write in real-thread mode.
   Time FlushTo(Lsn lsn, IoContext& ctx) TURBOBP_EXCLUDES(mu_);
 
   // Group commit: forces the whole log and blocks the client until durable.
@@ -78,10 +96,12 @@ class LogManager {
   }
   bool IsDurable(Lsn lsn) const { return lsn <= durable_lsn(); }
 
-  // Total records appended / flush requests issued (stats).
+  // Records logically in the log (including any truncated in-memory
+  // prefix — truncation discards buffered copies, not log history) and
+  // flush requests issued (stats).
   int64_t num_records() const TURBOBP_EXCLUDES(mu_) {
     TrackedLockGuard lock(mu_);
-    return static_cast<int64_t>(records_.size());
+    return logical_records_;
   }
   int64_t flushes_issued() const TURBOBP_EXCLUDES(mu_) {
     TrackedLockGuard lock(mu_);
@@ -91,15 +111,52 @@ class LogManager {
     TrackedLockGuard lock(mu_);
     return static_cast<int64_t>(next_lsn_);
   }
+  // Group-commit observability: flushes_issued() counts leader batches;
+  // flush_waits() counts times a caller parked behind an in-flight batch.
+  int64_t flush_waits() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
+    return flush_waits_;
+  }
 
-  // Recovery interface: all records, and the subset durable at crash time.
-  // Returns a reference into the log's own storage: recovery is
-  // single-threaded, so no latch is held while the caller iterates.
-  // Deliberately latch-free (TURBOBP_NO_THREAD_SAFETY_ANALYSIS): see
-  // SnapshotForCrash below; the structural checker audits these callers.
-  const std::vector<LogRecord>& records() const
+  // --- record access ---------------------------------------------------------
+
+  // Point-in-time copy of the buffered records, taken under mu_. Safe to
+  // call while other threads append; this is the accessor every
+  // steady-state caller must use.
+  std::vector<LogRecord> records_snapshot() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
+    return records_;
+  }
+
+  // Latch-free reference into the live record buffer — the documented
+  // single-threaded fast path for recovery and the crash harness, both of
+  // which run while no client executes (recovery replays before the system
+  // opens; the harness observes from inside a crash point). Iterating this
+  // while another thread appends is a data race; concurrent callers use
+  // records_snapshot(). The structural checker audits the call sites.
+  const std::vector<LogRecord>& records_for_recovery() const
       TURBOBP_NO_THREAD_SAFETY_ANALYSIS {
     return records_;
+  }
+
+  // --- in-memory tail bounding ----------------------------------------------
+
+  // Drops the in-memory prefix of records that are durable AND strictly
+  // below `horizon` (the redo horizon of the last completed checkpoint:
+  // recovery never reads below it, so the buffered copies are dead weight a
+  // long-running threaded soak would otherwise accumulate without bound).
+  // Returns the number of records dropped. LSNs, durability and
+  // num_records() are unaffected — only buffered copies are released.
+  size_t TruncatePrefix(Lsn horizon) TURBOBP_EXCLUDES(mu_);
+
+  // Records currently buffered in memory (bounded-memory assertions).
+  size_t retained_records() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
+    return records_.size();
+  }
+  int64_t records_truncated() const TURBOBP_EXCLUDES(mu_) {
+    TrackedLockGuard lock(mu_);
+    return records_truncated_;
   }
 
   // Simulates a crash: discards records that were never forced to the log
@@ -118,8 +175,8 @@ class LogManager {
   // --- crash-harness interface (src/fault/crash_harness) --------------------
 
   // The durable-at-this-instant view of the log. Taken WITHOUT the WAL
-  // latch: crash points inside FlushToLocked fire while mu_ is held, so the
-  // observer cannot use the locking accessors. The simulation is
+  // latch: crash points inside the flush path fire while mu_ may be held,
+  // so the observer cannot use the locking accessors. The simulation is
   // single-threaded per system; the harness is the only caller.
   struct CrashSnapshot {
     std::vector<LogRecord> records;
@@ -138,20 +195,47 @@ class LogManager {
 
  private:
   Lsn Append(LogRecord rec) TURBOBP_EXCLUDES(mu_);
-  Time FlushToLocked(Lsn lsn, IoContext& ctx) TURBOBP_REQUIRES(mu_);
+  // Legacy pre-group-commit flush: one device write per call, issued while
+  // holding mu_. Kept verbatim as the A/B baseline (group_commit_ == false).
+  Time FlushToLegacyLocked(Lsn lsn, IoContext& ctx) TURBOBP_REQUIRES(mu_);
+  // Computes the device extent covering [durable_lsn_, target] and advances
+  // the sequential log-device cursor.
+  void StageDeviceWrite(Lsn target, uint64_t* first, uint32_t* npages)
+      TURBOBP_REQUIRES(mu_);
 
-  // WAL latch: serializes appends and flushes. Acquired under the buffer
-  // pool latch on the eviction path (kBufferPool -> kWal) and standalone by
-  // checkpoints and group commit. Log-device writes happen *under* mu_
-  // (FlushToLocked) by design — see the latch-order spec table.
+  // WAL latch: serializes appends and the flush-protocol state. Acquired
+  // under the buffer pool latch on the eviction path (kBufferPool -> kWal)
+  // and standalone by checkpoints and group commit. Device-io-forbidden:
+  // the group-commit leader drops mu_ for the batched log-device write (the
+  // legacy A/B mode is the single sanctioned waiver).
   mutable TrackedMutex<LatchClass::kWal> mu_;
   StorageDevice* device_;
   std::vector<LogRecord> records_ TURBOBP_GUARDED_BY(mu_);
   Lsn next_lsn_ TURBOBP_GUARDED_BY(mu_) = 1;  // byte-offset LSN; 0 invalid
   Lsn durable_lsn_ TURBOBP_GUARDED_BY(mu_) = 0;
+  // Start LSN of the last appended record (survives prefix truncation;
+  // FlushTo clamps against it the way it used to clamp against
+  // records_.back()).
+  Lsn last_record_lsn_ TURBOBP_GUARDED_BY(mu_) = 0;
+  // First retained LSN: records with lsn < base_lsn_ were truncated (all
+  // durable). TruncateTornTail retreats durability no further than this.
+  Lsn base_lsn_ TURBOBP_GUARDED_BY(mu_) = 1;
   // Wraps around the log device.
   uint64_t device_offset_pages_ TURBOBP_GUARDED_BY(mu_) = 0;
   int64_t flushes_ TURBOBP_GUARDED_BY(mu_) = 0;
+  int64_t logical_records_ TURBOBP_GUARDED_BY(mu_) = 0;
+  int64_t records_truncated_ TURBOBP_GUARDED_BY(mu_) = 0;
+  int64_t flush_waits_ TURBOBP_GUARDED_BY(mu_) = 0;
+
+  // Group-commit protocol state. flush_in_flight_ is true while a leader
+  // writes to the device with mu_ released; followers park on flush_cv_
+  // and re-check durable_lsn_ when notified. Completion of the flush that
+  // established durable_lsn_, in virtual time (what a woken follower
+  // returns as its flush completion).
+  bool group_commit_ = true;
+  bool flush_in_flight_ TURBOBP_GUARDED_BY(mu_) = false;
+  Time durable_completion_ TURBOBP_GUARDED_BY(mu_) = 0;
+  std::condition_variable_any flush_cv_;
 };
 
 }  // namespace turbobp

@@ -21,7 +21,9 @@ RecoveryManager::RecoveryManager(DiskManager* disk, LogManager* log,
 Lsn RecoveryManager::FindRedoStart() const {
   // Scan backwards for the latest begin-checkpoint whose end record is
   // durable: everything before it is already on disk (sharp checkpoints).
-  const auto& records = log_->records();
+  // records_for_recovery(): recovery runs before the system opens, with no
+  // concurrent appenders (the documented latch-free fast path).
+  const auto& records = log_->records_for_recovery();
   bool saw_end = false;
   for (auto it = records.rbegin(); it != records.rend(); ++it) {
     if (!log_->IsDurable(it->lsn)) continue;
@@ -63,7 +65,7 @@ RecoveryStats RecoveryManager::Recover(
   // the scan bookkeeping. Separating it from the apply pass lets the
   // prefetched path below see each window's page set up front.
   std::vector<const LogRecord*> todo;
-  for (const LogRecord& rec : log_->records()) {
+  for (const LogRecord& rec : log_->records_for_recovery()) {
     if (!log_->IsDurable(rec.lsn)) break;  // torn tail: stop at first gap
     if (stats.redo_start_lsn != kInvalidLsn && rec.lsn < stats.redo_start_lsn) {
       continue;

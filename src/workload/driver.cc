@@ -1,6 +1,11 @@
 #include "workload/driver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/status.h"
 
@@ -39,6 +44,7 @@ void Driver::ClientStep(int client_id) {
 }
 
 DriverResult Driver::Run() {
+  if (options_.threads > 0) return RunThreaded();
   SimExecutor& ex = system_->executor();
   start_ = ex.now();
   end_ = start_ + options_.duration;
@@ -82,6 +88,148 @@ DriverResult Driver::Run() {
     if (system_->ssd_device() != nullptr) {
       system_->ssd_device()->timeline().AttachTraffic(nullptr, nullptr);
     }
+  }
+  return result_;
+}
+
+DriverResult Driver::RunThreaded() {
+  SimExecutor& ex = system_->executor();
+  // Anchor the run at the devices' quiesced frontier, not the executor
+  // clock: population and warmup booked virtual service time on the device
+  // timelines that the executor never chased (sim benches pay it in free
+  // virtual time). Started below the frontier, every wall-anchored context
+  // would real-sleep off that backlog before its first transaction
+  // completed.
+  Time anchor = ex.now();
+  StripedDiskArray& disks = system_->disk_array();
+  for (int i = 0; i < disks.num_spindles(); ++i) {
+    anchor = std::max(anchor, disks.spindle(i).timeline().free_at());
+  }
+  if (system_->ssd_device() != nullptr) {
+    anchor = std::max(anchor, system_->ssd_device()->timeline().free_at());
+  }
+  if (system_->log_device() != nullptr) {
+    anchor = std::max(anchor, system_->log_device()->timeline().free_at());
+  }
+  ex.RunUntil(anchor);
+  ex.set_concurrent(true);
+  start_ = std::max(ex.now(), anchor);
+  end_ = start_ + options_.duration;
+  result_.workload = workload_->name();
+  result_.design = ToString(system_->config().design);
+  result_.threads = options_.threads;
+
+  system_->buffer_pool().ResetStats();
+  const LatchWaitSnapshot lw0 = LatchWaitStats::Instance().Snapshot();
+
+  // Wall anchor: virtual microseconds since start_ == wall microseconds
+  // since this point.
+  const auto wall0 = std::chrono::steady_clock::now();
+  auto wall_us = [wall0] {
+    return static_cast<Time>(std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - wall0).count());
+  };
+
+  // Pump thread: the single event-runner. Background actors stay scheduled
+  // on the executor; the pump chases the wall-anchored virtual clock so
+  // they fire roughly when a wall observer expects them.
+  std::atomic<bool> stop{false};
+  std::thread pump([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ex.RunUntil(start_ + wall_us());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Per-thread aggregates, merged after the join — clients never share a
+  // counter or series while running.
+  struct ThreadAgg {
+    int64_t total = 0;
+    int64_t metric = 0;
+    Time latch_wait = 0;
+    Histogram latency;
+    TimeSeries throughput{Seconds(6)};
+  };
+  std::vector<ThreadAgg> agg(static_cast<size_t>(options_.threads));
+  for (auto& a : agg) a.throughput = TimeSeries(options_.sample_width);
+
+  // Workloads that are not safe for concurrent transactions run serialized
+  // behind one latch: correct, but such a run only measures engine-side
+  // concurrency (group commit, background actors), not client scale-out.
+  std::mutex serialize_mu;
+  const bool serialize = !workload_->thread_safe();
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options_.threads));
+  for (int t = 0; t < options_.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadAgg& a = agg[static_cast<size_t>(t)];
+      while (true) {
+        const Time offset = wall_us();
+        if (offset >= options_.duration) break;
+        IoContext ctx = system_->MakeContext();
+        // Real-thread blocking paths: no executor, clock anchored to the
+        // wall. Modelled device waits advance ctx.now past the anchor;
+        // the next transaction re-anchors.
+        ctx.executor = nullptr;
+        ctx.now = start_ + offset;
+        ctx.real_sleep_scale = options_.real_sleep_scale;
+        ctx.wall_anchored = true;
+        ctx.wall_base = start_;
+        ctx.wall_epoch = wall0;
+        bool metric;
+        if (serialize) {
+          std::lock_guard<std::mutex> lock(serialize_mu);
+          metric = workload_->RunTransaction(t, ctx);
+        } else {
+          metric = workload_->RunTransaction(t, ctx);
+        }
+        ++a.total;
+        // Latency is the max of modeled completion and wall elapsed: real
+        // blocking that never advances ctx.now (group-commit condvar parks,
+        // OS mutex queues) still counts against the transaction.
+        a.latency.Record(std::max(ctx.now - (start_ + offset),
+                                  wall_us() - offset));
+        a.latch_wait += ctx.latch_wait;
+        if (metric) {
+          ++a.metric;
+          a.throughput.Record(offset);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  pump.join();
+
+  // Drain: background actors stop rescheduling, then the (now single
+  // threaded again) executor runs dry.
+  system_->checkpoint().StopPeriodic();
+  system_->ssd_manager().StopBackground();
+  ex.RunUntilIdle();
+  ex.set_concurrent(false);
+
+  for (const ThreadAgg& a : agg) {
+    result_.total_txns += a.total;
+    result_.metric_txns += a.metric;
+    result_.total_latch_wait += a.latch_wait;
+    result_.txn_latency.Merge(a.latency);
+    result_.throughput.Merge(a.throughput);
+  }
+
+  result_.run_end = end_;
+  result_.overall_rate =
+      static_cast<double>(result_.metric_txns) / ToSeconds(options_.duration);
+  result_.steady_rate = result_.throughput.AverageRate(
+      options_.duration - options_.steady_window, options_.duration);
+  result_.bp = system_->buffer_pool().stats();
+  result_.ssd = system_->ssd_manager().stats();
+  result_.ckpt = system_->checkpoint().stats();
+
+  const LatchWaitSnapshot lw1 = LatchWaitStats::Instance().Snapshot();
+  for (int i = 0; i < kNumLatchClasses; ++i) {
+    result_.latch_waits.waits[i] = lw1.waits[i] - lw0.waits[i];
+    result_.latch_waits.wait_ns[i] = lw1.wait_ns[i] - lw0.wait_ns[i];
   }
   return result_;
 }

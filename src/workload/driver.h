@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "debug/latch_order_checker.h"
 #include "engine/database.h"
 
 namespace turbobp {
@@ -21,6 +22,12 @@ class Workload {
   // true if the transaction counts toward the headline metric (NewOrder
   // for tpmC, Trade-Result for tpsE).
   virtual bool RunTransaction(int client_id, IoContext& ctx) = 0;
+
+  // Whether concurrent RunTransaction calls from different OS threads are
+  // safe. The real-thread driver serializes workloads that return false
+  // behind one global latch (correct, but measures only engine-side
+  // concurrency); TPC-C in partitioned mode returns true.
+  virtual bool thread_safe() const { return false; }
 };
 
 struct DriverOptions {
@@ -33,6 +40,26 @@ struct DriverOptions {
   // throughput achieved over the last hour of execution").
   Time steady_window = Seconds(60);
   bool record_traffic = true;
+
+  // Real-thread scale-out mode: when > 0, `threads` OS threads (one client
+  // each; num_clients is ignored) hammer the shared DbSystem concurrently
+  // and `duration` is interpreted on the wall clock — virtual time is
+  // anchored so one virtual microsecond == one wall microsecond since run
+  // start. A pump thread advances the discrete-event executor to the
+  // anchored time so background actors (lazy cleaner, TAC admission, async
+  // reaps) still run; clients run with ctx.executor == nullptr and take the
+  // engine's real-thread blocking paths. Periodic checkpoints must NOT be
+  // scheduled in this mode (checkpoint before/after the run instead): the
+  // checkpoint boundary audit assumes it observes a quiesced system.
+  // Per-device traffic time series are not recorded (the sinks are not
+  // thread-safe); everything else in DriverResult is filled as usual, with
+  // per-thread histograms/series merged at report time.
+  int threads = 0;
+  // Threaded mode only: scale factor turning modelled device waits into
+  // real OS sleeps (see IoContext::real_sleep_scale). 0 = don't sleep;
+  // DRAM-resident scale-out benches use 0 so throughput measures real
+  // engine concurrency, not sleep overlap.
+  double real_sleep_scale = 0.0;
 };
 
 struct DriverResult {
@@ -53,6 +80,11 @@ struct DriverResult {
   Time total_latch_wait = 0;
   Histogram txn_latency;
   Time run_end = 0;
+  // Threaded mode: per-latch-class contended-acquisition deltas over the
+  // run (waits and nanoseconds waited), from LatchWaitStats. Zero in sim
+  // mode — a single driver thread never contends.
+  int threads = 0;
+  LatchWaitSnapshot latch_waits{};
 };
 
 // Drives N logical clients against a DbSystem inside the discrete-event
@@ -69,6 +101,7 @@ class Driver {
 
  private:
   void ClientStep(int client_id);
+  DriverResult RunThreaded();
 
   DbSystem* system_;
   Workload* workload_;

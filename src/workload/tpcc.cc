@@ -32,6 +32,31 @@ int64_t NuRandA(int64_t range, int shift) {
   return std::max<int64_t>(a - 1, 15);
 }
 
+// Reader/writer guards over the shared B+-tree latches that collapse to
+// no-ops in sim mode (single driver thread, zero overhead on the hot path
+// beyond one predictable branch).
+class TreeWriteGuard {
+ public:
+  TreeWriteGuard(std::shared_mutex& mu, bool enabled)
+      : lock_(mu, std::defer_lock) {
+    if (enabled) lock_.lock();
+  }
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+class TreeReadGuard {
+ public:
+  TreeReadGuard(std::shared_mutex& mu, bool enabled)
+      : lock_(mu, std::defer_lock) {
+    if (enabled) lock_.lock();
+  }
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
 }  // namespace
 
 TpccWorkload::Derived TpccWorkload::DeriveSizes(const TpccConfig& config) {
@@ -203,6 +228,23 @@ void TpccWorkload::Populate(Database* db, const TpccConfig& config) {
   orders_by_cust.BulkLoad(cust_entries, ctx);
   new_order_idx.BulkLoad(new_order_entries, ctx);
 
+  if (config.partition_by_client) {
+    // Real-thread mode: pre-extend the ring tables to full capacity so
+    // steady-state ring writes are pure Updates — the heap-file frontier
+    // (row_count / Append) is single-writer state and must never move
+    // under concurrent clients.
+    const uint64_t cap = static_cast<uint64_t>(d.order_capacity);
+    TpccRows::Order ofill{};
+    while (orders.row_count() < cap) orders.Append(AsBytes(ofill), 0, ctx);
+    TpccRows::OrderLine lfill{};
+    while (order_line.row_count() <
+           cap * static_cast<uint64_t>(d.max_lines)) {
+      order_line.Append(AsBytes(lfill), 0, ctx);
+    }
+    TpccRows::History hfill{};
+    while (history.row_count() < cap) history.Append(AsBytes(hfill), 0, ctx);
+  }
+
   // Push the populated pages to the devices and start from a cold cache.
   db->pool().FlushAllDirty(ctx, /*for_checkpoint=*/false);
   db->pool().Reset();
@@ -232,19 +274,48 @@ TpccWorkload::TpccWorkload(Database* db, const TpccConfig& config)
   new_order_idx_ = BPlusTree::Attach(db, "new_order_idx");
   order_seq_ = orders_.row_count();
   history_seq_ = history_.row_count();
+
+  partitioned_ = config.partition_by_client;
+  if (partitioned_) {
+    wh_init_ = static_cast<uint64_t>(init_orders_) * kDistrictsPerWh;
+    wh_ring_ = static_cast<uint64_t>(order_capacity_) /
+               static_cast<uint64_t>(config.warehouses);
+    // Populate() pre-extended the rings; the per-warehouse cursors start at
+    // the initial-order count (the rest of each warehouse's ring is filler
+    // that has never held a live order).
+    TURBOBP_CHECK(orders_.row_count() ==
+                  static_cast<uint64_t>(order_capacity_));
+    wh_.reserve(static_cast<size_t>(config.warehouses));
+    for (int w = 0; w < config.warehouses; ++w) {
+      auto ws = std::make_unique<WarehouseState>();
+      ws->order_seq = wh_init_;
+      ws->history_seq = wh_init_;
+      ws->rng = Rng(config.seed ^ 0xC0FFEE ^
+                    (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(w + 1)));
+      wh_.push_back(std::move(ws));
+    }
+  }
+}
+
+uint64_t TpccWorkload::PartitionSlot(int w, uint64_t j) const {
+  const uint64_t jm = j % wh_ring_;
+  const uint64_t wu = static_cast<uint64_t>(w);
+  if (jm < wh_init_) return wu * wh_init_ + jm;
+  return static_cast<uint64_t>(config_.warehouses) * wh_init_ +
+         wu * (wh_ring_ - wh_init_) + (jm - wh_init_);
 }
 
 uint64_t TpccWorkload::OidKey(uint64_t prefix, uint64_t o_id) const {
   return (prefix << kOidBits) | ((o_id - 1) % oid_ring_ + 1);
 }
 
-int64_t TpccWorkload::NuRandCustomer() {
-  return rng_.NuRand(NuRandA(customers_per_district_, 2), 0,
-                     customers_per_district_ - 1);
+int64_t TpccWorkload::NuRandCustomer(Rng& rng) {
+  return rng.NuRand(NuRandA(customers_per_district_, 2), 0,
+                    customers_per_district_ - 1);
 }
 
-int64_t TpccWorkload::NuRandItem() {
-  return rng_.NuRand(NuRandA(items_, 4), 0, items_ - 1);
+int64_t TpccWorkload::NuRandItem(Rng& rng) {
+  return rng.NuRand(NuRandA(items_, 4), 0, items_ - 1);
 }
 
 void TpccWorkload::WriteRingRow(HeapFile& file, uint64_t row,
@@ -254,7 +325,10 @@ void TpccWorkload::WriteRingRow(HeapFile& file, uint64_t row,
     file.Update(file.RidOfRow(row), data, txn, ctx);
   } else {
     // Orders with fewer than max_lines lines leave gaps in the order-line
-    // slot space; pad the frontier so slots stay computable.
+    // slot space; pad the frontier so slots stay computable. Partitioned
+    // mode pre-extends the rings, so appends (which move the shared heap
+    // frontier) must never happen there.
+    TURBOBP_CHECK(!partitioned_);
     std::vector<uint8_t> filler(data.size(), 0);
     while (row > file.row_count()) {
       file.Append(filler, txn, ctx);
@@ -264,29 +338,48 @@ void TpccWorkload::WriteRingRow(HeapFile& file, uint64_t row,
 }
 
 bool TpccWorkload::RunTransaction(int client_id, IoContext& ctx) {
-  const uint64_t pick = rng_.Uniform(100);
+  if (partitioned_) {
+    const int home_w =
+        static_cast<int>(static_cast<uint64_t>(client_id) % wh_.size());
+    WarehouseState& ws = *wh_[static_cast<size_t>(home_w)];
+    // The warehouse latch covers the whole transaction: every heap-row RMW
+    // on warehouse-owned rows, the per-warehouse ring cursors, and this
+    // warehouse's RNG stream.
+    std::lock_guard<std::mutex> lock(ws.mu);
+    TxnEnv env{home_w, &ws.rng, &ws};
+    return DoTransaction(env, ctx);
+  }
+  TxnEnv env{/*home_w=*/-1, &rng_, /*ws=*/nullptr};
+  return DoTransaction(env, ctx);
+}
+
+bool TpccWorkload::DoTransaction(TxnEnv& env, IoContext& ctx) {
+  const uint64_t pick = env.rng->Uniform(100);
   bool metric = false;
   if (pick < 45) {
-    NewOrder(ctx);
+    NewOrder(env, ctx);
     metric = true;
   } else if (pick < 88) {
-    Payment(ctx);
+    Payment(env, ctx);
   } else if (pick < 92) {
-    OrderStatus(ctx);
+    OrderStatus(env, ctx);
   } else if (pick < 96) {
-    Delivery(ctx);
+    Delivery(env, ctx);
   } else {
-    StockLevel(ctx);
+    StockLevel(env, ctx);
   }
   if (config_.commit_force) db_->system().log().CommitForce(ctx);
   return metric;
 }
 
-void TpccWorkload::NewOrder(IoContext& ctx) {
+void TpccWorkload::NewOrder(TxnEnv& env, IoContext& ctx) {
+  Rng& rng = *env.rng;
   ++new_orders_;
   const uint64_t txn = next_txn_id_++;
-  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
-  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
+  const int w = env.home_w >= 0
+                    ? env.home_w
+                    : static_cast<int>(rng.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng.Uniform(kDistrictsPerWh));
   const uint64_t d_key = DistrictKey(w, dist);
 
   TpccRows::Warehouse wrow;
@@ -300,26 +393,47 @@ void TpccWorkload::NewOrder(IoContext& ctx) {
   drow.next_o_id++;
   district_.Update(drid, AsBytes(drow), txn, ctx);
 
-  const uint64_t c_key = CustomerKey(d_key, NuRandCustomer());
+  const uint64_t c_key = CustomerKey(d_key, NuRandCustomer(rng));
   TpccRows::Customer crow;
   customer_.Read(customer_.RidOfRow(c_key), AsMutableBytes(crow),
                  AccessKind::kRandom, ctx);
 
-  const uint32_t ol_cnt = 8 + static_cast<uint32_t>(rng_.Uniform(5));
-  const uint64_t o_row = order_seq_ % static_cast<uint64_t>(order_capacity_);
-  ++order_seq_;
+  const uint32_t ol_cnt = 8 + static_cast<uint32_t>(rng.Uniform(5));
+  bool recycled;
+  uint64_t o_row;
+  if (env.ws != nullptr) {
+    // Partitioned ring: warehouse-local slots, so the superseded order (if
+    // any) is guaranteed to belong to this warehouse and its index purge
+    // below never reaches across a partition.
+    const uint64_t j = env.ws->order_seq++;
+    o_row = PartitionSlot(w, j);
+    recycled = j >= wh_ring_;
+  } else {
+    o_row = order_seq_ % static_cast<uint64_t>(order_capacity_);
+    ++order_seq_;
+    recycled = order_seq_ > static_cast<uint64_t>(order_capacity_);
+  }
 
   // Recycling an order slot: purge the superseded order's index entries so
   // the indexes stay bounded (ring substitution, see header comment).
-  if (order_seq_ > static_cast<uint64_t>(order_capacity_)) {
+  if (recycled) {
     TpccRows::Order old;
     orders_.Read(orders_.RidOfRow(o_row), AsMutableBytes(old),
                  AccessKind::kRandom, ctx);
     const uint64_t old_dk = old.c_key / static_cast<uint64_t>(
                                             customers_per_district_);
-    orders_idx_.Delete(OidKey(old_dk, old.o_id), txn, ctx);
-    orders_by_cust_.Delete(OidKey(old.c_key, old.o_id), txn, ctx);
-    new_order_idx_.Delete(OidKey(old_dk, old.o_id), txn, ctx);
+    {
+      TreeWriteGuard g(orders_idx_mu_, partitioned_);
+      orders_idx_.Delete(OidKey(old_dk, old.o_id), txn, ctx);
+    }
+    {
+      TreeWriteGuard g(cust_idx_mu_, partitioned_);
+      orders_by_cust_.Delete(OidKey(old.c_key, old.o_id), txn, ctx);
+    }
+    {
+      TreeWriteGuard g(new_order_idx_mu_, partitioned_);
+      new_order_idx_.Delete(OidKey(old_dk, old.o_id), txn, ctx);
+    }
   }
 
   TpccRows::Order orow{};
@@ -331,11 +445,14 @@ void TpccWorkload::NewOrder(IoContext& ctx) {
   WriteRingRow(orders_, o_row, AsBytes(orow), txn, ctx);
 
   for (uint32_t l = 0; l < ol_cnt; ++l) {
-    const int64_t i_id = NuRandItem();
-    // 1% of lines are supplied by a remote warehouse.
-    const int supply_w = rng_.Bernoulli(0.01) && config_.warehouses > 1
-                             ? static_cast<int>(rng_.Uniform(config_.warehouses))
-                             : w;
+    const int64_t i_id = NuRandItem(rng);
+    // 1% of lines are supplied by a remote warehouse (disabled when the
+    // warehouses are partitioned across client threads — stock rows must
+    // stay under their owner's latch).
+    const int supply_w =
+        env.home_w < 0 && rng.Bernoulli(0.01) && config_.warehouses > 1
+            ? static_cast<int>(rng.Uniform(config_.warehouses))
+            : w;
     TpccRows::Item irow;
     item_.Read(item_.RidOfRow(static_cast<uint64_t>(i_id)),
                AsMutableBytes(irow), AccessKind::kRandom, ctx);
@@ -361,18 +478,30 @@ void TpccWorkload::NewOrder(IoContext& ctx) {
   }
 
   const uint64_t key = OidKey(d_key, o_id);
-  orders_idx_.Insert(key, o_row, txn, ctx);
-  orders_by_cust_.Insert(OidKey(c_key, o_id), o_row, txn, ctx);
-  new_order_idx_.Insert(key, o_row, txn, ctx);
+  {
+    TreeWriteGuard g(orders_idx_mu_, partitioned_);
+    orders_idx_.Insert(key, o_row, txn, ctx);
+  }
+  {
+    TreeWriteGuard g(cust_idx_mu_, partitioned_);
+    orders_by_cust_.Insert(OidKey(c_key, o_id), o_row, txn, ctx);
+  }
+  {
+    TreeWriteGuard g(new_order_idx_mu_, partitioned_);
+    new_order_idx_.Insert(key, o_row, txn, ctx);
+  }
 }
 
-void TpccWorkload::Payment(IoContext& ctx) {
+void TpccWorkload::Payment(TxnEnv& env, IoContext& ctx) {
+  Rng& rng = *env.rng;
   ++payments_;
   const uint64_t txn = next_txn_id_++;
-  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
-  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
+  const int w = env.home_w >= 0
+                    ? env.home_w
+                    : static_cast<int>(rng.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng.Uniform(kDistrictsPerWh));
   const uint64_t d_key = DistrictKey(w, dist);
-  const int64_t amount = 100 + static_cast<int64_t>(rng_.Uniform(499900));
+  const int64_t amount = 100 + static_cast<int64_t>(rng.Uniform(499900));
 
   TpccRows::Warehouse wrow;
   const Rid wrid = warehouse_.RidOfRow(w);
@@ -386,13 +515,15 @@ void TpccWorkload::Payment(IoContext& ctx) {
   drow.ytd_cents += amount;
   district_.Update(drid, AsBytes(drow), txn, ctx);
 
-  // 15% of payments are for a customer of a remote district (spec 2.5.1.2).
+  // 15% of payments are for a customer of a remote district (spec 2.5.1.2;
+  // disabled in partitioned mode — customer rows stay under their owner's
+  // warehouse latch).
   uint64_t c_dkey = d_key;
-  if (rng_.Bernoulli(0.15)) {
-    c_dkey = DistrictKey(static_cast<int>(rng_.Uniform(config_.warehouses)),
-                         static_cast<int>(rng_.Uniform(kDistrictsPerWh)));
+  if (env.home_w < 0 && rng.Bernoulli(0.15)) {
+    c_dkey = DistrictKey(static_cast<int>(rng.Uniform(config_.warehouses)),
+                         static_cast<int>(rng.Uniform(kDistrictsPerWh)));
   }
-  const uint64_t c_key = CustomerKey(c_dkey, NuRandCustomer());
+  const uint64_t c_key = CustomerKey(c_dkey, NuRandCustomer(rng));
   TpccRows::Customer crow;
   const Rid crid = customer_.RidOfRow(c_key);
   customer_.Read(crid, AsMutableBytes(crow), AccessKind::kRandom, ctx);
@@ -405,16 +536,24 @@ void TpccWorkload::Payment(IoContext& ctx) {
   h.c_key = c_key;
   h.d_key = d_key;
   h.amount_cents = amount;
-  const uint64_t h_row = history_seq_ % static_cast<uint64_t>(order_capacity_);
-  ++history_seq_;
+  uint64_t h_row;
+  if (env.ws != nullptr) {
+    h_row = PartitionSlot(w, env.ws->history_seq++);
+  } else {
+    h_row = history_seq_ % static_cast<uint64_t>(order_capacity_);
+    ++history_seq_;
+  }
   WriteRingRow(history_, h_row, AsBytes(h), txn, ctx);
 }
 
-void TpccWorkload::OrderStatus(IoContext& ctx) {
+void TpccWorkload::OrderStatus(TxnEnv& env, IoContext& ctx) {
+  Rng& rng = *env.rng;
   ++order_statuses_;
-  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
-  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
-  const uint64_t c_key = CustomerKey(DistrictKey(w, dist), NuRandCustomer());
+  const int w = env.home_w >= 0
+                    ? env.home_w
+                    : static_cast<int>(rng.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng.Uniform(kDistrictsPerWh));
+  const uint64_t c_key = CustomerKey(DistrictKey(w, dist), NuRandCustomer(rng));
 
   TpccRows::Customer crow;
   customer_.Read(customer_.RidOfRow(c_key), AsMutableBytes(crow),
@@ -422,13 +561,16 @@ void TpccWorkload::OrderStatus(IoContext& ctx) {
 
   // Most recent order of this customer.
   uint64_t last_row = kInvalidPageId;
-  orders_by_cust_.ScanRange(
-      c_key << kOidBits, ((c_key + 1) << kOidBits) - 1,
-      [&](uint64_t, uint64_t row) {
-        last_row = row;
-        return true;
-      },
-      ctx);
+  {
+    TreeReadGuard g(cust_idx_mu_, partitioned_);
+    orders_by_cust_.ScanRange(
+        c_key << kOidBits, ((c_key + 1) << kOidBits) - 1,
+        [&](uint64_t, uint64_t row) {
+          last_row = row;
+          return true;
+        },
+        ctx);
+  }
   if (last_row == kInvalidPageId) return;  // ring recycled all their orders
 
   TpccRows::Order orow;
@@ -442,31 +584,43 @@ void TpccWorkload::OrderStatus(IoContext& ctx) {
   }
 }
 
-void TpccWorkload::Delivery(IoContext& ctx) {
+void TpccWorkload::Delivery(TxnEnv& env, IoContext& ctx) {
+  Rng& rng = *env.rng;
   ++deliveries_;
   const uint64_t txn = next_txn_id_++;
-  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
+  const int w = env.home_w >= 0
+                    ? env.home_w
+                    : static_cast<int>(rng.Uniform(config_.warehouses));
   for (int dist = 0; dist < kDistrictsPerWh; ++dist) {
     const uint64_t d_key = DistrictKey(w, dist);
-    // Oldest undelivered order in this district.
+    // Oldest undelivered order in this district. The scan-then-delete pair
+    // is not atomic across the two tree latchings, but the key range is
+    // owned by this warehouse's latch holder, so no other thread can race
+    // the delete.
     uint64_t key = 0, o_row = 0;
     bool found = false;
-    new_order_idx_.ScanRange(
-        d_key << kOidBits, ((d_key + 1) << kOidBits) - 1,
-        [&](uint64_t k, uint64_t row) {
-          key = k;
-          o_row = row;
-          found = true;
-          return false;  // first = oldest
-        },
-        ctx);
+    {
+      TreeReadGuard g(new_order_idx_mu_, partitioned_);
+      new_order_idx_.ScanRange(
+          d_key << kOidBits, ((d_key + 1) << kOidBits) - 1,
+          [&](uint64_t k, uint64_t row) {
+            key = k;
+            o_row = row;
+            found = true;
+            return false;  // first = oldest
+          },
+          ctx);
+    }
     if (!found) continue;
-    new_order_idx_.Delete(key, txn, ctx);
+    {
+      TreeWriteGuard g(new_order_idx_mu_, partitioned_);
+      new_order_idx_.Delete(key, txn, ctx);
+    }
 
     TpccRows::Order orow;
     const Rid orid = orders_.RidOfRow(o_row);
     orders_.Read(orid, AsMutableBytes(orow), AccessKind::kRandom, ctx);
-    orow.carrier_id = 1 + static_cast<uint32_t>(rng_.Uniform(10));
+    orow.carrier_id = 1 + static_cast<uint32_t>(rng.Uniform(10));
     orders_.Update(orid, AsBytes(orow), txn, ctx);
 
     int64_t total = 0;
@@ -489,10 +643,13 @@ void TpccWorkload::Delivery(IoContext& ctx) {
   }
 }
 
-void TpccWorkload::StockLevel(IoContext& ctx) {
+void TpccWorkload::StockLevel(TxnEnv& env, IoContext& ctx) {
+  Rng& rng = *env.rng;
   ++stock_levels_;
-  const int w = static_cast<int>(rng_.Uniform(config_.warehouses));
-  const int dist = static_cast<int>(rng_.Uniform(kDistrictsPerWh));
+  const int w = env.home_w >= 0
+                    ? env.home_w
+                    : static_cast<int>(rng.Uniform(config_.warehouses));
+  const int dist = static_cast<int>(rng.Uniform(kDistrictsPerWh));
   const uint64_t d_key = DistrictKey(w, dist);
 
   TpccRows::District drow;
@@ -504,7 +661,12 @@ void TpccWorkload::StockLevel(IoContext& ctx) {
   int low_stock = 0;
   for (uint64_t o = from; o < drow.next_o_id; ++o) {
     uint64_t o_row;
-    if (!orders_idx_.Search(OidKey(d_key, o), &o_row, ctx)) continue;
+    bool hit;
+    {
+      TreeReadGuard g(orders_idx_mu_, partitioned_);
+      hit = orders_idx_.Search(OidKey(d_key, o), &o_row, ctx);
+    }
+    if (!hit) continue;
     TpccRows::Order orow;
     orders_.Read(orders_.RidOfRow(o_row), AsMutableBytes(orow),
                  AccessKind::kRandom, ctx);

@@ -1,7 +1,12 @@
 #ifndef TURBOBP_WORKLOAD_TPCC_H_
 #define TURBOBP_WORKLOAD_TPCC_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "engine/bplus_tree.h"
@@ -29,6 +34,15 @@ struct TpccConfig {
   int order_capacity_factor = 2;
   uint64_t seed = 42;
   bool commit_force = true;      // group-commit log force per transaction
+  // Real-thread mode (the N-OS-thread driver): clients are pinned to home
+  // warehouses (client_id % warehouses), remote accesses are disabled, and
+  // the order/history rings are partitioned per warehouse so every row is
+  // owned by exactly one warehouse latch. Populate() additionally
+  // pre-extends the ring tables to full capacity so steady-state ring
+  // writes are pure Updates and never move a heap-file frontier from two
+  // threads at once. The single-threaded simulator leaves this off and
+  // keeps the original global round-robin ring (bit-identical behavior).
+  bool partition_by_client = false;
 };
 
 // Row images (compact but proportioned like the spec's row sizes).
@@ -108,6 +122,9 @@ class TpccWorkload : public Workload {
 
   std::string name() const override { return "TPC-C"; }
   bool RunTransaction(int client_id, IoContext& ctx) override;
+  // Safe for concurrent RunTransaction calls iff partitioned (the threaded
+  // driver serializes non-thread-safe workloads behind a global latch).
+  bool thread_safe() const override { return partitioned_; }
 
   // Derived cardinalities.
   int64_t customers_per_district() const { return customers_per_district_; }
@@ -120,11 +137,11 @@ class TpccWorkload : public Workload {
                                   uint32_t page_bytes);
 
   // Per-transaction counters.
-  int64_t new_orders() const { return new_orders_; }
-  int64_t payments() const { return payments_; }
-  int64_t order_statuses() const { return order_statuses_; }
-  int64_t deliveries() const { return deliveries_; }
-  int64_t stock_levels() const { return stock_levels_; }
+  int64_t new_orders() const { return new_orders_.load(); }
+  int64_t payments() const { return payments_.load(); }
+  int64_t order_statuses() const { return order_statuses_.load(); }
+  int64_t deliveries() const { return deliveries_.load(); }
+  int64_t stock_levels() const { return stock_levels_.load(); }
 
  private:
   struct Derived {
@@ -137,11 +154,39 @@ class TpccWorkload : public Workload {
   };
   static Derived DeriveSizes(const TpccConfig& config);
 
-  void NewOrder(IoContext& ctx);
-  void Payment(IoContext& ctx);
-  void OrderStatus(IoContext& ctx);
-  void Delivery(IoContext& ctx);
-  void StockLevel(IoContext& ctx);
+  // Per-home-warehouse mutable state (partitioned mode). The warehouse
+  // latch is held for a whole transaction on that warehouse, which makes
+  // every heap-row read-modify-write on warehouse-owned rows atomic; the
+  // shared B+-trees get their own reader/writer latches below.
+  struct WarehouseState {
+    std::mutex mu;
+    uint64_t order_seq = 0;    // per-warehouse orders ever created
+    uint64_t history_seq = 0;
+    Rng rng{0};
+  };
+  // Per-transaction environment: the home warehouse (or -1 = pick at
+  // random, sim mode), the RNG stream to draw from, and the warehouse
+  // state (nullptr in sim mode — the global ring cursors are used).
+  struct TxnEnv {
+    int home_w = -1;
+    Rng* rng = nullptr;
+    WarehouseState* ws = nullptr;
+  };
+
+  bool DoTransaction(TxnEnv& env, IoContext& ctx);
+  void NewOrder(TxnEnv& env, IoContext& ctx);
+  void Payment(TxnEnv& env, IoContext& ctx);
+  void OrderStatus(TxnEnv& env, IoContext& ctx);
+  void Delivery(TxnEnv& env, IoContext& ctx);
+  void StockLevel(TxnEnv& env, IoContext& ctx);
+
+  // Maps the j-th order (or history row) ever created by warehouse `w` to
+  // its ring slot. Initial orders are contiguous per warehouse
+  // ([w*wh_init_, (w+1)*wh_init_)); growth slots follow after all initial
+  // regions, again contiguous per warehouse — Populate's layout is
+  // byte-identical to the global ring, only the recycling order becomes
+  // warehouse-local.
+  uint64_t PartitionSlot(int w, uint64_t j) const;
 
   uint64_t DistrictKey(int w, int d) const {
     return static_cast<uint64_t>(w) * 10 + static_cast<uint64_t>(d);
@@ -155,8 +200,8 @@ class TpccWorkload : public Workload {
   void WriteRingRow(HeapFile& file, uint64_t row, std::span<const uint8_t> data,
                     uint64_t txn, IoContext& ctx);
 
-  int64_t NuRandCustomer();
-  int64_t NuRandItem();
+  int64_t NuRandCustomer(Rng& rng);
+  int64_t NuRandItem(Rng& rng);
 
   // Index keys wrap o_id around the per-district ring size so the B+-tree
   // key space (and hence its page footprint) stays bounded while o_ids keep
@@ -173,7 +218,7 @@ class TpccWorkload : public Workload {
   int64_t order_capacity_;
   int64_t max_lines_;
   uint64_t oid_ring_ = 1;
-  uint64_t next_txn_id_ = 1;
+  std::atomic<uint64_t> next_txn_id_{1};
 
   HeapFile warehouse_, district_, customer_, orders_, order_line_, item_,
       stock_, history_;
@@ -181,12 +226,27 @@ class TpccWorkload : public Workload {
   BPlusTree orders_by_cust_;   // (c_key<<24 | o_id) -> order row
   BPlusTree new_order_idx_;    // (d_key<<24 | o_id) -> order row
 
-  // Ring cursors (order slots are allocated globally round-robin).
+  // Ring cursors (sim mode: order slots are allocated globally round-robin
+  // by the single driver thread; partitioned mode uses the per-warehouse
+  // cursors in wh_ instead and never touches these).
   uint64_t order_seq_ = 0;     // total orders ever created
   uint64_t history_seq_ = 0;
 
-  int64_t new_orders_ = 0, payments_ = 0, order_statuses_ = 0,
-          deliveries_ = 0, stock_levels_ = 0;
+  // Partitioned real-thread mode.
+  bool partitioned_ = false;
+  uint64_t wh_init_ = 0;  // initial orders per warehouse (10 districts)
+  uint64_t wh_ring_ = 0;  // ring slots per warehouse
+  std::vector<std::unique_ptr<WarehouseState>> wh_;
+  // Tree latches: the three indexes are shared across warehouses, so
+  // structural changes (Insert/Delete may split or merge nodes) take the
+  // writer side and lookups/scans the reader side. Taken under a warehouse
+  // latch, never the other way around; no-ops in sim mode.
+  mutable std::shared_mutex orders_idx_mu_;
+  mutable std::shared_mutex cust_idx_mu_;
+  mutable std::shared_mutex new_order_idx_mu_;
+
+  std::atomic<int64_t> new_orders_{0}, payments_{0}, order_statuses_{0},
+      deliveries_{0}, stock_levels_{0};
 };
 
 }  // namespace turbobp

@@ -127,7 +127,7 @@ TEST_F(BufferPoolTest, WalRuleLogIsFlushedBeforeDirtyWrite) {
   }
   // Evicting the dirty page forced the log through its LSN.
   EXPECT_GT(log_->durable_lsn(), lsn_before);
-  EXPECT_GE(log_->durable_lsn(), log_->records().back().lsn);
+  EXPECT_GE(log_->durable_lsn(), log_->records_snapshot().back().lsn);
 }
 
 TEST_F(BufferPoolTest, NewPageIsBornDirtyAndNeverReadsDisk) {

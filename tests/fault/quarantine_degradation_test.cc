@@ -12,6 +12,7 @@
 #include "core/dual_write.h"
 #include "core/lazy_cleaning.h"
 #include "debug/invariant_auditor.h"
+#include "fault/crash_point.h"
 #include "fault/fault_injecting_device.h"
 #include "sim/sim_executor.h"
 #include "storage/page.h"
@@ -352,6 +353,87 @@ TEST_F(LcFaultTest, UnsalvageableDirtyFrameBecomesALostPage) {
 
   const AuditReport audit = InvariantAuditor::AuditSsdCache(*lc_);
   EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+// Records what a concurrent reader could observe at each salvage step: the
+// "lc/degrade-salvage" point fires once per salvaged frame, while the
+// partition still holds dirty frames. partition_degraded() is exactly the
+// lock-free signal readers use to bypass the latch and fall back to disk.
+class DegradePublishObserver : public CrashPointObserver {
+ public:
+  explicit DegradePublishObserver(const SsdCacheBase* cache)
+      : cache_(cache) {}
+
+  void OnCrashPoint(const char* name) override {
+    if (std::strcmp(name, "lc/degrade-salvage") != 0) return;
+    ++salvage_hits_;
+    flag_seen_mid_salvage_ |= cache_->partition_degraded(0);
+  }
+
+  int salvage_hits_ = 0;
+  bool flag_seen_mid_salvage_ = false;
+
+ private:
+  const SsdCacheBase* cache_;
+};
+
+TEST_F(LcFaultTest, PassThroughFlagIsPublishedOnlyAfterSalvageAndPurge) {
+  if (!CrashPointsCompiledIn()) GTEST_SKIP() << "crash points compiled out";
+  // Single partition, so every page maps to index 0 and the observer can
+  // watch the one flag that matters.
+  opts_.num_partitions = 1;
+  Build(FaultPlan::Healthy());
+  AdmitDirty(41);
+  AdmitDirty(42, Millis(1));
+  AdmitDirty(43, Millis(2));
+  ASSERT_EQ(lc_->dirty_frames(), 3);
+
+  // Regression pin: part.degraded used to be set BEFORE the salvage ran.
+  // TryReadPage and Probe trust that flag without taking the partition
+  // latch ("degraded => purged => disk fallback safe"), so for the whole
+  // salvage window — hundreds of device writes on a real degrade — a
+  // concurrent reader was handed the stale disk copy of a page whose only
+  // current version was a dirty frame still awaiting salvage: silent lost
+  // updates. The flag must not be observable until salvage AND purge are
+  // done.
+  DegradePublishObserver observer(lc_.get());
+  {
+    ScopedCrashArm arm(&observer);
+    IoContext ctx = Ctx(Seconds(1));
+    lc_->DegradePartitionAt(0, ctx);
+  }
+  EXPECT_EQ(observer.salvage_hits_, 3);
+  EXPECT_FALSE(observer.flag_seen_mid_salvage_)
+      << "pass-through flag visible while dirty frames awaited salvage";
+
+  // After the sequence the flag is up, the partition is empty, and the
+  // salvaged content reached the disk.
+  EXPECT_TRUE(lc_->partition_degraded(0));
+  EXPECT_EQ(lc_->dirty_frames(), 0);
+  EXPECT_EQ(lc_->stats().emergency_cleaned, 3);
+  EXPECT_EQ(lc_->stats().lost_pages, 0);
+  for (PageId pid : {PageId(41), PageId(42), PageId(43)}) {
+    std::vector<uint8_t> buf(kPage);
+    IoContext read_ctx = Ctx(Seconds(2));
+    read_ctx.charge = false;
+    ASSERT_TRUE(disk_->ReadPage(pid, buf, read_ctx).ok());
+    PageView v(buf.data(), kPage);
+    EXPECT_EQ(v.header().page_id, pid);
+    EXPECT_TRUE(v.VerifyChecksum());
+    EXPECT_EQ(v.payload()[0], static_cast<uint8_t>(pid));
+  }
+  const AuditReport audit = InvariantAuditor::AuditSsdCache(*lc_);
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+
+  // Admissions into the degraded partition are refused (the double-check
+  // under the latch), so no frame can be stranded invisibly behind the
+  // pass-through flag.
+  IoContext dctx = Ctx(Seconds(3));
+  const EvictionOutcome out = lc_->OnEvictDirty(
+      44, MakePage(44, 44), AccessKind::kRandom, kInvalidLsn, dctx);
+  EXPECT_TRUE(out.write_to_disk);
+  EXPECT_FALSE(out.cached_on_ssd);
+  EXPECT_EQ(lc_->used_frames(), 0);
 }
 
 TEST_F(LcFaultTest, CleanerQuarantinesCorruptFrameInsteadOfPropagating) {

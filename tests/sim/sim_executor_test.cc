@@ -67,7 +67,7 @@ TEST(SimExecutorDeathTest, SchedulingInThePastPanics) {
   SimExecutor ex;
   ex.ScheduleAt(10, [] {});
   ex.RunUntilIdle();
-  EXPECT_DEATH(ex.ScheduleAt(5, [] {}), "t >= now_");
+  EXPECT_DEATH(ex.ScheduleAt(5, [] {}), "t >= vnow");
 }
 
 }  // namespace

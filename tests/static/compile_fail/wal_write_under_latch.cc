@@ -1,0 +1,23 @@
+// Negative test for tools/analysis/static_check.py, rule `io-under-latch`.
+//
+// A log-device write is issued while the WAL latch is held. Since group
+// commit, LatchClass::kWal is device-io=forbidden in the LATCH ORDER SPEC:
+// the flush leader must release mu_ before the batched device write so
+// followers can keep appending. The checker must flag the Write call; ctest
+// asserts a non-zero exit (WILL_FAIL).
+//
+// This file is never compiled — it is a fixture parsed by the structural
+// checker, written against the real type names so lock resolution works.
+
+namespace turbobp {
+
+void BadWalWriteUnderLatch(LogManager& log, StorageDevice* log_device_,
+                           uint64_t page, std::span<const uint8_t> bytes,
+                           IoContext& ctx) {
+  TrackedLockGuard lock(log.mu_);
+  const IoResult r =
+      log_device_->Write(page, bytes, ctx);  // BAD: device write under kWal
+  TURBOBP_CHECK_OK(r.status);
+}
+
+}  // namespace turbobp

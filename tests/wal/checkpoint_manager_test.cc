@@ -52,7 +52,7 @@ TEST_F(CheckpointManagerTest, CheckpointFlushesAndLogs) {
   EXPECT_EQ(stats.pages_flushed_memory, 10);
   EXPECT_GT(stats.max_duration, 0);
   // Begin + end checkpoint records are in the log, end record durable.
-  const auto& records = system_->log().records();
+  const auto records = system_->log().records_snapshot();
   int begins = 0, ends = 0;
   for (const auto& r : records) {
     begins += r.type == LogRecordType::kBeginCheckpoint;

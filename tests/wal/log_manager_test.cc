@@ -55,7 +55,7 @@ TEST_F(LogManagerTest, CommitForceBlocksClient) {
   IoContext ctx;
   log_.CommitForce(ctx);
   EXPECT_GT(ctx.now, 0);
-  EXPECT_TRUE(log_.IsDurable(log_.records().back().lsn));
+  EXPECT_TRUE(log_.IsDurable(log_.records_snapshot().back().lsn));
 }
 
 TEST_F(LogManagerTest, SecondFlushIsSequentialNotSeek) {
@@ -89,13 +89,14 @@ TEST_F(LogManagerTest, LoaderModeFlushIsFree) {
   ctx.charge = false;
   EXPECT_EQ(log_.FlushTo(log_.current_lsn(), ctx), 0);
   EXPECT_EQ(log_.flushes_issued(), 0);
-  EXPECT_TRUE(log_.IsDurable(log_.records().back().lsn));
+  EXPECT_TRUE(log_.IsDurable(log_.records_snapshot().back().lsn));
 }
 
 TEST_F(LogManagerTest, UpdatePayloadPreserved) {
   std::vector<uint8_t> bytes = {9, 8, 7};
   log_.AppendUpdate(3, 55, 123, bytes);
-  const LogRecord& rec = log_.records().back();
+  const auto records = log_.records_snapshot();
+  const LogRecord& rec = records.back();
   EXPECT_EQ(rec.txn_id, 3u);
   EXPECT_EQ(rec.page_id, 55u);
   EXPECT_EQ(rec.offset, 123u);
@@ -106,14 +107,15 @@ TEST_F(LogManagerTest, UpdatePayloadPreserved) {
 TEST_F(LogManagerTest, CheckpointRecordTypes) {
   log_.AppendBeginCheckpoint();
   log_.AppendEndCheckpoint();
-  EXPECT_EQ(log_.records()[0].type, LogRecordType::kBeginCheckpoint);
-  EXPECT_EQ(log_.records()[1].type, LogRecordType::kEndCheckpoint);
+  const auto records = log_.records_snapshot();
+  EXPECT_EQ(records[0].type, LogRecordType::kBeginCheckpoint);
+  EXPECT_EQ(records[1].type, LogRecordType::kEndCheckpoint);
 }
 
 TEST_F(LogManagerTest, RecordChecksumsSealAtAppendAndCatchCorruption) {
   std::vector<uint8_t> bytes = {1, 2, 3, 4};
   log_.AppendUpdate(1, 5, 0, bytes);
-  LogRecord rec = log_.records().back();
+  LogRecord rec = log_.records_snapshot().back();
   EXPECT_TRUE(rec.VerifyChecksum());
   rec.bytes[2] = static_cast<uint8_t>(rec.bytes[2] ^ 0x40);
   EXPECT_FALSE(rec.VerifyChecksum());  // body damage
@@ -145,14 +147,14 @@ TEST_F(LogManagerTest, TruncateTornTailDropsCorruptRecordAndSuffix) {
   log_.FlushTo(log_.current_lsn(), ctx);
   // Model a torn log block: record 2's body was only partially written but
   // the device acked the flush, so its stored checksum is stale.
-  std::vector<LogRecord> records(log_.records().begin(), log_.records().end());
+  std::vector<LogRecord> records = log_.records_snapshot();
   records[2].bytes[0] = static_cast<uint8_t>(records[2].bytes[0] ^ 0xFF);
   const Lsn torn_lsn = records[2].lsn;
   LogManager replay(&dev_);  // a restart reading the log device back
   replay.RestoreDurableState(records, log_.durable_lsn());
   EXPECT_EQ(replay.TruncateTornTail(), 2u);  // torn record and its suffix
   EXPECT_EQ(replay.num_records(), 2);
-  EXPECT_EQ(replay.durable_lsn(), replay.records().back().lsn);
+  EXPECT_EQ(replay.durable_lsn(), replay.records_snapshot().back().lsn);
   // Appends reuse the reclaimed LSN space, as a real log rewrite would.
   EXPECT_EQ(replay.AppendUpdate(9, 9, 0, bytes), torn_lsn);
 }

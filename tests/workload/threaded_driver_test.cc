@@ -1,0 +1,181 @@
+// Real-thread scale-out: 8 OS threads run the partitioned TPC-C mix against
+// one shared DbSystem through Driver's threaded mode, over a deliberately
+// tiny buffer pool (so eviction, SSD admission and miss paths all fire) with
+// SSD fault injection enabled (so retry/quarantine paths fire too). After
+// the run the system must be exactly consistent:
+//   * the InvariantAuditor finds nothing,
+//   * reads are oracle-exact — per-district order counters reconcile with
+//     the merged NewOrder count (each NewOrder bumps exactly one district's
+//     next_o_id by one),
+//   * the drivers' merged counters conserve (per-type counts sum to the
+//     total; every NewOrder is a metric transaction),
+//   * the B+-trees pass their structural self-checks.
+// Runs under TSan in CI (tsan-stress job).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "debug/invariant_auditor.h"
+#include "engine/bplus_tree.h"
+#include "engine/heap_file.h"
+#include "workload/driver.h"
+#include "workload/tpcc.h"
+
+namespace turbobp {
+namespace {
+
+class ThreadedDriverTest : public ::testing::Test {
+ protected:
+  void BuildSystem(bool inject_faults) {
+    tpcc_.warehouses = 8;
+    tpcc_.row_scale = 0.01;
+    tpcc_.seed = 17;
+    tpcc_.partition_by_client = true;
+    SystemConfig config;
+    config.page_bytes = 1024;
+    config.db_pages = TpccWorkload::EstimateDbPages(tpcc_, 1024);
+    // Tiny pool: ~1/8 of the database, so the run is eviction-heavy and the
+    // miss/admission paths run concurrently, not just the hit path.
+    config.bp_frames = config.db_pages / 8;
+    config.ssd_frames = static_cast<int64_t>(config.db_pages / 3);
+    config.design = SsdDesign::kLazyCleaning;
+    config.ssd_options.num_partitions = 4;
+    if (inject_faults) {
+      config.inject_ssd_faults = true;
+      FaultPlan plan;
+      plan.seed = 99;
+      // Recoverable faults only: transient errors exercise the retry path,
+      // latency spikes the deadline/hedge path. Bit flips are excluded —
+      // under lazy cleaning a flipped *dirty* frame is the only copy of the
+      // page, and losing it is the fault model's documented data-loss mode,
+      // which would break the oracle-exact assertions below by design.
+      plan.transient_error_rate = 0.01;
+      plan.latency_spike_rate = 0.05;
+      config.ssd_fault_plan = plan;
+      // Retry budget sized so transient-only faults cannot plausibly
+      // exhaust it: at 1% per attempt, six independent failures is ~1e-12
+      // per read. With the default budget of 3 (~1e-6), a run doing ~1e5
+      // SSD reads would lose a dirty LC frame — the documented data-loss
+      // mode — in a few percent of runs, making the oracle checks flaky.
+      config.ssd_options.io_retry_limit = 6;
+    }
+    system_ = std::make_unique<DbSystem>(config);
+    db_ = std::make_unique<Database>(system_.get());
+    TpccWorkload::Populate(db_.get(), tpcc_);
+    workload_ = std::make_unique<TpccWorkload>(db_.get(), tpcc_);
+  }
+
+  DriverResult RunThreads(int threads, Time wall_duration) {
+    DriverOptions opts;
+    opts.threads = threads;
+    opts.duration = wall_duration;
+    opts.sample_width = Millis(100);
+    opts.steady_window = wall_duration / 4;
+    opts.record_traffic = false;
+    Driver driver(system_.get(), workload_.get(), opts);
+    return driver.Run();
+  }
+
+  // Oracle conservation: each NewOrder increments exactly one district's
+  // next_o_id by one, so the sum of the increments over all districts must
+  // equal the merged NewOrder counter exactly — any lost or torn district
+  // update under concurrency breaks this.
+  int64_t DistrictOrderDelta() {
+    IoContext ctx = system_->MakeContext(/*charge=*/false);
+    HeapFile district = HeapFile::Attach(db_.get(), "district");
+    int64_t delta = 0;
+    const int64_t init_next =
+        workload_->initial_orders_per_district() + 1;
+    for (uint64_t dk = 0; dk < district.row_count(); ++dk) {
+      struct {
+        uint64_t d_key;
+        uint64_t next_o_id;
+        int64_t ytd_cents;
+        char pad[72];
+      } row;
+      district.Read(district.RidOfRow(dk),
+                    {reinterpret_cast<uint8_t*>(&row), sizeof(row)},
+                    AccessKind::kSequential, ctx);
+      EXPECT_EQ(row.d_key, dk);
+      delta += static_cast<int64_t>(row.next_o_id) - init_next;
+    }
+    return delta;
+  }
+
+  TpccConfig tpcc_;
+  std::unique_ptr<DbSystem> system_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TpccWorkload> workload_;
+};
+
+TEST_F(ThreadedDriverTest, EightThreadsTinyPoolWithFaultsStayConsistent) {
+  BuildSystem(/*inject_faults=*/true);
+  const DriverResult r = RunThreads(8, Millis(1500));
+
+  EXPECT_EQ(r.threads, 8);
+  ASSERT_GT(r.total_txns, 0);
+  EXPECT_GT(r.metric_txns, 0);
+
+  // Merged-counter conservation: the per-type counters (maintained inside
+  // the workload, atomically) and the per-thread driver aggregates
+  // (maintained outside, merged at report time) must tell the same story.
+  const int64_t by_type = workload_->new_orders() + workload_->payments() +
+                          workload_->order_statuses() +
+                          workload_->deliveries() + workload_->stock_levels();
+  EXPECT_EQ(by_type, r.total_txns);
+  EXPECT_EQ(workload_->new_orders(), r.metric_txns);
+
+  // Oracle-exact reads: district next_o_id increments reconcile with the
+  // NewOrder count exactly.
+  EXPECT_EQ(DistrictOrderDelta(), workload_->new_orders());
+
+  // Structural invariants hold after the storm.
+  const AuditReport audit = InvariantAuditor::AuditSystem(
+      system_->buffer_pool(), &system_->ssd_manager());
+  EXPECT_TRUE(audit.ok()) << audit.violations().size() << " violations";
+
+  IoContext ctx = system_->MakeContext(/*charge=*/false);
+  BPlusTree orders_idx = BPlusTree::Attach(db_.get(), "orders_idx");
+  EXPECT_EQ(orders_idx.CheckInvariants(ctx), orders_idx.num_entries());
+  BPlusTree by_cust = BPlusTree::Attach(db_.get(), "orders_by_cust");
+  EXPECT_EQ(by_cust.CheckInvariants(ctx), by_cust.num_entries());
+  BPlusTree new_order = BPlusTree::Attach(db_.get(), "new_order_idx");
+  EXPECT_EQ(new_order.CheckInvariants(ctx), new_order.num_entries());
+}
+
+TEST_F(ThreadedDriverTest, ThroughputCountersConserveWithoutFaults) {
+  BuildSystem(/*inject_faults=*/false);
+  const DriverResult r = RunThreads(4, Millis(800));
+
+  ASSERT_GT(r.total_txns, 0);
+  const int64_t by_type = workload_->new_orders() + workload_->payments() +
+                          workload_->order_statuses() +
+                          workload_->deliveries() + workload_->stock_levels();
+  EXPECT_EQ(by_type, r.total_txns);
+  EXPECT_EQ(DistrictOrderDelta(), workload_->new_orders());
+  // The merged latency histogram saw every transaction.
+  EXPECT_EQ(r.txn_latency.count(), r.total_txns);
+
+  // Buffer-pool snapshot consistency under the release/acquire protocol:
+  // at quiescence the classification counters reconcile exactly.
+  const BufferPoolStats bp = system_->buffer_pool().stats();
+  EXPECT_EQ(bp.hits + bp.misses, bp.ops);
+}
+
+TEST_F(ThreadedDriverTest, PartitionedModePreservesSimSemantics) {
+  // The same partitioned workload driven by the sim executor (threads=0)
+  // still works — partitioning changes ownership, not correctness.
+  BuildSystem(/*inject_faults=*/false);
+  IoContext ctx = system_->MakeContext();
+  int metric = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (workload_->RunTransaction(i % 8, ctx)) ++metric;
+    system_->executor().RunUntil(ctx.now);
+  }
+  EXPECT_EQ(workload_->new_orders(), metric);
+  EXPECT_EQ(DistrictOrderDelta(), workload_->new_orders());
+}
+
+}  // namespace
+}  // namespace turbobp

@@ -13,9 +13,9 @@ applied over lock-scope nesting reconstructed from the source text:
   io-under-latch  No blocking device call (StorageDevice/DiskManager entry
                   points, WAL flushes, SSD frame I/O) while holding a latch
                   whose class the spec marks `forbidden` for device I/O
-                  (kBufferPool, kBufferFrame, ... -- the PR-5 invariant).
-                  Classes marked `allowed` (kWal, kSsdPartition, ...) cover
-                  I/O by design and are not flagged.
+                  (kBufferPool, kBufferFrame, kWal since group commit, ...
+                  -- the PR-5 invariant). Classes marked `allowed`
+                  (kSsdPartition, ...) cover I/O by design, not flagged.
   ioresult        Every call to an IoResult- or Status-returning I/O
                   function must consume its result: assigned, returned,
                   compared, wrapped (TURBOBP_CHECK_OK), or explicitly
